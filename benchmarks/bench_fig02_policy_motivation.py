@@ -1,0 +1,29 @@
+"""Figure 2: replication vs partition hit rate and extraction time."""
+
+from repro.bench.experiments import fig2_policy_motivation
+from repro.bench.plotting import line_chart
+
+
+def bench_fig02_policy_motivation(run_experiment, capsys):
+    result = run_experiment(fig2_policy_motivation)
+    with capsys.disabled():
+        print(line_chart(
+            result.series("cache_ratio_pct"),
+            {
+                "rep": result.series("rep_time_ms"),
+                "part": result.series("part_time_ms"),
+                "ugache": result.series("ugache_time_ms"),
+            },
+            x_label="cache ratio %",
+            y_label="extraction ms",
+        ))
+    first, last = result.rows[0], result.rows[-1]
+    # Partition's local hit stays pinned near 1/G while replication's local
+    # hit climbs with capacity (§3.1).
+    assert last["part_local_hit_pct"] < 15
+    assert last["rep_local_hit_pct"] > first["rep_local_hit_pct"]
+    # Partition hits its marginal-utility plateau: time stops improving.
+    assert abs(last["part_time_ms"] - result.rows[-2]["part_time_ms"]) < 0.05 * last["part_time_ms"] + 1e-6
+    # UGache tracks or beats the better of the two everywhere.
+    for row in result.rows:
+        assert row["ugache_time_ms"] <= min(row["rep_time_ms"], row["part_time_ms"]) * 1.05

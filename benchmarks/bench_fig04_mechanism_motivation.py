@@ -1,0 +1,24 @@
+"""Figure 4: message vs naive peer vs UGache extraction time (DLR)."""
+
+from repro.bench.experiments import fig4_mechanism_motivation
+from repro.bench.plotting import bar_chart
+
+
+def bench_fig04_mechanism_motivation(run_experiment, capsys):
+    result = run_experiment(fig4_mechanism_motivation)
+    with capsys.disabled():
+        for row in result.rows:
+            print(f"\n[{row['platform']} / {row['dataset']}]")
+            print(bar_chart(
+                {
+                    "message": row["message_ms"],
+                    "peer": row["peer_ms"],
+                    "ugache": row["ugache_ms"],
+                },
+                unit=" ms",
+            ))
+    for row in result.rows:
+        # Peer beats message (zero-copy saves the buffering passes) and
+        # UGache beats both (§3.2 / Figure 4).
+        assert row["peer_ms"] < row["message_ms"]
+        assert row["ugache_ms"] < row["peer_ms"]

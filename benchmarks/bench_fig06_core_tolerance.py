@@ -1,0 +1,17 @@
+"""Figure 6: per-source bandwidth vs number of participating SMs."""
+
+from repro.bench.experiments import fig6_core_tolerance
+
+
+def bench_fig06_core_tolerance(run_experiment):
+    result = run_experiment(fig6_core_tolerance)
+    by_key = {(r["platform"], r["source"]): r for r in result.rows}
+    # Host saturates with a small fraction of SMs; local needs all of them.
+    for platform in ("server-a", "server-c"):
+        cpu = by_key[(platform, "CPU")]
+        local = by_key[(platform, "Local")]
+        assert cpu["saturation_cores"] <= 0.1 * cpu["total_cores"]
+        assert local["saturation_cores"] >= 0.9 * local["total_cores"]
+    # Switch platform: concurrent readers split the outbound port.
+    seven = by_key[("server-c", "Remote(7 concurrent readers)")]
+    assert seven["plateau_gbps"] < 50

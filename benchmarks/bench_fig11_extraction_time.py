@@ -1,0 +1,12 @@
+"""Figure 11: embedding extraction time per iteration, all systems."""
+
+from repro.bench.experiments import fig11_extraction_time
+from repro.bench.harness import speedup_summary
+
+
+def bench_fig11_extraction_time(run_experiment):
+    result = run_experiment(fig11_extraction_time)
+    for base in ("GNNLab", "RepU", "PartU"):
+        summary = speedup_summary(result.rows, base, "UGache")
+        assert summary["count"] > 0
+        assert summary["geomean"] > 1.0

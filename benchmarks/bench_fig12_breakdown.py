@@ -1,0 +1,34 @@
+"""Figure 12: incremental techniques (PartU → +Policy → UGache)."""
+
+from repro.bench.experiments import fig12_incremental
+from repro.bench.plotting import line_chart
+
+
+def bench_fig12_breakdown(run_experiment, capsys):
+    result = run_experiment(fig12_incremental)
+    with capsys.disabled():
+        for dataset in ("pa", "cf"):
+            rows = [r for r in result.rows if r["dataset"] == dataset]
+            print(f"\n[{dataset}]")
+            print(line_chart(
+                [r["cache_ratio_pct"] for r in rows],
+                {
+                    "RepU": [r["RepU_ms"] for r in rows],
+                    "PartU": [r["PartU_ms"] for r in rows],
+                    "+Policy": [r["plus_policy_ms"] for r in rows],
+                    "UGache": [r["UGache_ms"] for r in rows],
+                },
+                x_label="cache ratio %",
+                y_label="extraction ms",
+            ))
+    for row in result.rows:
+        # Each incremental technique helps (or at worst is neutral).
+        assert row["plus_policy_ms"] <= row["PartU_ms"] * 1.05
+        assert row["UGache_ms"] <= row["plus_policy_ms"] * 1.01
+    # At low cache ratio the mechanism dominates; at high ratio the policy
+    # does (§8.3): the policy-only gain grows with the cache ratio.
+    pa = [r for r in result.rows if r["dataset"] == "pa"]
+    low, high = pa[0], pa[-1]
+    gain_low = low["PartU_ms"] / low["plus_policy_ms"]
+    gain_high = high["PartU_ms"] / high["plus_policy_ms"]
+    assert gain_high > gain_low

@@ -1,0 +1,13 @@
+"""Figure 13: PCIe/NVLink utilization with and without FEM."""
+
+from repro.bench.experiments import fig13_link_utilization
+
+
+def bench_fig13_link_utilization(run_experiment):
+    result = run_experiment(fig13_link_utilization)
+    for row in result.rows:
+        assert row["pcie_w_fem_pct"] >= row["pcie_wo_fem_pct"]
+        assert row["nvlink_w_fem_pct"] >= row["nvlink_wo_fem_pct"]
+    # Average improvement is material (paper: PCIe ×1.91, NVLink ×3.47).
+    ratios = [r["pcie_w_fem_pct"] / max(r["pcie_wo_fem_pct"], 1e-9) for r in result.rows]
+    assert sum(ratios) / len(ratios) > 1.5

@@ -1,0 +1,18 @@
+"""Figure 14: local/remote/host access split per policy vs cache ratio."""
+
+from repro.bench.experiments import fig14_access_split
+
+
+def bench_fig14_access_split(run_experiment):
+    result = run_experiment(fig14_access_split)
+    rows = {(r["dataset"], r["cache_ratio_pct"], r["policy"]): r for r in result.rows}
+    # PA at a generous ratio: UGache recovers replication-level local hit
+    # while keeping partition-level global hit (§8.5, Figure 14 top).
+    partu = rows[("pa", 8.0, "PartU")]
+    ugache = rows[("pa", 8.0, "UGache")]
+    assert ugache["local_pct"] > 5 * partu["local_pct"]
+    assert ugache["host_pct"] < 10
+    # CF (low skew): UGache stays close to partition at small ratios.
+    partu_cf = rows[("cf", 4.0, "PartU")]
+    ugache_cf = rows[("cf", 4.0, "UGache")]
+    assert abs(ugache_cf["local_pct"] - partu_cf["local_pct"]) < 10

@@ -1,0 +1,18 @@
+"""Figure 15: per-source extraction time per policy vs cache ratio."""
+
+from repro.bench.experiments import fig15_time_split
+
+
+def bench_fig15_time_split(run_experiment):
+    result = run_experiment(fig15_time_split)
+    rows = {(r["dataset"], r["cache_ratio_pct"], r["policy"]): r for r in result.rows}
+    # PA at 8%: trading remote for local time wins ~2× over partition
+    # (§8.5 reports 2.0×).
+    assert (
+        rows[("pa", 8.0, "UGache")]["total_ms"]
+        < rows[("pa", 8.0, "PartU")]["total_ms"] / 1.5
+    )
+    # Replication stays host-bound on CF at every ratio.
+    for ratio in (2.0, 8.0, 12.0):
+        row = rows[("cf", ratio, "RepU")]
+        assert row["host_ms"] > row["local_ms"]

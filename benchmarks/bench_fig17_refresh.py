@@ -1,0 +1,12 @@
+"""Figure 17: inference latency timeline during cache refresh."""
+
+from repro.bench.experiments import fig17_refresh
+
+
+def bench_fig17_refresh(run_experiment):
+    result = run_experiment(fig17_refresh)
+    assert len(result.rows) == 2  # refreshes at ~40 s and ~150 s
+    for row in result.rows:
+        # §7.2 / §8.6: bounded foreground impact, tens-of-seconds duration.
+        assert row["impact_pct"] <= 10.5
+        assert row["duration_s"] < 60

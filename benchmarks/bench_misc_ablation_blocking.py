@@ -1,0 +1,14 @@
+"""Ablation: log-scale coarse/fine blocking vs uniform blocking."""
+
+from repro.bench.experiments import ablation_blocking
+
+
+def bench_misc_ablation_blocking(run_experiment):
+    result = run_experiment(ablation_blocking)
+    rows = {r["strategy"]: r for r in result.rows}
+    paper = rows["log-scale coarse/fine (paper)"]
+    uniform = rows["uniform 64 blocks"]
+    # The paper's blocking must not lose to coarse uniform blocking, while
+    # staying comfortably under the §6.3 block budget.
+    assert paper["est_ms"] <= uniform["est_ms"] * 1.02
+    assert paper["blocks"] < 1000

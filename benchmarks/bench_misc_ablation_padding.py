@@ -1,0 +1,10 @@
+"""Ablation: FEM's local-extraction padding (§5.3)."""
+
+from repro.bench.experiments import ablation_padding
+
+
+def bench_misc_ablation_padding(run_experiment):
+    result = run_experiment(ablation_padding)
+    for row in result.rows:
+        assert row["speedup"] >= 1.0  # padding never hurts
+    assert any(row["speedup"] > 1.05 for row in result.rows)

@@ -1,0 +1,10 @@
+"""Invariant: the analytic models match independent discrete simulation."""
+
+from repro.bench.experiments import misc_event_sim_agreement
+
+
+def bench_misc_event_sim(run_experiment):
+    result = run_experiment(misc_event_sim_agreement)
+    for row in result.rows:
+        assert row["factored_err_pct"] < 12.0
+        assert row["naive_err_pct"] < 30.0

@@ -1,0 +1,16 @@
+"""Extension: solved policies on platforms beyond the paper's testbeds."""
+
+from repro.bench.experiments import misc_generalization
+
+
+def bench_misc_generalization(run_experiment):
+    result = run_experiment(misc_generalization)
+    rows = {r["platform"]: r for r in result.rows}
+    # With no NVLink there is nothing to partition for: pure replication.
+    assert rows["pcie-only-4gpu"]["replication_factor"] > 3.5
+    # Thin 16-way switch shares push the solver toward more replication
+    # than the paper's 8-way switch box.
+    assert rows["dgx2"]["replication_factor"] >= rows["server-c"]["replication_factor"] * 0.9
+    # And the solved policy never loses to either heuristic anywhere.
+    for row in result.rows:
+        assert row["ugache_ms"] <= min(row["replication_ms"], row["partition_ms"]) * 1.05

@@ -1,0 +1,12 @@
+"""Invariant: the solver optimizes the objective the simulator prices."""
+
+from repro.bench.experiments import misc_model_agreement
+
+
+def bench_misc_model_agreement(run_experiment):
+    result = run_experiment(misc_model_agreement)
+    errors = [abs(r["rel_error_pct"]) for r in result.rows]
+    assert sum(errors) / len(errors) < 15.0
+    # The worst cells are tiny-capacity configs where realizing fractional
+    # blocks quantizes hard; bounded, not tight.
+    assert max(errors) < 80.0

@@ -1,0 +1,12 @@
+"""§6.3 scale: block counts, MILP size, solve time, LP-vs-MILP gap."""
+
+from repro.bench.experiments import misc_solver_scale
+
+
+def bench_misc_solver_scale(run_experiment):
+    result = run_experiment(misc_solver_scale)
+    for row in result.rows:
+        # §6.3: blocking keeps the problem below ~1k blocks and solves in
+        # seconds (paper: ~10 s with Gurobi at full scale).
+        assert row["blocks"] < 1000
+        assert row["solve_s"] < 60

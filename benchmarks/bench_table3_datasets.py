@@ -1,0 +1,11 @@
+"""Table 3: dataset inventory (stand-ins with scale factors)."""
+
+from repro.bench.experiments import table3_datasets
+
+
+def bench_table3_datasets(run_experiment):
+    result = run_experiment(table3_datasets)
+    keys = {row["dataset"] for row in result.rows}
+    assert keys == {"pa", "cf", "mag", "cr", "syn-a", "syn-b"}
+    for row in result.rows:
+        assert row["volume_mb"] > 0

@@ -1,0 +1,29 @@
+"""Shared helpers for the per-figure benchmark scripts.
+
+Every benchmark runs one experiment driver exactly once under
+pytest-benchmark (the drivers are deterministic, minutes-scale sweeps — not
+microbenchmarks) and prints the reproduced table/figure rows uncaptured so
+they land in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, render_table
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment driver once, print its table, return its result."""
+
+    def runner(driver, *args, **kwargs) -> ExperimentResult:
+        result = benchmark.pedantic(
+            driver, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(render_table(result))
+        return result
+
+    return runner

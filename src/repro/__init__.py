@@ -1,0 +1,54 @@
+"""UGache reproduction: a unified multi-GPU cache for embedding-based DL.
+
+Reimplements the system of *"UGACHE: A Unified GPU Cache for Embedding-based
+Deep Learning"* (SOSP 2023) in pure Python over a simulated multi-GPU
+substrate.  See ``DESIGN.md`` for the substitution rationale and
+``EXPERIMENTS.md`` for the reproduced tables and figures.
+
+Quick start::
+
+    import numpy as np
+    from repro import hardware, UGacheEmbeddingLayer, EmbeddingLayerConfig
+
+    platform = hardware.server_c()
+    table = np.random.default_rng(0).standard_normal((100_000, 128)).astype("float32")
+    hotness = np.random.default_rng(1).zipf(1.4, 100_000)  # any access-frequency estimate
+    layer = UGacheEmbeddingLayer(
+        platform, table, hotness, EmbeddingLayerConfig(cache_ratio=0.1)
+    )
+    values = layer.lookup(gpu=0, keys=np.array([3, 1, 4]))
+"""
+
+from repro.core import (
+    EmbeddingLayerConfig,
+    MultiGpuEmbeddingCache,
+    Placement,
+    SolvedPolicy,
+    SolverConfig,
+    UGacheEmbeddingLayer,
+    solve_policy,
+)
+from repro.hardware import HOST, Platform, server_a, server_b, server_c
+from repro.sim import BatchReport, GpuDemand, Mechanism, simulate_batch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "EmbeddingLayerConfig",
+    "MultiGpuEmbeddingCache",
+    "Placement",
+    "SolvedPolicy",
+    "SolverConfig",
+    "UGacheEmbeddingLayer",
+    "solve_policy",
+    "HOST",
+    "Platform",
+    "server_a",
+    "server_b",
+    "server_c",
+    "BatchReport",
+    "GpuDemand",
+    "Mechanism",
+    "simulate_batch",
+]

@@ -1,0 +1,43 @@
+"""Baseline systems of §8.1, plus UGache behind the same interface."""
+
+from repro.baselines.lru import LruCache, LruStats, steady_state_overlap
+from repro.baselines.base import (
+    EmbCacheSystem,
+    SystemContext,
+    SystemResult,
+    UnsupportedConfiguration,
+    evaluate_system,
+)
+from repro.baselines.systems import (
+    DLR_SYSTEMS,
+    GNN_SYSTEMS,
+    ISOLATION_SYSTEMS,
+    GnnLabSystem,
+    HpsSystem,
+    PartUSystem,
+    RepUSystem,
+    SokSystem,
+    UGacheSystem,
+    WholeGraphSystem,
+)
+
+__all__ = [
+    "LruCache",
+    "LruStats",
+    "steady_state_overlap",
+    "EmbCacheSystem",
+    "SystemContext",
+    "SystemResult",
+    "UnsupportedConfiguration",
+    "evaluate_system",
+    "DLR_SYSTEMS",
+    "GNN_SYSTEMS",
+    "ISOLATION_SYSTEMS",
+    "GnnLabSystem",
+    "HpsSystem",
+    "PartUSystem",
+    "RepUSystem",
+    "SokSystem",
+    "UGacheSystem",
+    "WholeGraphSystem",
+]

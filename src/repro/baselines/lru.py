@@ -1,0 +1,175 @@
+"""An actual online LRU embedding cache — the HPS baseline's machinery.
+
+HPS [43] maintains its per-GPU cache with LRU eviction updated on every
+lookup.  The paper's comparison attributes part of UGache's win over HPS
+to exactly this bookkeeping ("static design with no online eviction
+cost"), so the baseline deserves a real implementation, not just a cost
+constant:
+
+* :class:`LruCache` — an O(1) LRU over embedding keys with hit/miss/evict
+  accounting (doubly linked list over a dict, as the real cache does on
+  GPU with a lock-free variant);
+* :func:`steady_state_overlap` — measures how closely LRU steady-state
+  content matches the frequency-top-K set under a static skewed workload,
+  which is the modelling assumption behind
+  :class:`repro.baselines.systems.HpsSystem` using a replication placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class _Node:
+    __slots__ = ("key", "prev", "next")
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+        self.prev: _Node | None = None
+        self.next: _Node | None = None
+
+
+@dataclass
+class LruStats:
+    """Counters accumulated by an :class:`LruCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class LruCache:
+    """Least-recently-used cache over integer keys with O(1) operations."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self._capacity = capacity
+        self._nodes: dict[int, _Node] = {}
+        self._head: _Node | None = None  # most recently used
+        self._tail: _Node | None = None  # least recently used
+        self.stats = LruStats()
+
+    # ------------------------------------------------------------------
+    # Intrusive list plumbing
+    # ------------------------------------------------------------------
+    def _unlink(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+        node.prev = node.next = None
+
+    def _push_front(self, node: _Node) -> None:
+        node.next = self._head
+        node.prev = None
+        if self._head is not None:
+            self._head.prev = node
+        self._head = node
+        if self._tail is None:
+            self._tail = node
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._nodes
+
+    def access(self, key: int) -> bool:
+        """Touch one key; returns True on hit.
+
+        A miss inserts the key, evicting the LRU entry when full (the
+        real cache simultaneously fetches the entry from host memory).
+        """
+        node = self._nodes.get(key)
+        if node is not None:
+            self.stats.hits += 1
+            if node is not self._head:
+                self._unlink(node)
+                self._push_front(node)
+            return True
+        self.stats.misses += 1
+        if self._capacity == 0:
+            return False
+        if len(self._nodes) >= self._capacity:
+            lru = self._tail
+            assert lru is not None
+            self._unlink(lru)
+            del self._nodes[lru.key]
+            self.stats.evictions += 1
+        node = _Node(key)
+        self._nodes[key] = node
+        self._push_front(node)
+        return False
+
+    def access_batch(self, keys: np.ndarray) -> int:
+        """Touch a key batch in order; returns the number of hits."""
+        hits = 0
+        for key in np.asarray(keys).ravel():
+            if self.access(int(key)):
+                hits += 1
+        return hits
+
+    def contents(self) -> np.ndarray:
+        """Currently cached keys, most recently used first."""
+        out = np.empty(len(self._nodes), dtype=np.int64)
+        node = self._head
+        i = 0
+        while node is not None:
+            out[i] = node.key
+            node = node.next
+            i += 1
+        return out
+
+    def recency_order(self) -> list[int]:
+        return self.contents().tolist()
+
+
+def steady_state_overlap(
+    cache: LruCache,
+    hotness: np.ndarray,
+    batch_size: int,
+    warmup_batches: int,
+    seed: int = 0,
+) -> float:
+    """Fraction of the LRU's steady-state content in the frequency top-K.
+
+    Drives ``warmup_batches`` of iid draws from the (normalized) hotness
+    distribution through the cache, then compares its content against the
+    hottest ``capacity`` entries.  Under a static skewed distribution this
+    overlap is high — the justification for modelling HPS's placement as
+    a frequency-based replication cache (§8.1).
+    """
+    hotness = np.asarray(hotness, dtype=np.float64)
+    probs = hotness / hotness.sum()
+    rng = np.random.default_rng(seed)
+    for _ in range(warmup_batches):
+        cache.access_batch(rng.choice(len(probs), size=batch_size, p=probs))
+    content = set(cache.contents().tolist())
+    if not content:
+        return 0.0
+    top = set(np.argsort(-hotness)[: cache.capacity].tolist())
+    return len(content & top) / len(content)

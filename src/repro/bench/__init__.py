@@ -1,0 +1,33 @@
+"""Benchmark harness: experiment drivers for every paper table/figure."""
+
+from repro.bench.contexts import (
+    DLR_BATCH_SIZE,
+    DLR_MODELS,
+    GNN_BATCH_SIZE,
+    GNN_MODES,
+    DlrCell,
+    GnnCell,
+    dlr_cell,
+    gnn_cell,
+    platform_by_name,
+)
+from repro.bench.harness import ExperimentResult, render_table, speedup_summary
+from repro.bench.validation import AgreementReport, AgreementSample, validate_model_agreement
+
+__all__ = [
+    "DLR_BATCH_SIZE",
+    "DLR_MODELS",
+    "GNN_BATCH_SIZE",
+    "GNN_MODES",
+    "DlrCell",
+    "GnnCell",
+    "dlr_cell",
+    "gnn_cell",
+    "platform_by_name",
+    "ExperimentResult",
+    "AgreementReport",
+    "AgreementSample",
+    "validate_model_agreement",
+    "render_table",
+    "speedup_summary",
+]

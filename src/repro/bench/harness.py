@@ -1,0 +1,95 @@
+"""Benchmark result containers and plain-text table rendering.
+
+Every figure/table driver in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentResult` — a titled list of uniform row dicts — which the
+``benchmarks/`` scripts render with :func:`render_table` so each bench
+prints the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.stats import geometric_mean
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: title + uniform rows (+ free-form notes)."""
+
+    experiment: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def columns(self) -> list[str]:
+        cols: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def series(self, key: str) -> list[Any]:
+        return [row.get(key) for row in self.rows]
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "✗"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    lines = [f"== {result.experiment}: {result.title} =="]
+    cols = result.columns()
+    if cols:
+        cells = [[_format_cell(row.get(c)) for c in cols] for row in result.rows]
+        widths = [
+            max(len(c), *(len(r[i]) for r in cells)) if cells else len(c)
+            for i, c in enumerate(cols)
+        ]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row_cells in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def speedup_summary(
+    rows: list[dict[str, Any]], baseline_key: str, target_key: str
+) -> dict[str, float]:
+    """Geometric-mean and max speedup of target over baseline across rows.
+
+    Rows with a missing side (unsupported configuration) are skipped, as
+    the paper's averages do.
+    """
+    ratios = []
+    for row in rows:
+        base = row.get(baseline_key)
+        target = row.get(target_key)
+        if base is None or target is None or target <= 0:
+            continue
+        ratios.append(base / target)
+    if not ratios:
+        return {"geomean": float("nan"), "max": float("nan"), "count": 0}
+    return {
+        "geomean": geometric_mean(ratios),
+        "max": max(ratios),
+        "count": len(ratios),
+    }

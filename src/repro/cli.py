@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Sub-commands:
+
+* ``platforms`` — describe the modelled testbeds (topology, bandwidths,
+  tolerances);
+* ``solve`` — run the cache-policy solver on a synthetic Zipf workload and
+  print the placement summary and Figure-8 Gantt chart;
+* ``experiment`` — run one of the paper's table/figure drivers by id
+  (``fig2``, ``fig10``, ``table1``, …) and print its rows;
+* ``list-experiments`` — enumerate available experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.bench import experiments as _experiments
+from repro.bench.harness import ExperimentResult, render_table
+
+#: Experiment id → driver.  Kept explicit so ``--help`` is self-documenting.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": _experiments.table1_breakdown,
+    "fig2": _experiments.fig2_policy_motivation,
+    "fig4": _experiments.fig4_mechanism_motivation,
+    "fig6": _experiments.fig6_core_tolerance,
+    "fig10": _experiments.fig10_end_to_end,
+    "fig11": _experiments.fig11_extraction_time,
+    "fig12": _experiments.fig12_incremental,
+    "fig13": _experiments.fig13_link_utilization,
+    "fig14": _experiments.fig14_access_split,
+    "fig15": _experiments.fig15_time_split,
+    "fig16": _experiments.fig16_vs_optimal,
+    "fig17": _experiments.fig17_refresh,
+    "table3": _experiments.table3_datasets,
+    "solver-scale": _experiments.misc_solver_scale,
+    "ablation-padding": _experiments.ablation_padding,
+    "ablation-blocking": _experiments.ablation_blocking,
+}
+
+
+def _cmd_platforms(args: argparse.Namespace) -> int:
+    from repro.hardware import PRESETS, tolerance_curves
+
+    for name, factory in PRESETS.items():
+        platform = factory()
+        print(f"{name}: {platform.num_gpus}x {platform.gpu.name} "
+              f"({platform.topology.kind.value}), "
+              f"PCIe {platform.pcie_bandwidth / 1e9:.0f} GB/s")
+        for curve in tolerance_curves(platform, dst=0):
+            print(f"  {curve.source_label:22s} "
+                  f"{curve.plateau_bandwidth / 1e9:6.1f} GB/s "
+                  f"@ {curve.saturation_cores}/{platform.gpu.num_cores} SMs")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.bench.contexts import platform_by_name
+    from repro.core.evaluate import expected_demands, hit_rates
+    from repro.core.solver import SolverConfig, solve_policy
+    from repro.sim.trace import trace_factored
+    from repro.utils.stats import zipf_pmf
+
+    platform = platform_by_name(args.platform)
+    hotness = zipf_pmf(args.entries, args.alpha) * args.batch_keys
+    capacity = int(args.cache_ratio * args.entries)
+    solved = solve_policy(
+        platform,
+        hotness,
+        capacity,
+        args.entry_bytes,
+        SolverConfig(coarse_block_frac=args.coarse_frac),
+    )
+    placement = solved.realize()
+    hits = hit_rates(platform, placement, hotness)
+    print(f"solved in {solved.solve_seconds:.2f}s: "
+          f"{solved.blocks.num_blocks} blocks, "
+          f"{solved.num_variables} variables")
+    print(f"estimated extraction time: {solved.est_time * 1e3:.4f} ms/iteration")
+    print(f"replication factor: {placement.replication_factor():.2f}; "
+          f"hit rates: local {hits.local:.1%} / remote {hits.remote:.1%} / "
+          f"host {hits.host:.1%}")
+    demand = expected_demands(platform, placement, hotness, args.entry_bytes)[0]
+    print()
+    print(trace_factored(platform, demand).gantt())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    driver = EXPERIMENTS.get(args.id)
+    if driver is None:
+        print(f"unknown experiment {args.id!r}; "
+              f"try: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    result = driver()
+    print(render_table(result))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in EXPERIMENTS:
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UGache (SOSP 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("platforms", help="describe the modelled testbeds")
+    p.set_defaults(func=_cmd_platforms)
+
+    p = sub.add_parser("solve", help="solve a cache policy for a Zipf workload")
+    p.add_argument("--platform", default="server-c",
+                   choices=["server-a", "server-b", "server-c"])
+    p.add_argument("--entries", type=int, default=50_000)
+    p.add_argument("--alpha", type=float, default=1.2,
+                   help="Zipf skew of the access distribution")
+    p.add_argument("--cache-ratio", type=float, default=0.08,
+                   help="per-GPU capacity as a fraction of all entries")
+    p.add_argument("--entry-bytes", type=int, default=512)
+    p.add_argument("--batch-keys", type=float, default=100_000,
+                   help="expected keys per batch per GPU")
+    p.add_argument("--coarse-frac", type=float, default=0.01,
+                   help="coarse blocking cap (paper: 0.005)")
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("experiment", help="run one paper table/figure driver")
+    p.add_argument("id", help="experiment id, e.g. fig2, fig10, table1")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("list-experiments", help="list experiment ids")
+    p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

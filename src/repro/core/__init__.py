@@ -1,0 +1,124 @@
+"""UGache's core: hotness, blocking, MILP policy solver, cache, extractor.
+
+The primary contribution of the paper lives here — everything else in the
+library is substrate (hardware model, workloads, baselines) or glue.
+"""
+
+from repro.core.blocks import BlockSet, build_blocks, build_uniform_blocks, per_entry_blocks
+from repro.core.cache import LookupResult, MultiGpuEmbeddingCache
+from repro.core.embedding_layer import EmbeddingLayerConfig, UGacheEmbeddingLayer
+from repro.core.evaluate import (
+    HitRates,
+    demand_from_keys,
+    evaluate_placement,
+    expected_demands,
+    hit_rates,
+    resolve_sources,
+)
+from repro.core.extractor import ExtractionPlan, FactoredExtractor, SourceGroup
+from repro.core.filler import (
+    GpuCacheStore,
+    PlacementDiff,
+    apply_diff_step,
+    fill_all,
+    fill_gpu,
+    placement_diff,
+)
+from repro.core.location_table import LocationTable, pack_location, unpack_location
+from repro.core.serialization import (
+    load_placement,
+    load_policy_summary,
+    policy_summary,
+    save_placement,
+    save_policy_summary,
+)
+from repro.core.hotness import (
+    HotnessTracker,
+    degree_hotness,
+    hotness_skew,
+    presample_hotness,
+)
+from repro.core.optimal import MAX_OPTIMAL_ENTRIES, approximation_gap, solve_optimal
+from repro.core.planner import CapacityPlan, PlanStep, plan_capacity
+from repro.core.policy import (
+    Placement,
+    clique_partition_policy,
+    empty_placement,
+    hot_replicate_warm_partition_policy,
+    partition_policy,
+    replication_policy,
+)
+from repro.core.refresher import (
+    RefreshConfig,
+    RefreshOutcome,
+    Refresher,
+    RefreshTimeline,
+    simulate_refresh_timeline,
+)
+from repro.core.solver import (
+    PolicySolveError,
+    SolvedPolicy,
+    SolverConfig,
+    dedication_ratios,
+    solve_policy,
+)
+
+__all__ = [
+    "LocationTable",
+    "pack_location",
+    "unpack_location",
+    "load_placement",
+    "load_policy_summary",
+    "policy_summary",
+    "save_placement",
+    "save_policy_summary",
+    "CapacityPlan",
+    "PlanStep",
+    "plan_capacity",
+    "BlockSet",
+    "build_blocks",
+    "build_uniform_blocks",
+    "per_entry_blocks",
+    "LookupResult",
+    "MultiGpuEmbeddingCache",
+    "EmbeddingLayerConfig",
+    "UGacheEmbeddingLayer",
+    "HitRates",
+    "demand_from_keys",
+    "evaluate_placement",
+    "expected_demands",
+    "hit_rates",
+    "resolve_sources",
+    "ExtractionPlan",
+    "FactoredExtractor",
+    "SourceGroup",
+    "GpuCacheStore",
+    "PlacementDiff",
+    "apply_diff_step",
+    "fill_all",
+    "fill_gpu",
+    "placement_diff",
+    "HotnessTracker",
+    "degree_hotness",
+    "hotness_skew",
+    "presample_hotness",
+    "MAX_OPTIMAL_ENTRIES",
+    "approximation_gap",
+    "solve_optimal",
+    "Placement",
+    "clique_partition_policy",
+    "empty_placement",
+    "hot_replicate_warm_partition_policy",
+    "partition_policy",
+    "replication_policy",
+    "RefreshConfig",
+    "RefreshOutcome",
+    "Refresher",
+    "RefreshTimeline",
+    "simulate_refresh_timeline",
+    "PolicySolveError",
+    "SolvedPolicy",
+    "SolverConfig",
+    "dedication_ratios",
+    "solve_policy",
+]

@@ -1,0 +1,179 @@
+"""The unified multi-GPU embedding cache (§4): storage + location hashtable.
+
+:class:`MultiGpuEmbeddingCache` is the runtime object the embedding layer
+wraps.  It owns:
+
+* the host-resident embedding table (the fallback location);
+* one :class:`~repro.core.filler.GpuCacheStore` per GPU;
+* the per-GPU *location table* — the paper's hashtable mapping each entry
+  to ``<GPU_i, Offset>`` — derived by
+  :func:`~repro.core.evaluate.resolve_sources`.
+
+Lookups are functionally exact (values are gathered from the actual stores,
+never recomputed), and every lookup also yields the byte volumes the
+simulator needs to price the extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluate import demand_from_keys, resolve_sources
+from repro.core.filler import GpuCacheStore, fill_all
+from repro.core.policy import Placement
+from repro.hardware.platform import HOST, Platform
+from repro.sim.congestion import CongestionModel
+from repro.sim.engine import BatchReport, simulate_batch
+from repro.sim.mechanisms import GpuDemand, Mechanism
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Values plus provenance for one GPU's batch lookup."""
+
+    values: np.ndarray
+    demand: GpuDemand
+    #: per-key source location (GPU id or HOST)
+    sources: np.ndarray
+
+    @property
+    def local_fraction(self) -> float:
+        if self.sources.size == 0:
+            return 0.0
+        return float((self.sources == self.demand.dst).mean())
+
+    @property
+    def host_fraction(self) -> float:
+        if self.sources.size == 0:
+            return 0.0
+        return float((self.sources == HOST).mean())
+
+
+class MultiGpuEmbeddingCache:
+    """Read-only embedding cache unified across the platform's GPUs."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        table: np.ndarray,
+        placement: Placement,
+        capacity_entries: int | None = None,
+    ) -> None:
+        if table.ndim != 2:
+            raise ValueError("embedding table must be 2-D (entries × dim)")
+        if placement.num_entries != table.shape[0]:
+            raise ValueError("placement does not cover the table")
+        self._platform = platform
+        self._table = table
+        self._placement = placement
+        self._capacity = capacity_entries
+        self._stores: list[GpuCacheStore] = fill_all(table, placement, capacity_entries)
+        self._source_map = resolve_sources(platform, placement)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def platform(self) -> Platform:
+        return self._platform
+
+    @property
+    def placement(self) -> Placement:
+        return self._placement
+
+    @property
+    def num_entries(self) -> int:
+        return self._table.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._table.shape[1]
+
+    @property
+    def entry_bytes(self) -> int:
+        return self.dim * self._table.itemsize
+
+    @property
+    def source_map(self) -> np.ndarray:
+        """The location hashtable: ``(G, N)`` source per (GPU, entry)."""
+        return self._source_map
+
+    def store(self, gpu: int) -> GpuCacheStore:
+        """One GPU's cache store (slot arena + entry→slot map)."""
+        return self._stores[gpu]
+
+    # ------------------------------------------------------------------
+    # Lookup path
+    # ------------------------------------------------------------------
+    def lookup(self, dst: int, keys: np.ndarray) -> LookupResult:
+        """Gather embedding values for one GPU's key batch.
+
+        Values come from the actual cache stores (local slot, remote GPU's
+        slot, or the host table), so tests can verify byte-exactness
+        against ``table[keys]``.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        if keys.size and (keys.min() < 0 or keys.max() >= self.num_entries):
+            raise KeyError("lookup key out of range")
+        sources = self._source_map[dst][keys]
+        values = np.empty((len(keys), self.dim), dtype=self._table.dtype)
+        host_mask = sources == HOST
+        if host_mask.any():
+            values[host_mask] = self._table[keys[host_mask]]
+        for gpu in self._platform.gpu_ids:
+            mask = sources == gpu
+            if mask.any():
+                values[mask] = self._stores[gpu].read(keys[mask])
+        demand = demand_from_keys(
+            self._platform, self._source_map, dst, keys, self.entry_bytes
+        )
+        return LookupResult(values=values, demand=demand, sources=sources)
+
+    def extract_all(
+        self,
+        keys_per_gpu: list[np.ndarray],
+        mechanism: Mechanism = Mechanism.FACTORED,
+        congestion: CongestionModel | None = None,
+    ) -> tuple[list[np.ndarray], BatchReport]:
+        """Data-parallel batch extraction: values + simulated timing.
+
+        ``keys_per_gpu[i]`` is GPU ``i``'s batch.  Returns gathered value
+        arrays in the same order and the batch's :class:`BatchReport`.
+        """
+        if len(keys_per_gpu) != self._platform.num_gpus:
+            raise ValueError(
+                f"need one key batch per GPU ({self._platform.num_gpus})"
+            )
+        results = [self.lookup(i, keys) for i, keys in enumerate(keys_per_gpu)]
+        report = simulate_batch(
+            self._platform,
+            [r.demand for r in results],
+            mechanism=mechanism,
+            congestion=congestion,
+        )
+        return [r.values for r in results], report
+
+    # ------------------------------------------------------------------
+    # Refresh support
+    # ------------------------------------------------------------------
+    def replace_placement(self, placement: Placement) -> None:
+        """Atomically swap in a new placement (full refill).
+
+        The incremental path lives in the Refresher; this is the simple
+        fallback and the post-refresh consistency point: the location
+        table is rebuilt only after all stores match the new placement,
+        mirroring §7.2's update ordering.
+        """
+        if placement.num_entries != self.num_entries:
+            raise ValueError("new placement does not cover the table")
+        self._stores = fill_all(self._table, placement, self._capacity)
+        self._placement = placement
+        self._source_map = resolve_sources(self._platform, placement)
+
+    def refresh_source_map(self) -> None:
+        """Rebuild the location table from the stores' current contents."""
+        per_gpu = tuple(store.cached_entries() for store in self._stores)
+        self._placement = Placement(num_entries=self.num_entries, per_gpu=per_gpu)
+        self._source_map = resolve_sources(self._platform, self._placement)

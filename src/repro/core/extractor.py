@@ -1,0 +1,151 @@
+"""Runtime factored Extractor (§5.3, Figure 8).
+
+The Extractor turns one GPU's key batch into an *extraction plan*: keys
+grouped by source location, cores dedicated per non-local group within link
+tolerance, and the local group scheduled last at low priority to pad ragged
+finishing times.  Executing a plan gathers the actual values (through the
+cache stores) and prices it with the factored timing model, so functional
+correctness and simulated performance come from one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cache import MultiGpuEmbeddingCache
+from repro.hardware.platform import HOST, Platform
+from repro.sim.engine import BatchReport, simulate_batch
+from repro.sim.mechanisms import (
+    GpuDemand,
+    Mechanism,
+    core_dedication,
+    factored_extraction,
+)
+
+
+@dataclass(frozen=True)
+class SourceGroup:
+    """One source's share of a batch: which keys, read from where."""
+
+    source: int
+    #: positions of these keys within the original batch
+    batch_positions: np.ndarray
+    #: the entry ids to read
+    keys: np.ndarray
+    #: slot offsets on the source GPU (empty for HOST, where keys index
+    #: the host table directly)
+    offsets: np.ndarray
+    dedicated_cores: int
+
+
+@dataclass(frozen=True)
+class ExtractionPlan:
+    """A factored plan for one GPU's batch (Figure 8's grouped layout)."""
+
+    dst: int
+    batch_size: int
+    #: non-local groups first (launch order), local group last (low priority)
+    groups: tuple[SourceGroup, ...]
+
+    @property
+    def local_group(self) -> SourceGroup | None:
+        for g in self.groups:
+            if g.source == self.dst:
+                return g
+        return None
+
+    @property
+    def nonlocal_groups(self) -> tuple[SourceGroup, ...]:
+        return tuple(g for g in self.groups if g.source != self.dst)
+
+    def demand(self, entry_bytes: int) -> GpuDemand:
+        return GpuDemand(
+            dst=self.dst,
+            volumes={
+                g.source: float(len(g.keys) * entry_bytes) for g in self.groups
+            },
+        )
+
+
+class FactoredExtractor:
+    """Plans and executes factored extraction over a multi-GPU cache."""
+
+    def __init__(self, cache: MultiGpuEmbeddingCache) -> None:
+        self._cache = cache
+
+    @property
+    def platform(self) -> Platform:
+        return self._cache.platform
+
+    def plan(self, dst: int, keys: np.ndarray) -> ExtractionPlan:
+        """Group a batch by source location and dedicate cores (§5.3)."""
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        sources = self._cache.source_map[dst][keys]
+        present = [int(s) for s in np.unique(sources)]
+        dedication = core_dedication(self.platform, dst, present)
+        groups: list[SourceGroup] = []
+        local_group: SourceGroup | None = None
+        for src in present:
+            positions = np.flatnonzero(sources == src)
+            group_keys = keys[positions]
+            if src == HOST:
+                offsets = np.empty(0, dtype=np.int64)
+            else:
+                offsets = self._cache.store(src).offset_of[group_keys]
+            group = SourceGroup(
+                source=src,
+                batch_positions=positions,
+                keys=group_keys,
+                offsets=offsets,
+                dedicated_cores=(
+                    self.platform.gpu.num_cores
+                    if src == dst
+                    else dedication.get(src, 1)
+                ),
+            )
+            if src == dst:
+                local_group = group
+            else:
+                groups.append(group)
+        # Local extraction is launched last, on a low-priority stream.
+        if local_group is not None:
+            groups.append(local_group)
+        return ExtractionPlan(dst=dst, batch_size=len(keys), groups=tuple(groups))
+
+    def execute(self, plan: ExtractionPlan) -> tuple[np.ndarray, GpuDemand]:
+        """Gather values per the plan; returns (values, priced demand)."""
+        values = np.empty(
+            (plan.batch_size, self._cache.dim), dtype=self._cache.store(0).data.dtype
+        )
+        for group in plan.groups:
+            if group.source == HOST:
+                values[group.batch_positions] = self._cache._table[group.keys]
+            else:
+                store = self._cache.store(group.source)
+                values[group.batch_positions] = store.data[group.offsets]
+        return values, plan.demand(self._cache.entry_bytes)
+
+    def extract(
+        self, keys_per_gpu: list[np.ndarray], local_padding: bool = True
+    ) -> tuple[list[np.ndarray], BatchReport]:
+        """Plan, execute and price one data-parallel batch."""
+        plans = [self.plan(i, keys) for i, keys in enumerate(keys_per_gpu)]
+        outputs = [self.execute(p) for p in plans]
+        report = simulate_batch(
+            self.platform,
+            [demand for _, demand in outputs],
+            mechanism=Mechanism.FACTORED,
+            local_padding=local_padding,
+        )
+        return [values for values, _ in outputs], report
+
+    def price(self, dst: int, keys: np.ndarray, local_padding: bool = True):
+        """Timing-only path for one GPU (no value gathering)."""
+        plan = self.plan(dst, keys)
+        return factored_extraction(
+            self.platform,
+            plan.demand(self._cache.entry_bytes),
+            local_padding=local_padding,
+        )

@@ -1,0 +1,135 @@
+"""Filler: materialize a placement into per-GPU cache storage (§4).
+
+The Filler copies the chosen embedding entries from the host-resident table
+into each GPU's slot arena and produces the offset maps the Extractor's
+hashtable needs (``<GPU_i, Offset>``).  The Refresher reuses the diff
+helpers to evict/insert incrementally without a full refill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policy import Placement
+from repro.hardware.memory import SlotArena
+
+
+@dataclass
+class GpuCacheStore:
+    """One GPU's cache content: a slot arena plus the entry→slot map."""
+
+    gpu: int
+    arena: SlotArena
+    #: dense storage, shape (num_slots, dim)
+    data: np.ndarray
+    #: entry id → slot offset, -1 if not cached
+    offset_of: np.ndarray
+
+    def cached_entries(self) -> np.ndarray:
+        return np.flatnonzero(self.offset_of >= 0)
+
+    def insert(self, entry: int, values: np.ndarray) -> int:
+        """Cache one entry; returns its slot offset."""
+        if self.offset_of[entry] >= 0:
+            raise ValueError(f"entry {entry} already cached on GPU {self.gpu}")
+        slot = self.arena.allocate()
+        self.data[slot] = values
+        self.offset_of[entry] = slot
+        return slot
+
+    def evict(self, entry: int) -> None:
+        """Drop one entry, freeing its slot."""
+        slot = int(self.offset_of[entry])
+        if slot < 0:
+            raise ValueError(f"entry {entry} not cached on GPU {self.gpu}")
+        self.arena.free(slot)
+        self.offset_of[entry] = -1
+
+    def read(self, entries: np.ndarray) -> np.ndarray:
+        """Gather cached values for ``entries`` (all must be cached)."""
+        slots = self.offset_of[entries]
+        if (slots < 0).any():
+            missing = np.asarray(entries)[slots < 0][:5]
+            raise KeyError(f"entries not cached on GPU {self.gpu}: {missing}...")
+        return self.data[slots]
+
+
+def fill_gpu(
+    gpu: int,
+    table: np.ndarray,
+    entry_ids: np.ndarray,
+    capacity_entries: int | None = None,
+) -> GpuCacheStore:
+    """Build one GPU's cache store holding ``entry_ids`` from ``table``."""
+    num_entries, dim = table.shape
+    capacity = capacity_entries if capacity_entries is not None else len(entry_ids)
+    if len(entry_ids) > capacity:
+        raise ValueError(
+            f"GPU {gpu}: {len(entry_ids)} entries exceed capacity {capacity}"
+        )
+    slot_bytes = dim * table.itemsize
+    arena = SlotArena(capacity * slot_bytes, slot_bytes)
+    data = np.zeros((capacity, dim), dtype=table.dtype)
+    offset_of = np.full(num_entries, -1, dtype=np.int64)
+    if len(entry_ids):
+        slots = np.asarray(arena.allocate_many(len(entry_ids)))
+        data[slots] = table[entry_ids]
+        offset_of[entry_ids] = slots
+    return GpuCacheStore(gpu=gpu, arena=arena, data=data, offset_of=offset_of)
+
+
+def fill_all(
+    table: np.ndarray,
+    placement: Placement,
+    capacity_entries: int | None = None,
+) -> list[GpuCacheStore]:
+    """Fill every GPU's cache according to ``placement``."""
+    if placement.num_entries != table.shape[0]:
+        raise ValueError("placement and table disagree on the entry universe")
+    return [
+        fill_gpu(i, table, ids, capacity_entries)
+        for i, ids in enumerate(placement.per_gpu)
+    ]
+
+
+@dataclass(frozen=True)
+class PlacementDiff:
+    """Per-GPU evictions and insertions to move between two placements."""
+
+    evictions: tuple[np.ndarray, ...]
+    insertions: tuple[np.ndarray, ...]
+
+    def total_changes(self) -> int:
+        return int(
+            sum(len(e) for e in self.evictions) + sum(len(a) for a in self.insertions)
+        )
+
+
+def placement_diff(old: Placement, new: Placement) -> PlacementDiff:
+    """Entries each GPU must evict / insert to reach ``new`` from ``old``."""
+    if old.num_gpus != new.num_gpus or old.num_entries != new.num_entries:
+        raise ValueError("placements are not comparable")
+    evictions = []
+    insertions = []
+    for old_ids, new_ids in zip(old.per_gpu, new.per_gpu):
+        old_set = np.asarray(old_ids)
+        new_set = np.asarray(new_ids)
+        evictions.append(np.setdiff1d(old_set, new_set))
+        insertions.append(np.setdiff1d(new_set, old_set))
+    return PlacementDiff(evictions=tuple(evictions), insertions=tuple(insertions))
+
+
+def apply_diff_step(
+    store: GpuCacheStore,
+    table: np.ndarray,
+    evict: np.ndarray,
+    insert: np.ndarray,
+) -> None:
+    """Apply one small-batch update on one GPU (evictions before insertions,
+    so slots recycle and capacity is never exceeded mid-refresh)."""
+    for entry in np.asarray(evict):
+        store.evict(int(entry))
+    for entry in np.asarray(insert):
+        store.insert(int(entry), table[int(entry)])

@@ -1,0 +1,209 @@
+"""The per-GPU location hashtable of §4: key → ``<GPU_i, Offset>``.
+
+The real UGache coordinates Extractor and Solver/Filler through a GPU
+hashtable mapping each embedding key to its source location and slot
+offset.  This module implements that structure faithfully — an
+open-addressing (linear-probing) table over packed 64-bit slots — rather
+than the dense arrays the rest of the library uses for convenience, so the
+lookup-path semantics (probe sequences, tombstone-free deletes, load
+limits) can be tested and its memory/probe trade-offs measured.
+
+Packing: ``[16 bits source | 48 bits offset]`` with source biased by 1 so
+that host (:data:`~repro.hardware.platform.HOST` = -1) packs to 0.
+Vectorized batch lookups keep it usable at workload scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.platform import HOST
+
+_EMPTY_KEY = np.int64(-1)
+_OFFSET_BITS = 48
+_OFFSET_MASK = (np.int64(1) << _OFFSET_BITS) - 1
+
+
+def pack_location(source: int, offset: int) -> np.int64:
+    """Pack ``(source, offset)`` into one int64 slot value."""
+    if source < HOST or source > 2**15 - 2:
+        raise ValueError(f"source {source} out of packable range")
+    if not 0 <= offset < 2**_OFFSET_BITS:
+        raise ValueError(f"offset {offset} out of packable range")
+    return (np.int64(source + 1) << _OFFSET_BITS) | np.int64(offset)
+
+
+def unpack_location(packed: np.int64) -> tuple[int, int]:
+    """Inverse of :func:`pack_location`."""
+    return int(packed >> _OFFSET_BITS) - 1, int(packed & _OFFSET_MASK)
+
+
+class LocationTable:
+    """Open-addressing hashtable: embedding key → packed location.
+
+    Linear probing with a power-of-two capacity and a bounded load factor
+    (default 0.7), matching what a GPU-resident table uses (probing is
+    branch-light and coalescing-friendly).  Deletion uses backward-shift
+    compaction, so lookups never traverse tombstones — the property that
+    keeps worst-case probe lengths bounded after many refresh cycles.
+    """
+
+    def __init__(self, expected_entries: int, max_load: float = 0.7) -> None:
+        if expected_entries < 0:
+            raise ValueError("expected_entries must be non-negative")
+        if not 0.1 <= max_load < 1.0:
+            raise ValueError("max_load must be in [0.1, 1.0)")
+        capacity = 8
+        while capacity * max_load < max(expected_entries, 1):
+            capacity *= 2
+        self._capacity = capacity
+        self._mask = capacity - 1
+        self._max_load = max_load
+        self._keys = np.full(capacity, _EMPTY_KEY, dtype=np.int64)
+        self._values = np.zeros(capacity, dtype=np.int64)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def load_factor(self) -> float:
+        return self._size / self._capacity
+
+    def _slot(self, key: int) -> int:
+        # Fibonacci hashing spreads sequential ids well; plain Python ints
+        # avoid numpy's unsigned-overflow warnings.
+        hashed = (key * 11400714819323198485) & 0xFFFFFFFFFFFFFFFF
+        return (hashed >> (64 - self._capacity.bit_length() + 1)) & self._mask
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: int, source: int, offset: int) -> None:
+        """Insert or overwrite one key's location."""
+        if key < 0:
+            raise ValueError("keys must be non-negative")
+        if (self._size + 1) / self._capacity > self._max_load:
+            self._grow()
+        packed = pack_location(source, offset)
+        slot = self._slot(key)
+        while True:
+            existing = self._keys[slot]
+            if existing == _EMPTY_KEY:
+                self._keys[slot] = key
+                self._values[slot] = packed
+                self._size += 1
+                return
+            if existing == key:
+                self._values[slot] = packed
+                return
+            slot = (slot + 1) & self._mask
+
+    def remove(self, key: int) -> bool:
+        """Delete one key; returns False if absent.
+
+        Uses backward-shift deletion: subsequent probe-chain entries are
+        relocated so no tombstones accumulate.
+        """
+        slot = self._slot(key)
+        while True:
+            existing = self._keys[slot]
+            if existing == _EMPTY_KEY:
+                return False
+            if existing == key:
+                break
+            slot = (slot + 1) & self._mask
+        # Backward-shift the rest of the cluster.
+        hole = slot
+        probe = (slot + 1) & self._mask
+        while self._keys[probe] != _EMPTY_KEY:
+            ideal = self._slot(int(self._keys[probe]))
+            distance_probe = (probe - ideal) & self._mask
+            distance_hole = (probe - hole) & self._mask
+            if distance_probe >= distance_hole:
+                self._keys[hole] = self._keys[probe]
+                self._values[hole] = self._values[probe]
+                hole = probe
+            probe = (probe + 1) & self._mask
+        self._keys[hole] = _EMPTY_KEY
+        self._size -= 1
+        return True
+
+    def _grow(self) -> None:
+        old_keys = self._keys
+        old_values = self._values
+        self._capacity *= 2
+        self._mask = self._capacity - 1
+        self._keys = np.full(self._capacity, _EMPTY_KEY, dtype=np.int64)
+        self._values = np.zeros(self._capacity, dtype=np.int64)
+        self._size = 0
+        for key, value in zip(old_keys, old_values):
+            if key != _EMPTY_KEY:
+                source, offset = unpack_location(value)
+                self.insert(int(key), source, offset)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> tuple[int, int] | None:
+        """Location of one key, or None if absent."""
+        slot = self._slot(key)
+        while True:
+            existing = self._keys[slot]
+            if existing == _EMPTY_KEY:
+                return None
+            if existing == key:
+                return unpack_location(self._values[slot])
+            slot = (slot + 1) & self._mask
+
+    def lookup_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized-ish batch lookup.
+
+        Returns ``(sources, offsets)``; absent keys get source
+        :data:`HOST` and offset = key (host storage is addressed by key).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        sources = np.empty(len(keys), dtype=np.int16)
+        offsets = np.empty(len(keys), dtype=np.int64)
+        for i, key in enumerate(keys):
+            hit = self.get(int(key))
+            if hit is None:
+                sources[i] = HOST
+                offsets[i] = key
+            else:
+                sources[i], offsets[i] = hit
+        return sources, offsets
+
+    def max_probe_length(self) -> int:
+        """Longest probe chain currently in the table (a health metric)."""
+        worst = 0
+        for slot in range(self._capacity):
+            key = self._keys[slot]
+            if key == _EMPTY_KEY:
+                continue
+            ideal = self._slot(int(key))
+            worst = max(worst, (slot - ideal) & self._mask)
+        return worst
+
+    @staticmethod
+    def from_source_map(
+        sources: np.ndarray, offsets: np.ndarray
+    ) -> "LocationTable":
+        """Build a table from dense source/offset arrays (cache-fill path).
+
+        Host-resident entries (source == HOST) are not inserted — absence
+        *means* host, exactly as the runtime treats misses.
+        """
+        sources = np.asarray(sources)
+        cached = np.flatnonzero(sources != HOST)
+        table = LocationTable(expected_entries=len(cached))
+        for key in cached:
+            table.insert(int(key), int(sources[key]), int(offsets[key]))
+        return table

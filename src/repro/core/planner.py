@@ -1,0 +1,131 @@
+"""Capacity planning: how much GPU cache does a latency target need?
+
+A downstream-user utility the paper implies but does not ship: given a
+workload's hotness and a target per-iteration extraction latency, find the
+smallest per-GPU cache ratio whose *solved* policy meets the target.
+Extraction time is monotone non-increasing in capacity (more cache never
+hurts — the solver can always ignore extra space), so bisection over the
+ratio is exact up to the requested resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluate import evaluate_placement
+from repro.core.solver import SolverConfig, solve_policy
+from repro.hardware.platform import Platform
+from repro.sim.mechanisms import Mechanism
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One probed operating point during planning."""
+
+    cache_ratio: float
+    capacity_entries: int
+    extraction_time: float
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Planning outcome.
+
+    ``feasible`` is False when even a 100% cache misses the target (the
+    target is below the all-local floor).
+    """
+
+    target_time: float
+    feasible: bool
+    cache_ratio: float
+    capacity_entries: int
+    extraction_time: float
+    steps: tuple[PlanStep, ...]
+
+
+def plan_capacity(
+    platform: Platform,
+    hotness: np.ndarray,
+    entry_bytes: int,
+    target_time: float,
+    ratio_resolution: float = 0.01,
+    solver: SolverConfig | None = None,
+) -> CapacityPlan:
+    """Bisect the smallest cache ratio meeting ``target_time``.
+
+    Args:
+        platform: hardware model.
+        hotness: expected accesses per entry per batch per GPU.
+        entry_bytes: embedding entry size.
+        target_time: per-iteration extraction budget, seconds.
+        ratio_resolution: bisection stops when the bracket is this tight.
+        solver: solver knobs (a coarse default keeps probes ~1 s each).
+
+    Returns:
+        A :class:`CapacityPlan` with the probe history.
+    """
+    if target_time <= 0:
+        raise ValueError("target time must be positive")
+    if not 0 < ratio_resolution < 1:
+        raise ValueError("ratio resolution must be in (0, 1)")
+    hotness = np.asarray(hotness, dtype=np.float64)
+    solver = solver or SolverConfig(coarse_block_frac=0.02)
+    num_entries = len(hotness)
+    steps: list[PlanStep] = []
+
+    def probe(ratio: float) -> float:
+        capacity = int(round(ratio * num_entries))
+        placement = solve_policy(
+            platform, hotness, capacity, entry_bytes, solver
+        ).realize()
+        time = evaluate_placement(
+            platform, placement, hotness, entry_bytes, Mechanism.FACTORED
+        ).time
+        steps.append(
+            PlanStep(
+                cache_ratio=ratio, capacity_entries=capacity, extraction_time=time
+            )
+        )
+        return time
+
+    full = probe(1.0)
+    if full > target_time:
+        return CapacityPlan(
+            target_time=target_time,
+            feasible=False,
+            cache_ratio=1.0,
+            capacity_entries=num_entries,
+            extraction_time=full,
+            steps=tuple(steps),
+        )
+    zero = probe(0.0)
+    if zero <= target_time:
+        return CapacityPlan(
+            target_time=target_time,
+            feasible=True,
+            cache_ratio=0.0,
+            capacity_entries=0,
+            extraction_time=zero,
+            steps=tuple(steps),
+        )
+
+    lo, hi = 0.0, 1.0  # lo misses the target, hi meets it
+    hi_time = full
+    while hi - lo > ratio_resolution:
+        mid = (lo + hi) / 2
+        time = probe(mid)
+        if time <= target_time:
+            hi, hi_time = mid, time
+        else:
+            lo = mid
+    capacity = int(round(hi * num_entries))
+    return CapacityPlan(
+        target_time=target_time,
+        feasible=True,
+        cache_ratio=hi,
+        capacity_entries=capacity,
+        extraction_time=hi_time,
+        steps=tuple(steps),
+    )

@@ -1,0 +1,208 @@
+"""Background cache Refresher (§7.2, evaluated in §8.6 / Figure 17).
+
+Embedding hotness drifts slowly (days), so UGache refreshes its static
+cache in the background instead of paying per-access eviction bookkeeping:
+
+1. the foreground samples requests into a :class:`HotnessTracker`;
+2. periodically the Solver re-estimates extraction time under the new
+   hotness; if it improved enough, a refresh is triggered;
+3. the Refresher computes the placement diff and applies it in small
+   batches, throttled so foreground impact stays bounded (~10%);
+4. the location hashtable is swapped only after the affected store
+   contents are in place, with a foreground batch between the two steps,
+   so lookups never observe a dangling ``<GPU, Offset>``.
+
+Two entry points: :meth:`Refresher.refresh` mutates a live cache
+incrementally (functional), and :func:`simulate_refresh_timeline`
+reproduces Figure 17's latency-vs-time trace analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import MultiGpuEmbeddingCache
+from repro.core.filler import apply_diff_step, placement_diff
+from repro.core.policy import Placement
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.refresher")
+
+
+@dataclass(frozen=True)
+class RefreshConfig:
+    """Refresh throttling and triggering knobs.
+
+    Attributes:
+        update_batch_entries: entries moved per small-batch update step.
+        foreground_impact: fractional slowdown imposed on foreground
+            requests while a refresh step is in flight (§7.2: <10%).
+        trigger_ratio: refresh only if the newly solved policy's estimated
+            extraction time beats the current one by this factor.
+        solve_seconds: charged for the background policy solve (the paper
+            reports ~10 s; our HiGHS solves are faster, so this models the
+            full-size problem).
+        entries_per_second: sustained cache-update throughput (bounded by
+            PCIe refill bandwidth and deliberately throttled).
+    """
+
+    update_batch_entries: int = 4096
+    foreground_impact: float = 0.10
+    trigger_ratio: float = 1.05
+    solve_seconds: float = 10.0
+    entries_per_second: float = 200_000.0
+
+    def __post_init__(self) -> None:
+        if self.update_batch_entries <= 0:
+            raise ValueError("update batch must be positive")
+        if not 0 <= self.foreground_impact < 1:
+            raise ValueError("foreground impact must be in [0, 1)")
+        if self.trigger_ratio < 1:
+            raise ValueError("trigger ratio must be >= 1")
+        if self.entries_per_second <= 0:
+            raise ValueError("update throughput must be positive")
+
+
+@dataclass
+class RefreshOutcome:
+    """What one refresh did."""
+
+    triggered: bool
+    entries_moved: int = 0
+    steps: int = 0
+    estimated_duration: float = 0.0
+
+
+class Refresher:
+    """Applies a new placement to a live cache in throttled steps."""
+
+    def __init__(self, cache: MultiGpuEmbeddingCache, config: RefreshConfig | None = None):
+        self._cache = cache
+        self._config = config or RefreshConfig()
+
+    def should_refresh(self, current_time: float, candidate_time: float) -> bool:
+        """Trigger when the candidate policy is sufficiently better."""
+        if candidate_time <= 0:
+            return False
+        return current_time / candidate_time >= self._config.trigger_ratio
+
+    def refresh(self, new_placement: Placement) -> RefreshOutcome:
+        """Incrementally move the cache to ``new_placement``.
+
+        Drains :meth:`refresh_steps`; see there for the consistency
+        argument.
+        """
+        outcome = RefreshOutcome(triggered=False)
+        for outcome in self.refresh_steps(new_placement):
+            pass
+        return outcome
+
+    def refresh_steps(self, new_placement: Placement):
+        """Generator form of :meth:`refresh`: yields after every small-batch
+        update step so a caller (or test) can interleave foreground lookups.
+
+        Lookups stay correct at every yield point: before any store is
+        touched, every to-be-evicted entry is rerouted to host in all
+        location tables, so no lookup can chase a slot a later step
+        recycles; inserted entries only become visible when the maps are
+        rebuilt after the final step.
+        """
+        cfg = self._config
+        diff = placement_diff(self._cache.placement, new_placement)
+        total = diff.total_changes()
+        if total == 0:
+            yield RefreshOutcome(triggered=False)
+            return
+
+        # The old source map may point any GPU at a slot a refresh step
+        # recycles, so first route every to-be-evicted entry to host for
+        # the duration of the refresh (the paper instead waits a
+        # foreground batch; the effect — no dangling read — is the same).
+        from repro.hardware.platform import HOST
+
+        source_map = self._cache.source_map
+        for gpu in range(new_placement.num_gpus):
+            evicted = diff.evictions[gpu]
+            if len(evicted) == 0:
+                continue
+            for dst in range(new_placement.num_gpus):
+                stale = source_map[dst][evicted] == gpu
+                source_map[dst][evicted[stale]] = HOST
+
+        steps = 0
+        table = self._cache._table
+        for gpu in range(new_placement.num_gpus):
+            evict = diff.evictions[gpu]
+            insert = diff.insertions[gpu]
+            cursor_e = cursor_i = 0
+            while cursor_e < len(evict) or cursor_i < len(insert):
+                batch_e = evict[cursor_e : cursor_e + cfg.update_batch_entries]
+                batch_i = insert[cursor_i : cursor_i + cfg.update_batch_entries]
+                # Keep occupancy within capacity: evict before insert.
+                apply_diff_step(self._cache.store(gpu), table, batch_e, batch_i)
+                cursor_e += len(batch_e)
+                cursor_i += len(batch_i)
+                steps += 1
+                yield RefreshOutcome(
+                    triggered=True,
+                    entries_moved=int(cursor_e + cursor_i),
+                    steps=steps,
+                    estimated_duration=0.0,
+                )
+        self._cache.refresh_source_map()
+        duration = cfg.solve_seconds + total / cfg.entries_per_second
+        logger.info(
+            "refresh complete: moved %d entries in %d steps (~%.1fs modelled)",
+            total, steps, duration,
+        )
+        yield RefreshOutcome(
+            triggered=True,
+            entries_moved=total,
+            steps=steps,
+            estimated_duration=duration,
+        )
+
+
+@dataclass(frozen=True)
+class RefreshTimeline:
+    """Figure 17's trace: foreground latency sampled over wall-clock time."""
+
+    times: np.ndarray
+    latencies: np.ndarray
+    refresh_windows: tuple[tuple[float, float], ...] = field(default_factory=tuple)
+
+    def mean_latency(self, start: float, stop: float) -> float:
+        mask = (self.times >= start) & (self.times < stop)
+        if not mask.any():
+            return 0.0
+        return float(self.latencies[mask].mean())
+
+
+def simulate_refresh_timeline(
+    baseline_latency: float,
+    total_duration: float,
+    refresh_starts: tuple[float, ...],
+    entries_to_move: int,
+    config: RefreshConfig | None = None,
+    sample_interval: float = 0.5,
+) -> RefreshTimeline:
+    """Analytic Figure-17 trace: latency vs time with refreshes triggered.
+
+    During a refresh window (solve + throttled updates), foreground
+    iterations slow by ``foreground_impact``; outside, they run at
+    ``baseline_latency``.
+    """
+    cfg = config or RefreshConfig()
+    refresh_duration = cfg.solve_seconds + entries_to_move / cfg.entries_per_second
+    windows = tuple(
+        (start, min(start + refresh_duration, total_duration))
+        for start in refresh_starts
+    )
+    times = np.arange(0.0, total_duration, sample_interval)
+    latencies = np.full_like(times, baseline_latency)
+    for start, stop in windows:
+        mask = (times >= start) & (times < stop)
+        latencies[mask] = baseline_latency * (1.0 + cfg.foreground_impact)
+    return RefreshTimeline(times=times, latencies=latencies, refresh_windows=windows)

@@ -1,0 +1,77 @@
+"""Persist placements and solved-policy summaries.
+
+Operationally, a policy is solved rarely (startup / refresh) and *shipped*:
+the Filler on each GPU consumes the placement, monitoring consumes the
+estimate summary.  These helpers make both durable:
+
+* :func:`save_placement` / :func:`load_placement` — exact ``.npz``
+  round-trip of a :class:`~repro.core.policy.Placement`;
+* :func:`policy_summary` — a JSON-able dict of a
+  :class:`~repro.core.solver.SolvedPolicy` (sizes, estimate, solve time —
+  not the full fractional solution).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.policy import Placement
+from repro.core.solver import SolvedPolicy
+
+
+def save_placement(path: str | os.PathLike, placement: Placement) -> None:
+    """Write a placement as a compressed ``.npz``."""
+    arrays = {
+        f"gpu_{i}": ids for i, ids in enumerate(placement.per_gpu)
+    }
+    np.savez_compressed(
+        path,
+        num_entries=np.int64(placement.num_entries),
+        num_gpus=np.int64(placement.num_gpus),
+        **arrays,
+    )
+
+
+def load_placement(path: str | os.PathLike) -> Placement:
+    """Load a placement written by :func:`save_placement`."""
+    with np.load(path) as data:
+        if "num_entries" not in data or "num_gpus" not in data:
+            raise ValueError(f"{path}: not a saved Placement")
+        num_gpus = int(data["num_gpus"])
+        per_gpu = tuple(data[f"gpu_{i}"] for i in range(num_gpus))
+        return Placement(num_entries=int(data["num_entries"]), per_gpu=per_gpu)
+
+
+def policy_summary(policy: SolvedPolicy) -> dict:
+    """JSON-able operational summary of one solve."""
+    return {
+        "platform": policy.platform_name,
+        "blocks": int(policy.blocks.num_blocks),
+        "entries": int(policy.blocks.num_entries),
+        "variables": int(policy.num_variables),
+        "constraints": int(policy.num_constraints),
+        "solve_seconds": float(policy.solve_seconds),
+        "estimated_time_seconds": float(policy.est_time),
+        "estimated_time_per_gpu": [float(t) for t in policy.est_time_per_gpu],
+        "capacities": [int(c) for c in policy.capacities],
+    }
+
+
+def save_policy_summary(path: str | os.PathLike, policy: SolvedPolicy) -> None:
+    """Write :func:`policy_summary` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(policy_summary(policy), fh, indent=2)
+
+
+def load_policy_summary(path: str | os.PathLike) -> dict:
+    """Read a summary written by :func:`save_policy_summary`."""
+    with open(path) as fh:
+        summary = json.load(fh)
+    required = {"platform", "estimated_time_seconds", "capacities"}
+    missing = required - set(summary)
+    if missing:
+        raise ValueError(f"{path}: missing summary fields {sorted(missing)}")
+    return summary

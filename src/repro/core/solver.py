@@ -1,0 +1,407 @@
+"""UGache's cache-policy solver (§6): MILP over hotness blocks.
+
+The model is exactly the paper's §6.2 formulation, built at the granularity
+of hotness blocks (§6.3) and solved with HiGHS (standing in for Gurobi):
+
+variables (per block ``b``, destination GPU ``i``, source ``j``):
+    ``a[b,i,j]`` — fraction of block ``b`` GPU ``i`` reads from ``j``;
+    ``s[b,j]``  — fraction of block ``b`` stored on GPU ``j``;
+    ``t[i]``    — extraction time of GPU ``i``; ``z`` — the objective.
+
+constraints:
+    Σ_j a[b,i,j] = 1                      (every entry readable somewhere)
+    a[b,i,j] ≤ s[b,j]       for GPU ``j`` (you can only read what is stored)
+    Σ_b size_b·s[b,j] ≤ Cap_j             (per-GPU capacity)
+    t_i ≥ t^j_i = Σ_b T_{i←j}·H_b·a[b,i,j]     (ragged group bound)
+    t_i ≥ Σ_j R_{i←j}·t^j_i                    (work-conservation bound)
+    z ≥ t_i ;  minimize z
+
+Host DRAM stores everything (``s`` is only defined for GPUs) and
+unconnected GPU pairs contribute no ``a`` variables — the paper's
+simplification for DGX-1.
+
+Blocks are divisible groups of same-hotness entries, so the default solve
+uses the continuous relaxation (fractional block storage is realized
+exactly by splitting the block's entries); ``integral=True`` solves the
+true binary program for small instances.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, linprog, milp
+
+from repro.core.blocks import BlockSet, build_blocks
+from repro.core.policy import Placement
+from repro.hardware.platform import HOST, Platform
+from repro.sim.mechanisms import core_dedication
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.solver")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Knobs of the policy solve.
+
+    Attributes:
+        coarse_block_frac: coarse blocking cap (paper: 0.5%).
+        integral: solve the true MILP (binary ``a``/``s``) instead of the
+            LP relaxation.  Exponentially slower; for small instances and
+            the ablation benchmark only.
+        time_limit: HiGHS wall-clock budget in seconds.
+        host_core_fraction_cap: cap on the share of SMs dedicated to host
+            extraction when computing ``R_{i←j}`` (mirrors the Extractor).
+    """
+
+    coarse_block_frac: float = 0.005
+    integral: bool = False
+    time_limit: float = 60.0
+    min_blocks_per_level: int | None = None
+    #: HiGHS algorithm: "highs" (auto), "highs-ds" (dual simplex) or
+    #: "highs-ipm" (interior point — faster on the large per-entry LPs).
+    method: str = "highs"
+
+
+@dataclass(frozen=True)
+class SolvedPolicy:
+    """Solution of one policy solve, still at block granularity."""
+
+    platform_name: str
+    blocks: BlockSet
+    #: ``(B, G)`` storage fractions per block and GPU.
+    storage: np.ndarray
+    #: ``pairs[p] = (i, j)`` with ``j`` ∈ sources of ``i`` (HOST included).
+    pairs: tuple[tuple[int, int], ...]
+    #: ``(B, P)`` access fractions aligned with ``pairs``.
+    access: np.ndarray
+    #: estimated per-GPU extraction time (seconds/iteration).
+    est_time_per_gpu: np.ndarray
+    #: objective value (max over GPUs).
+    est_time: float
+    solve_seconds: float
+    capacities: tuple[int, ...]
+    num_variables: int = 0
+    num_constraints: int = 0
+
+    def realize(self) -> Placement:
+        """Turn fractional block storage into a concrete per-GPU placement.
+
+        Per block, the fractional slot quotas ``q_j = s[b,j]·size`` are
+        rounded by the largest-remainder method so the block's *total*
+        storage mass survives rounding — crucial for small hot blocks,
+        where fractions like ``s = [0.4, 0.4, 0.4, ...]`` on a single
+        ultra-hot entry mean "replicate it on ~2 GPUs to split its load",
+        not "store 0.4 of an entry" (the place where a naive rounding of
+        the LP relaxation diverges from the binary MILP).  Each GPU then
+        takes its quota from a shared dealing pointer over the block's
+        entries, which tiles partition-like solutions exactly
+        (``Σ_j s = 1``), replicates replication-like ones (``s = 1``
+        everywhere), and spreads partial replicas evenly in between.
+        Capacity is enforced afterwards by trimming coldest-first.
+        """
+        num_gpus = self.storage.shape[1]
+        per_gpu: list[list[np.ndarray]] = [[] for _ in range(num_gpus)]
+        for b in range(self.blocks.num_blocks):
+            entries = self.blocks.entries(b)
+            m = len(entries)
+            quotas = np.clip(self.storage[b], 0.0, 1.0) * m
+            if m < num_gpus:
+                # Tiny hot blocks: a fractional ``s_j`` means some GPU's
+                # access variables route reads through ``j`` (the LP's
+                # ``s ≥ a`` coupling), which is only realizable if ``j``
+                # actually holds a copy.  Ceil instead of round — the
+                # slight capacity overdraw is trimmed coldest-first below,
+                # a strictly better trade than concentrating 10-20% of
+                # all traffic on one holder.
+                counts = np.ceil(quotas - 1e-6).astype(np.int64)
+            else:
+                counts = np.floor(quotas + 1e-9).astype(np.int64)
+                target = min(int(round(float(quotas.sum()))), num_gpus * m)
+                deficit = target - int(counts.sum())
+                if deficit > 0:
+                    remainders = quotas - counts
+                    for j in np.argsort(-remainders):
+                        if deficit <= 0:
+                            break
+                        if counts[j] < m:
+                            counts[j] += 1
+                            deficit -= 1
+            pointer = 0
+            for j in range(num_gpus):
+                c = int(min(counts[j], m))
+                if c <= 0:
+                    continue
+                take = (pointer + np.arange(c)) % m
+                per_gpu[j].append(entries[take])
+                pointer = (pointer + c) % m
+
+        final: list[np.ndarray] = []
+        for j in range(num_gpus):
+            ids = (
+                np.concatenate(per_gpu[j]) if per_gpu[j] else np.empty(0, dtype=np.int64)
+            )
+            ids = np.unique(ids)
+            cap = self.capacities[j]
+            if len(ids) > cap:
+                # Trim coldest first: blocks are hotness-ordered, so order
+                # entries by their position in the global hot order.
+                rank = np.empty(self.blocks.num_entries, dtype=np.int64)
+                rank[self.blocks.order] = np.arange(self.blocks.num_entries)
+                ids = ids[np.argsort(rank[ids])][:cap]
+            final.append(ids)
+        return Placement(num_entries=self.blocks.num_entries, per_gpu=tuple(final))
+
+    def access_volume_fractions(self, dst: int) -> dict[int, float]:
+        """Expected fraction of GPU ``dst``'s accesses served per source."""
+        total = self.blocks.hotness_sum.sum()
+        out: dict[int, float] = {}
+        for p, (i, j) in enumerate(self.pairs):
+            if i != dst:
+                continue
+            vol = float(self.blocks.hotness_sum @ self.access[:, p])
+            out[j] = out.get(j, 0.0) + (vol / total if total > 0 else 0.0)
+        return out
+
+
+class PolicySolveError(RuntimeError):
+    """Raised when HiGHS cannot find a feasible cache policy."""
+
+
+def dedication_ratios(platform: Platform, dst: int) -> dict[int, float]:
+    """The Extractor's core ratios ``R_{i←j}`` used by the time model.
+
+    Local gets ratio 1 (local extraction eventually uses every core, and
+    its ``t^i_i`` is already expressed as an all-core time); non-local
+    sources get their dedicated-core share of the SMs.
+    """
+    all_sources = platform.sources_for(dst)
+    dedication = core_dedication(platform, dst, all_sources)
+    total = platform.gpu.num_cores
+    ratios = {dst: 1.0}
+    for src in all_sources:
+        if src == dst:
+            continue
+        ratios[src] = dedication.get(src, 1) / total
+    return ratios
+
+
+def solve_policy(
+    platform: Platform,
+    hotness: np.ndarray,
+    capacity_entries: int | list[int],
+    entry_bytes: int,
+    config: SolverConfig | None = None,
+    blocks: BlockSet | None = None,
+) -> SolvedPolicy:
+    """Solve the UGache cache policy for one platform and workload.
+
+    Args:
+        platform: hardware model (defines ``T_{i←j}`` and connectivity).
+        hotness: per-entry expected accesses per batch per GPU.
+        capacity_entries: per-GPU entry budget (scalar or per-GPU list).
+        entry_bytes: bytes per embedding entry (dim × dtype size).
+        config: solver knobs.
+        blocks: pre-built block set (otherwise §6.3 blocking is applied).
+
+    Returns:
+        The solved (near-optimal) policy.
+
+    Raises:
+        PolicySolveError: if the LP/MILP is infeasible or the solver fails.
+    """
+    config = config or SolverConfig()
+    hotness = np.asarray(hotness, dtype=np.float64)
+    G = platform.num_gpus
+    caps = (
+        [int(capacity_entries)] * G
+        if np.isscalar(capacity_entries)
+        else [int(c) for c in capacity_entries]
+    )
+    if len(caps) != G:
+        raise ValueError(f"need {G} capacities, got {len(caps)}")
+    if entry_bytes <= 0:
+        raise ValueError("entry_bytes must be positive")
+
+    if blocks is None:
+        blocks = build_blocks(
+            hotness,
+            num_gpus=max(config.min_blocks_per_level or G, 1),
+            coarse_frac=config.coarse_block_frac,
+        )
+    B = blocks.num_blocks
+    sizes = blocks.sizes.astype(np.float64)
+    weights_h = blocks.hotness_sum  # H_b
+
+    # Enumerate (dst, src) pairs; unconnected GPU pairs are dropped (§6.2).
+    pairs: list[tuple[int, int]] = []
+    for i in range(G):
+        for j in platform.sources_for(i):
+            pairs.append((i, j))
+    P = len(pairs)
+    pair_index = {pair: p for p, pair in enumerate(pairs)}
+
+    # Variable layout: a (B*P) | s (B*G) | t (G) | z.
+    num_a = B * P
+    num_s = B * G
+    t0 = num_a + num_s
+    z0 = t0 + G
+    num_vars = z0 + 1
+
+    def a_id(b: int, p: int) -> int:
+        return b * P + p
+
+    def s_id(b: int, j: int) -> int:
+        return num_a + b * G + j
+
+    # Pair cost coefficients w[b, p] = T_{i←j} * H_b * entry_bytes.
+    pair_cost = np.array(
+        [platform.cost_per_byte(i, j) * entry_bytes for (i, j) in pairs]
+    )
+    w = weights_h[:, None] * pair_cost[None, :]  # (B, P)
+
+    rows_eq: list[int] = []
+    cols_eq: list[int] = []
+    vals_eq: list[float] = []
+    # Σ_j a[b,i,j] = 1 for every (b, i).
+    eq_row = 0
+    for b in range(B):
+        for i in range(G):
+            for j in platform.sources_for(i):
+                rows_eq.append(eq_row)
+                cols_eq.append(a_id(b, pair_index[(i, j)]))
+                vals_eq.append(1.0)
+            eq_row += 1
+    A_eq = sparse.coo_matrix(
+        (vals_eq, (rows_eq, cols_eq)), shape=(eq_row, num_vars)
+    ).tocsc()
+    b_eq = np.ones(eq_row)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    ub: list[float] = []
+    row = 0
+
+    # a[b,i,j] - s[b,j] ≤ 0 for GPU sources (including j == i).
+    for b in range(B):
+        for p, (i, j) in enumerate(pairs):
+            if j == HOST:
+                continue
+            rows += [row, row]
+            cols += [a_id(b, p), s_id(b, j)]
+            vals += [1.0, -1.0]
+            ub.append(0.0)
+            row += 1
+
+    # Σ_b size_b·s[b,j] ≤ Cap_j.
+    for j in range(G):
+        for b in range(B):
+            rows.append(row)
+            cols.append(s_id(b, j))
+            vals.append(float(sizes[b]))
+        ub.append(float(caps[j]))
+        row += 1
+
+    # Ragged-group bound: Σ_b w[b,p]·a[b,p] - t_i ≤ 0 per pair.
+    for p, (i, _j) in enumerate(pairs):
+        for b in range(B):
+            rows.append(row)
+            cols.append(a_id(b, p))
+            vals.append(float(w[b, p]))
+        rows.append(row)
+        cols.append(t0 + i)
+        vals.append(-1.0)
+        ub.append(0.0)
+        row += 1
+
+    # Work-conservation bound: Σ_p R[p]·(Σ_b w·a) - t_i ≤ 0 per GPU.
+    ratios = [dedication_ratios(platform, i) for i in range(G)]
+    for i in range(G):
+        for p, (pi, pj) in enumerate(pairs):
+            if pi != i:
+                continue
+            r = ratios[i][pj]
+            for b in range(B):
+                rows.append(row)
+                cols.append(a_id(b, p))
+                vals.append(float(r * w[b, p]))
+        rows.append(row)
+        cols.append(t0 + i)
+        vals.append(-1.0)
+        ub.append(0.0)
+        row += 1
+
+    # t_i - z ≤ 0.
+    for i in range(G):
+        rows += [row, row]
+        cols += [t0 + i, z0]
+        vals += [1.0, -1.0]
+        ub.append(0.0)
+        row += 1
+
+    A_ub = sparse.coo_matrix((vals, (rows, cols)), shape=(row, num_vars)).tocsc()
+    b_ub = np.asarray(ub)
+
+    c = np.zeros(num_vars)
+    c[z0] = 1.0
+    lower = np.zeros(num_vars)
+    upper = np.concatenate(
+        [np.ones(num_a + num_s), np.full(G + 1, np.inf)]
+    )
+
+    start = _time.perf_counter()
+    if config.integral:
+        integrality = np.zeros(num_vars)
+        integrality[: num_a + num_s] = 1
+        res = milp(
+            c=c,
+            constraints=[
+                LinearConstraint(A_ub, -np.inf, b_ub),
+                LinearConstraint(A_eq, b_eq, b_eq),
+            ],
+            bounds=Bounds(lower, upper),
+            integrality=integrality,
+            options={"time_limit": config.time_limit},
+        )
+    else:
+        res = linprog(
+            c,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            A_eq=A_eq,
+            b_eq=b_eq,
+            bounds=np.column_stack([lower, upper]),
+            method=config.method,
+            options={"time_limit": config.time_limit},
+        )
+    elapsed = _time.perf_counter() - start
+    if res.status != 0 or res.x is None:
+        logger.error("policy solve failed after %.2fs: %s", elapsed, res.message)
+        raise PolicySolveError(f"policy solve failed: {res.message}")
+    logger.debug(
+        "solved %s: %d blocks, %d vars, %d constraints in %.2fs (z=%.3e s)",
+        platform.name, B, num_vars, row + eq_row, elapsed, float(res.x[z0]),
+    )
+
+    x = np.asarray(res.x)
+    access = x[:num_a].reshape(B, P)
+    storage = x[num_a : num_a + num_s].reshape(B, G)
+    t = x[t0 : t0 + G]
+    return SolvedPolicy(
+        platform_name=platform.name,
+        blocks=blocks,
+        storage=np.clip(storage, 0.0, 1.0),
+        pairs=tuple(pairs),
+        access=np.clip(access, 0.0, 1.0),
+        est_time_per_gpu=t.copy(),
+        est_time=float(x[z0]),
+        solve_seconds=elapsed,
+        capacities=tuple(caps),
+        num_variables=num_vars,
+        num_constraints=row + eq_row,
+    )

@@ -1,0 +1,31 @@
+"""Dataset stand-ins for Table 3, scaled for a laptop-class substrate."""
+
+from repro.datasets.dlr_datasets import DLR_SPECS, DlrDatasetSpec, dlr_spec
+from repro.datasets.gnn_datasets import (
+    GNN_SPECS,
+    GnnDataset,
+    GnnDatasetSpec,
+    build_gnn_dataset,
+)
+from repro.datasets.registry import (
+    USABLE_GPU_FRACTION,
+    DatasetSummary,
+    all_dataset_summaries,
+    cache_ratio_for,
+    capacity_entries_for,
+)
+
+__all__ = [
+    "DLR_SPECS",
+    "DlrDatasetSpec",
+    "dlr_spec",
+    "GNN_SPECS",
+    "GnnDataset",
+    "GnnDatasetSpec",
+    "build_gnn_dataset",
+    "USABLE_GPU_FRACTION",
+    "DatasetSummary",
+    "all_dataset_summaries",
+    "cache_ratio_for",
+    "capacity_entries_for",
+]

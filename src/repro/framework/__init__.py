@@ -1,0 +1,6 @@
+"""Framework-style wrappers (§7.1): PyTorch-like and Keras-like surfaces."""
+
+from repro.framework.tf_like import UGacheKerasEmbedding
+from repro.framework.torch_like import Module, UGacheEmbedding
+
+__all__ = ["Module", "UGacheEmbedding", "UGacheKerasEmbedding"]

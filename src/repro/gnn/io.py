@@ -1,0 +1,75 @@
+"""Graph persistence: load/save CSR graphs, ingest edge lists.
+
+Real deployments bring their own graphs; these helpers cover the two
+common interchange forms:
+
+* ``.npz`` round-trips of :class:`~repro.gnn.graph.CSRGraph` (compact,
+  exact);
+* whitespace-separated edge-list text files (``src dst`` per line, ``#``
+  comments), the OGB/KONECT distribution format.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.gnn.graph import CSRGraph
+
+
+def save_graph(path: str | os.PathLike, graph: CSRGraph) -> None:
+    """Write a graph as a compressed ``.npz``."""
+    np.savez_compressed(path, indptr=graph.indptr, indices=graph.indices)
+
+
+def load_graph(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph written by :func:`save_graph`."""
+    with np.load(path) as data:
+        if "indptr" not in data or "indices" not in data:
+            raise ValueError(f"{path}: not a saved CSRGraph (missing arrays)")
+        return CSRGraph(indptr=data["indptr"], indices=data["indices"])
+
+
+def read_edge_list(
+    path: str | os.PathLike,
+    num_nodes: int | None = None,
+    symmetric: bool = True,
+) -> CSRGraph:
+    """Parse a ``src dst`` text edge list into a CSR graph.
+
+    Args:
+        path: text file; ``#``-prefixed lines are comments.
+        num_nodes: id-space size; inferred as ``max id + 1`` when omitted.
+        symmetric: insert each edge in both directions (OGB homogeneous
+            preprocessing).
+    """
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{lineno}: expected 'src dst'")
+            src_list.append(int(parts[0]))
+            dst_list.append(int(parts[1]))
+    src = np.asarray(src_list, dtype=np.int64)
+    dst = np.asarray(dst_list, dtype=np.int64)
+    if num_nodes is None:
+        num_nodes = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    if symmetric and src.size:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return CSRGraph.from_edges(num_nodes, src, dst)
+
+
+def write_edge_list(path: str | os.PathLike, graph: CSRGraph) -> None:
+    """Write a graph's edges as ``src dst`` text (one direction per stored
+    edge; symmetric graphs emit both directions, matching their CSR)."""
+    with open(path, "w") as fh:
+        fh.write("# src dst\n")
+        for u in range(graph.num_nodes):
+            for v in graph.neighbors(u):
+                fh.write(f"{u} {v}\n")

@@ -1,0 +1,89 @@
+"""Device memory arena used to back per-GPU cache storage.
+
+The real system carves cache slots out of GPU HBM; here an arena tracks a
+byte budget and hands out fixed-size *slots* (one embedding entry each).
+The Filler and Refresher allocate and free slots through this interface, so
+capacity accounting — the ``Cap_j`` constraint of the solver — is enforced
+at runtime, not just at planning time.
+"""
+
+from __future__ import annotations
+
+
+class OutOfDeviceMemory(RuntimeError):
+    """Raised when an allocation does not fit in the arena's budget."""
+
+
+class SlotArena:
+    """Fixed-slot allocator over a byte budget.
+
+    Slots are identified by integer offsets (0-based slot indices), matching
+    the paper's per-GPU hashtable values ``<GPU_i, Offset>``.  Freed slots
+    are recycled LIFO so long-running refresh cycles do not fragment.
+    """
+
+    def __init__(self, capacity_bytes: int, slot_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        if slot_bytes <= 0:
+            raise ValueError("slot size must be positive")
+        self._slot_bytes = slot_bytes
+        self._num_slots = capacity_bytes // slot_bytes
+        self._next_fresh = 0
+        self._free_list: list[int] = []
+
+    @property
+    def num_slots(self) -> int:
+        """Total slots the arena can ever hold."""
+        return self._num_slots
+
+    @property
+    def slot_bytes(self) -> int:
+        return self._slot_bytes
+
+    @property
+    def used_slots(self) -> int:
+        return self._next_fresh - len(self._free_list)
+
+    @property
+    def free_slots(self) -> int:
+        return self._num_slots - self.used_slots
+
+    @property
+    def used_bytes(self) -> int:
+        return self.used_slots * self._slot_bytes
+
+    def allocate(self) -> int:
+        """Claim one slot; returns its offset."""
+        if self._free_list:
+            return self._free_list.pop()
+        if self._next_fresh >= self._num_slots:
+            raise OutOfDeviceMemory(
+                f"arena exhausted: {self._num_slots} slots of {self._slot_bytes} B"
+            )
+        offset = self._next_fresh
+        self._next_fresh += 1
+        return offset
+
+    def allocate_many(self, count: int) -> list[int]:
+        """Claim ``count`` slots atomically (all or nothing)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count > self.free_slots:
+            raise OutOfDeviceMemory(
+                f"requested {count} slots, only {self.free_slots} free"
+            )
+        return [self.allocate() for _ in range(count)]
+
+    def free(self, offset: int) -> None:
+        """Release a slot previously returned by :meth:`allocate`."""
+        if not 0 <= offset < self._next_fresh:
+            raise ValueError(f"offset {offset} was never allocated")
+        if offset in self._free_list:
+            raise ValueError(f"double free of slot {offset}")
+        self._free_list.append(offset)
+
+    def reset(self) -> None:
+        """Release every slot (used by full cache refills)."""
+        self._next_fresh = 0
+        self._free_list.clear()

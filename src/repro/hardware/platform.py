@@ -1,0 +1,291 @@
+"""Multi-GPU platform model: GPUs + interconnect + host memory.
+
+A :class:`Platform` is the single hardware object the rest of the library
+consumes.  It answers three questions for any (destination GPU, source
+location) pair:
+
+* ``bandwidth(dst, src)`` — bytes/second the path sustains for one reader;
+* ``tolerance(dst, src)`` — how many SMs can read concurrently before the
+  link congests (Figure 6's plateau onset);
+* ``cost_per_byte(dst, src)`` — the solver's ``T_{i←j}`` coefficient.
+
+Source locations are integers: GPU ids ``0..G-1`` plus the sentinel
+:data:`HOST` (= -1) for host DRAM reached over PCIe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import GPUSpec, a100_80gb, v100_16gb, v100_32gb
+from repro.hardware.topology import (
+    Topology,
+    TopologyKind,
+    dgx1_8gpu,
+    hardwired_fully_connected,
+    nvswitch,
+)
+from repro.utils.units import GIB, gbps
+
+#: Sentinel source id for host DRAM (reached over PCIe).
+HOST: int = -1
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A single machine with ``G`` identical GPUs, an interconnect and host DRAM.
+
+    Attributes:
+        name: display name, e.g. ``"server-c"``.
+        gpu: spec shared by all GPUs (the paper's testbeds are homogeneous).
+        topology: inter-GPU fabric.
+        host_memory_bytes: host DRAM capacity.
+        pcie_bandwidth: sustained host→GPU extraction bandwidth over PCIe,
+            bytes/second.  The paper's Figure 6 shows host extraction
+            plateauing below 10% of SMs at roughly PCIe wire speed.
+    """
+
+    name: str
+    gpu: GPUSpec
+    topology: Topology
+    host_memory_bytes: int = 512 * GIB
+    pcie_bandwidth: float = gbps(16)
+
+    def __post_init__(self) -> None:
+        if self.pcie_bandwidth <= 0:
+            raise ValueError("PCIe bandwidth must be positive")
+        if self.host_memory_bytes <= 0:
+            raise ValueError("host memory must be positive")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_gpus(self) -> int:
+        return self.topology.num_gpus
+
+    @property
+    def gpu_ids(self) -> range:
+        return range(self.num_gpus)
+
+    def sources_for(self, dst: int) -> list[int]:
+        """All source locations GPU ``dst`` can extract from.
+
+        Order: local first, then NVLink-reachable peers, then host.
+        Unconnected peers are excluded — reads to them are serviced from
+        host instead (the paper drops the corresponding ``t^j_i`` terms).
+        """
+        self._check_gpu(dst)
+        remote = [j for j in self.topology.peers(dst)]
+        return [dst, *remote, HOST]
+
+    def is_connected(self, dst: int, src: int) -> bool:
+        """Whether ``dst`` can read ``src`` without falling back to PCIe."""
+        self._check_gpu(dst)
+        if src == HOST or src == dst:
+            return True
+        self._check_gpu(src)
+        return self.topology.connected(dst, src)
+
+    # ------------------------------------------------------------------
+    # Bandwidth model
+    # ------------------------------------------------------------------
+    def bandwidth(self, dst: int, src: int) -> float:
+        """Peak path bandwidth for GPU ``dst`` reading from ``src``, bytes/s.
+
+        For a switch fabric this is the fair share ``outbound / (G - 1)``:
+        UGache's factored extraction dedicates exactly that slice per
+        reader so shares never overlap (§5.3); it is also the sustainable
+        long-run rate when all GPUs extract simultaneously, which is the
+        regime every experiment in §8 runs in.
+        """
+        self._check_gpu(dst)
+        if src == dst:
+            return self.gpu.local_bandwidth
+        if src == HOST:
+            return self.pcie_bandwidth
+        self._check_gpu(src)
+        if not self.topology.connected(dst, src):
+            return 0.0
+        if self.topology.kind is TopologyKind.SWITCH:
+            return self.topology.outbound_bandwidth(src) / (self.num_gpus - 1)
+        return self.topology.pair_bandwidth(dst, src)
+
+    def peak_pair_bandwidth(self, dst: int, src: int) -> float:
+        """Uncontended single-flow bandwidth (used by the congestion model).
+
+        Unlike :meth:`bandwidth`, on a switch platform a *lone* reader can
+        pull the source's full outbound bandwidth.
+        """
+        self._check_gpu(dst)
+        if src == dst:
+            return self.gpu.local_bandwidth
+        if src == HOST:
+            return self.pcie_bandwidth
+        self._check_gpu(src)
+        if not self.topology.connected(dst, src):
+            return 0.0
+        return self.topology.pair_bandwidth(dst, src)
+
+    def tolerance(self, dst: int, src: int) -> int:
+        """Number of SMs of ``dst`` that saturate the path to ``src``.
+
+        This is the plateau onset of Figure 6: a link of bandwidth ``B``
+        tolerates ``B / per_core_bandwidth`` concurrent SMs; additional
+        SMs stall.  Local memory tolerates all SMs by construction.
+        """
+        bw = self.bandwidth(dst, src)
+        if bw <= 0:
+            return 0
+        cores = int(round(bw / self.gpu.per_core_bandwidth))
+        return max(1, min(cores, self.gpu.num_cores))
+
+    def cost_per_byte(self, dst: int, src: int) -> float:
+        """The solver coefficient ``T_{i←j}``: seconds per byte extracted.
+
+        Infinite (``float('inf')``) for unconnected pairs; the solver drops
+        those terms.
+        """
+        bw = self.bandwidth(dst, src)
+        if bw <= 0:
+            return float("inf")
+        return 1.0 / bw
+
+    # ------------------------------------------------------------------
+    # Capacity helpers
+    # ------------------------------------------------------------------
+    def cache_capacity_entries(
+        self, entry_bytes: int, cache_ratio: float, total_entries: int
+    ) -> int:
+        """Entries one GPU may cache at ``cache_ratio`` of the table.
+
+        The paper sweeps "cache ratio per GPU" = fraction of all entries
+        each GPU can hold; this converts it to a per-GPU entry budget.
+        """
+        if entry_bytes <= 0:
+            raise ValueError("entry size must be positive")
+        if not 0 <= cache_ratio <= 1:
+            raise ValueError(f"cache ratio must be in [0, 1], got {cache_ratio}")
+        return int(cache_ratio * total_entries)
+
+    def max_cache_ratio(self, entry_bytes: int, total_entries: int, reserved_bytes: int = 0) -> float:
+        """Largest per-GPU cache ratio that fits in GPU memory."""
+        usable = self.gpu.memory_bytes - reserved_bytes
+        if usable <= 0:
+            return 0.0
+        return min(1.0, usable / (entry_bytes * total_entries))
+
+    def _check_gpu(self, i: int) -> None:
+        if not 0 <= i < self.num_gpus:
+            raise ValueError(f"GPU id {i} out of range for {self.num_gpus}-GPU platform")
+
+
+# ----------------------------------------------------------------------
+# Paper testbed presets (§8.1)
+# ----------------------------------------------------------------------
+def server_a() -> Platform:
+    """Server A: 4×V100-16GB, hard-wired fully connected, 384 GB host."""
+    return Platform(
+        name="server-a",
+        gpu=v100_16gb(),
+        topology=hardwired_fully_connected(4, lanes_per_gpu=6),
+        host_memory_bytes=384 * GIB,
+        pcie_bandwidth=gbps(16),
+    )
+
+
+def server_b() -> Platform:
+    """Server B: 8×V100-32GB on a DGX-1 board, 724 GB host."""
+    return Platform(
+        name="server-b",
+        gpu=v100_32gb(),
+        topology=dgx1_8gpu(),
+        host_memory_bytes=724 * GIB,
+        pcie_bandwidth=gbps(16),
+    )
+
+
+def server_c() -> Platform:
+    """Server C: 8×A100-80GB behind NVSwitch, 1 TB host."""
+    return Platform(
+        name="server-c",
+        gpu=a100_80gb(),
+        topology=nvswitch(8, lanes_per_gpu=12),
+        host_memory_bytes=1024 * GIB,
+        pcie_bandwidth=gbps(24),
+    )
+
+
+def single_gpu(gpu: GPUSpec | None = None, pcie_bandwidth: float = gbps(24)) -> Platform:
+    """A one-GPU platform (Table 1's testbed) — no interconnect.
+
+    The topology is an empty 1×1 lane matrix: the only sources are local
+    HBM and host DRAM over PCIe.
+    """
+    import numpy as np
+
+    spec = gpu or a100_80gb()
+    topo = Topology(
+        kind=TopologyKind.HARDWIRED,
+        lane_counts=np.zeros((1, 1), dtype=np.int64),
+        lane_bandwidth=spec.nvlink_lane_bandwidth,
+        outbound_lanes=0,
+        name="single-gpu",
+    )
+    return Platform(
+        name="single-gpu",
+        gpu=spec,
+        topology=topo,
+        pcie_bandwidth=pcie_bandwidth,
+    )
+
+
+def dgx2() -> Platform:
+    """A DGX-2-like box: 16×V100-32GB behind NVSwitch (beyond the paper's
+    testbeds; used by the generalization benchmark)."""
+    return Platform(
+        name="dgx2",
+        gpu=v100_32gb(),
+        topology=nvswitch(16, lanes_per_gpu=6),
+        host_memory_bytes=1536 * GIB,
+        pcie_bandwidth=gbps(16),
+    )
+
+
+def pcie_only(num_gpus: int = 4) -> Platform:
+    """A commodity multi-GPU box with no NVLink at all.
+
+    Every GPU pair is unconnected, so the only sources are local HBM and
+    host DRAM — the degenerate platform where any partition policy
+    collapses and UGache must fall back to pure replication.
+    """
+    import numpy as np
+
+    spec = v100_16gb()
+    topo = Topology(
+        kind=TopologyKind.HARDWIRED,
+        lane_counts=np.zeros((num_gpus, num_gpus), dtype=np.int64),
+        lane_bandwidth=spec.nvlink_lane_bandwidth,
+        outbound_lanes=0,
+        name=f"pcie-only-{num_gpus}gpu",
+    )
+    return Platform(
+        name=f"pcie-only-{num_gpus}gpu",
+        gpu=spec,
+        topology=topo,
+        pcie_bandwidth=gbps(16),
+    )
+
+
+#: Registry used by benchmarks to iterate the paper's testbeds.
+PRESETS = {
+    "server-a": server_a,
+    "server-b": server_b,
+    "server-c": server_c,
+}
+
+#: Extension platforms beyond the paper (generalization benchmark).
+EXTRA_PLATFORMS = {
+    "dgx2": dgx2,
+    "pcie-only": pcie_only,
+}

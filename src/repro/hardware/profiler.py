@@ -1,0 +1,116 @@
+"""Platform profiler: measure the tables the Solver consumes (§4, §6.2).
+
+The real UGache profiles its host's bandwidth hierarchy at startup; the
+Solver then works only from ``T_{i←j}`` cost coefficients, link tolerances
+and core-dedication ratios.  This module reproduces that boundary: it
+derives the same tables *by probing the bandwidth model* (running the
+Figure-6 microbenchmark per path) rather than by reading `Platform`
+attributes, so a differently-sourced platform description — or a future
+empirical backend — plugs into the Solver unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.bandwidth import achieved_bandwidth
+from repro.hardware.platform import HOST, Platform
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """Everything the Solver needs to know about one machine.
+
+    Attributes:
+        name: platform display name.
+        num_gpus: GPU count.
+        sources: per destination GPU, its reachable source list.
+        cost_per_byte: ``(dst, src) → seconds/byte`` (measured).
+        tolerance: ``(dst, src) → saturating SM count`` (measured).
+    """
+
+    name: str
+    num_gpus: int
+    sources: dict[int, tuple[int, ...]]
+    cost_per_byte: dict[tuple[int, int], float]
+    tolerance: dict[tuple[int, int], int]
+
+    def bandwidth_matrix(self) -> np.ndarray:
+        """``(G, G+1)`` bandwidth table (last column = host), GB/s."""
+        out = np.zeros((self.num_gpus, self.num_gpus + 1))
+        for (dst, src), cost in self.cost_per_byte.items():
+            col = self.num_gpus if src == HOST else src
+            out[dst, col] = (1.0 / cost) / 1e9 if cost > 0 else 0.0
+        return out
+
+
+def profile_platform(platform: Platform, probe_points: int = 8) -> PlatformProfile:
+    """Run the Figure-6 microbenchmark on every path of ``platform``.
+
+    For each (dst, src) pair, sweeps the participating SM count and
+    records the plateau bandwidth (→ ``T_{i←j}``) and the saturation point
+    (→ link tolerance).  ``probe_points`` controls the sweep density; the
+    plateau estimate is exact because the underlying curve is piecewise
+    linear.
+    """
+    if probe_points < 2:
+        raise ValueError("need at least two probe points")
+    sources: dict[int, tuple[int, ...]] = {}
+    cost: dict[tuple[int, int], float] = {}
+    tolerance: dict[tuple[int, int], int] = {}
+    max_cores = platform.gpu.num_cores
+    sweep = np.unique(
+        np.linspace(1, max_cores, probe_points).round().astype(int)
+    )
+    for dst in platform.gpu_ids:
+        srcs = tuple(platform.sources_for(dst))
+        sources[dst] = srcs
+        for src in srcs:
+            readers = (
+                platform.num_gpus - 1
+                if src not in (dst, HOST)
+                and platform.topology.kind.value == "switch"
+                else 1
+            )
+            bandwidths = np.array(
+                [
+                    achieved_bandwidth(platform, dst, src, int(c), readers)
+                    for c in sweep
+                ]
+            )
+            plateau = float(bandwidths.max(initial=0.0))
+            cost[(dst, src)] = float("inf") if plateau <= 0 else 1.0 / plateau
+            if plateau <= 0:
+                tolerance[(dst, src)] = 0
+            else:
+                per_core = bandwidths[0] / sweep[0]
+                tolerance[(dst, src)] = max(1, int(round(plateau / per_core)))
+    return PlatformProfile(
+        name=platform.name,
+        num_gpus=platform.num_gpus,
+        sources=sources,
+        cost_per_byte=cost,
+        tolerance=tolerance,
+    )
+
+
+def verify_profile(platform: Platform, profile: PlatformProfile, rel: float = 0.05) -> bool:
+    """Cross-check a profile against the platform's own tables.
+
+    Returns True when every measured cost coefficient is within ``rel`` of
+    ``platform.cost_per_byte`` (used by tests and as a self-check when
+    loading externally produced profiles).
+    """
+    for dst in platform.gpu_ids:
+        for src in platform.sources_for(dst):
+            expected = platform.cost_per_byte(dst, src)
+            measured = profile.cost_per_byte[(dst, src)]
+            if not np.isfinite(expected):
+                if np.isfinite(measured):
+                    return False
+                continue
+            if abs(measured - expected) > rel * expected:
+                return False
+    return True

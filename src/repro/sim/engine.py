@@ -1,0 +1,134 @@
+"""Batch-level extraction simulation across all GPUs of a platform.
+
+The engine takes one :class:`~repro.sim.mechanisms.GpuDemand` per GPU
+(data-parallel execution: every GPU extracts its own batch concurrently),
+dispatches to the selected mechanism's timing model, and aggregates a
+:class:`BatchReport`.  Data-parallel training/inference synchronizes every
+iteration, so the batch extraction time is the maximum over GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.platform import HOST, Platform
+from repro.sim.congestion import CongestionModel
+from repro.sim.mechanisms import (
+    GpuDemand,
+    GpuExtractionReport,
+    Mechanism,
+    factored_extraction,
+    message_extraction,
+    naive_peer_extraction,
+)
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome of one simulated batch extraction across all GPUs."""
+
+    mechanism: Mechanism
+    per_gpu: list[GpuExtractionReport]
+
+    @property
+    def time(self) -> float:
+        """Batch extraction time (data-parallel barrier = max over GPUs)."""
+        return max((r.time for r in self.per_gpu), default=0.0)
+
+    @property
+    def mean_gpu_time(self) -> float:
+        if not self.per_gpu:
+            return 0.0
+        return sum(r.time for r in self.per_gpu) / len(self.per_gpu)
+
+    def total_volume(self) -> float:
+        return sum(sum(r.volumes.values()) for r in self.per_gpu)
+
+    def volume_split(self) -> dict[str, float]:
+        """Aggregate bytes by source class: local / remote / host.
+
+        This is the quantity behind Figure 14's stacked access-rate bars
+        (after normalizing by the total).
+        """
+        local = sum(r.volume_local() for r in self.per_gpu)
+        remote = sum(r.volume_remote() for r in self.per_gpu)
+        host = sum(r.volume_host() for r in self.per_gpu)
+        return {"local": local, "remote": remote, "host": host}
+
+    def access_split(self) -> dict[str, float]:
+        """Fraction of bytes served from each source class (sums to 1)."""
+        split = self.volume_split()
+        total = sum(split.values())
+        if total <= 0:
+            return {k: 0.0 for k in split}
+        return {k: v / total for k, v in split.items()}
+
+    def time_split(self) -> dict[str, float]:
+        """Mean per-GPU seconds attributable to each source class (Fig. 15)."""
+        out = {"local": 0.0, "remote": 0.0, "host": 0.0}
+        if not self.per_gpu:
+            return out
+        for r in self.per_gpu:
+            for src, t in r.time_by_source.items():
+                if src == r.dst:
+                    out["local"] += t
+                elif src == HOST:
+                    out["host"] += t
+                else:
+                    out["remote"] += t
+        return {k: v / len(self.per_gpu) for k, v in out.items()}
+
+
+def readers_per_source(demands: list[GpuDemand]) -> dict[int, int]:
+    """How many GPUs pull from each GPU source this batch (switch collisions)."""
+    counts: dict[int, int] = {}
+    for d in demands:
+        for src, vol in d.volumes.items():
+            if vol > 0 and src not in (d.dst, HOST):
+                counts[src] = counts.get(src, 0) + 1
+    return counts
+
+
+def simulate_batch(
+    platform: Platform,
+    demands: list[GpuDemand],
+    mechanism: Mechanism = Mechanism.FACTORED,
+    congestion: CongestionModel | None = None,
+    local_padding: bool = True,
+) -> BatchReport:
+    """Simulate one data-parallel batch extraction.
+
+    Args:
+        platform: hardware model.
+        demands: one entry per participating GPU (usually all of them).
+        mechanism: extraction mechanism to model.
+        congestion: congestion tunables for the naive peer mechanism.
+        local_padding: FEM ablation switch — disable the local-group
+            padding of §5.3 to quantify its contribution.
+
+    Returns:
+        A :class:`BatchReport`; ``report.time`` is the batch extraction
+        time in seconds.
+    """
+    for demand in demands:
+        for src, vol in demand.volumes.items():
+            if vol > 0 and src != HOST and not platform.is_connected(demand.dst, src):
+                raise ValueError(
+                    f"GPU {demand.dst} cannot extract from unconnected GPU {src}"
+                )
+
+    if mechanism is Mechanism.MESSAGE:
+        reports = message_extraction(platform, demands, congestion)
+    elif mechanism is Mechanism.PEER_NAIVE:
+        readers = readers_per_source(demands)
+        reports = [
+            naive_peer_extraction(platform, d, readers, congestion) for d in demands
+        ]
+    elif mechanism is Mechanism.FACTORED:
+        reports = [
+            factored_extraction(platform, d, local_padding=local_padding)
+            for d in demands
+        ]
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown mechanism {mechanism}")
+    return BatchReport(mechanism=mechanism, per_gpu=reports)

@@ -1,0 +1,253 @@
+"""Chunk-level event-driven extraction simulator (cross-validation).
+
+The analytic models in :mod:`repro.sim.mechanisms` are fluid
+approximations: the factored model assumes perfect local padding, and the
+naive-peer model solves a steady-state occupancy fixed point.  This module
+simulates the same physics *discretely* — individual SMs pulling
+fixed-size chunks, link rates recomputed at every completion event — and
+is used by tests and the `bench_misc_event_sim` benchmark to check that
+the fluid models converge to the discrete behaviour (within chunking
+noise).
+
+Shared physics, independent dynamics: the per-link delivered-bandwidth law
+(full bandwidth up to tolerance, degraded beyond — §5.1/Figure 6) is the
+same :class:`~repro.sim.congestion.CongestionModel`; everything about
+*when* which SM reads from where is simulated, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.platform import HOST, Platform
+from repro.sim.congestion import CongestionModel
+from repro.sim.mechanisms import GpuDemand, core_dedication
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class EventSimResult:
+    """Outcome of one discrete simulation."""
+
+    total_time: float
+    chunks_processed: int
+    events: int
+
+
+def _link_rate(
+    model: CongestionModel,
+    peak: float,
+    per_core_bw: float,
+    active_cores: int,
+) -> float:
+    """Per-core byte rate on a link with ``active_cores`` concurrent SMs."""
+    if active_cores <= 0:
+        return 0.0
+    tolerance = peak / per_core_bw
+    delivered = model.effective_bandwidth(peak, active_cores, tolerance)
+    return min(per_core_bw, delivered / active_cores)
+
+
+def simulate_naive_event_driven(
+    platform: Platform,
+    demand: GpuDemand,
+    chunk_bytes: float = 64 * 1024,
+    model: CongestionModel | None = None,
+    readers_per_source: dict[int, int] | None = None,
+    seed: int = 0,
+) -> EventSimResult:
+    """Discretely simulate unorganized (random-dispatch) extraction.
+
+    The batch is cut into chunks, shuffled (random dispatch), and dealt to
+    SMs round-robin.  Each SM serially processes its queue; link rates are
+    recomputed whenever any SM finishes a chunk.  As ``chunk_bytes → 0``
+    this approaches the fluid fixed point of
+    :func:`repro.sim.congestion.solve_congested_extraction`.
+
+    ``readers_per_source`` uses the same semantics as
+    :func:`repro.sim.mechanisms.naive_peer_extraction`: on a switch
+    platform, ``k`` concurrent reader GPUs shrink a source's usable
+    outbound share to ``outbound / k``.
+    """
+    from repro.hardware.topology import TopologyKind
+
+    model = model or CongestionModel()
+    gpu = platform.gpu
+    rng = make_rng(seed)
+    readers = readers_per_source or {}
+
+    chunks: list[int] = []  # source per chunk
+    peaks = {}
+    for src, vol in demand.volumes.items():
+        if vol <= 0:
+            continue
+        if src in (demand.dst, HOST):
+            peak = platform.bandwidth(demand.dst, src)
+        elif platform.topology.kind is TopologyKind.SWITCH:
+            n_readers = max(1, readers.get(src, 1))
+            peak = platform.topology.outbound_bandwidth(src) / n_readers
+        else:
+            peak = platform.bandwidth(demand.dst, src)
+        if peak <= 0:
+            raise ValueError(f"source {src} unreachable from GPU {demand.dst}")
+        peaks[src] = peak
+        chunks.extend([src] * max(1, int(round(vol / chunk_bytes))))
+    if not chunks:
+        return EventSimResult(0.0, 0, 0)
+    order = rng.permutation(len(chunks))
+
+    num_cores = gpu.num_cores
+    queues: list[list[int]] = [[] for _ in range(num_cores)]
+    for i, chunk_idx in enumerate(order):
+        queues[i % num_cores].append(chunks[chunk_idx])
+
+    # Per-core state: current source (or None) and remaining bytes.
+    current: list[int | None] = [None] * num_cores
+    remaining = np.zeros(num_cores)
+    positions = [0] * num_cores
+    for core in range(num_cores):
+        if queues[core]:
+            current[core] = queues[core][0]
+            positions[core] = 1
+            remaining[core] = chunk_bytes
+
+    clock = 0.0
+    events = 0
+    processed = 0
+    while True:
+        active = [c for c in range(num_cores) if current[c] is not None]
+        if not active:
+            break
+        counts: dict[int, int] = {}
+        for core in active:
+            counts[current[core]] = counts.get(current[core], 0) + 1
+        rates = {
+            src: _link_rate(model, peaks[src], gpu.per_core_bandwidth, n)
+            for src, n in counts.items()
+        }
+        # Earliest completion under current rates.
+        dt = min(
+            remaining[core] / rates[current[core]]
+            for core in active
+            if rates[current[core]] > 0
+        )
+        clock += dt
+        events += 1
+        for core in active:
+            remaining[core] -= dt * rates[current[core]]
+            if remaining[core] <= 1e-9:
+                processed += 1
+                if positions[core] < len(queues[core]):
+                    current[core] = queues[core][positions[core]]
+                    positions[core] += 1
+                    remaining[core] = chunk_bytes
+                else:
+                    current[core] = None
+                    remaining[core] = 0.0
+    return EventSimResult(total_time=clock, chunks_processed=processed, events=events)
+
+
+def simulate_factored_event_driven(
+    platform: Platform,
+    demand: GpuDemand,
+    chunk_bytes: float = 64 * 1024,
+) -> EventSimResult:
+    """Discretely simulate the §5.3 factored schedule.
+
+    Dedicated SMs drain their group's chunk queue; each SM that runs out
+    of non-local work switches to the local queue (the low-priority
+    padding).  Converges to
+    :func:`repro.sim.mechanisms.factored_extraction` as chunks shrink.
+    """
+    gpu = platform.gpu
+    dedication = core_dedication(platform, demand.dst, list(demand.volumes))
+
+    # Build per-source chunk counts.
+    group_chunks: dict[int, int] = {}
+    peaks: dict[int, float] = {}
+    for src, vol in demand.volumes.items():
+        if vol <= 0:
+            continue
+        peaks[src] = platform.bandwidth(demand.dst, src)
+        group_chunks[src] = max(1, int(round(vol / chunk_bytes)))
+
+    local_src = demand.dst
+    local_remaining = group_chunks.pop(local_src, 0)
+
+    # Assign cores: dedicated per non-local group, remainder to local.
+    assignments: list[int] = []  # core -> source
+    for src, count in group_chunks.items():
+        cores = dedication.get(src, 1)
+        # Never beyond the link's tolerance (matches the analytic model's
+        # busy-core accounting).
+        busy = min(cores, platform.tolerance(demand.dst, src))
+        assignments.extend([src] * busy)
+    num_cores = gpu.num_cores
+    free_cores = num_cores - len(assignments)
+
+    remaining = dict(group_chunks)
+    clock = 0.0
+    events = 0
+    processed = 0
+    # Core states: (source or local) and time when it finishes its chunk.
+    cores: list[list] = []
+    for src in assignments:
+        cores.append([src, None])
+    for _ in range(max(free_cores, 0)):
+        cores.append(["local", None])
+
+    def chunk_time(src) -> float:
+        if src == "local":
+            return chunk_bytes / gpu.per_core_bandwidth
+        n = sum(1 for c in cores if c[0] == src and c[1] is not None)
+        rate = min(gpu.per_core_bandwidth, peaks[src] / max(n, 1))
+        return chunk_bytes / rate
+
+    # Seed initial chunks.
+    for core in cores:
+        src = core[0]
+        if src == "local":
+            if local_remaining > 0:
+                local_remaining -= 1
+                core[1] = 0.0  # placeholder; set below
+            else:
+                core[1] = None
+        else:
+            if remaining.get(src, 0) > 0:
+                remaining[src] -= 1
+                core[1] = 0.0
+            else:
+                core[0] = "local"
+                if local_remaining > 0:
+                    local_remaining -= 1
+                    core[1] = 0.0
+                else:
+                    core[1] = None
+    for core in cores:
+        if core[1] is not None:
+            core[1] = chunk_time(core[0])
+
+    while True:
+        active = [c for c in cores if c[1] is not None]
+        if not active:
+            break
+        t = min(c[1] for c in active)
+        clock = t
+        events += 1
+        for core in cores:
+            if core[1] is None or core[1] > t + 1e-15:
+                continue
+            processed += 1
+            src = core[0]
+            if src != "local" and remaining.get(src, 0) > 0:
+                remaining[src] -= 1
+                core[1] = t + chunk_time(src)
+            elif local_remaining > 0:
+                core[0] = "local"
+                local_remaining -= 1
+                core[1] = t + chunk_time("local")
+            else:
+                core[1] = None
+    return EventSimResult(total_time=clock, chunks_processed=processed, events=events)

@@ -1,0 +1,360 @@
+"""Timing models for the three extraction mechanisms of §3.2 / §5.
+
+Given, for each destination GPU, the number of bytes it must pull from every
+source location this batch, these functions compute the batch extraction
+time under:
+
+* :func:`factored_extraction` — UGache's FEM (§5.3): cores statically
+  dedicated per source within link tolerance, local extraction padding the
+  ragged non-local groups.  Matches the solver's time estimate (§6.2) by
+  construction.
+* :func:`naive_peer_extraction` — WholeGraph-style zero-copy peer access
+  with random dispatch; suffers the congestion of Figure 7 (modelled by
+  :mod:`repro.sim.congestion`).
+* :func:`message_extraction` — SOK-style buffered AllToAll exchange; pays
+  extra gather/reorder passes and per-stage launch overheads but uses links
+  efficiently during the exchange itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hardware.platform import HOST, Platform
+from repro.hardware.topology import TopologyKind
+from repro.sim.congestion import CongestionModel, solve_congested_extraction
+
+
+class Mechanism(enum.Enum):
+    """Cross-GPU embedding extraction mechanisms."""
+
+    FACTORED = "factored"
+    PEER_NAIVE = "peer"
+    MESSAGE = "message"
+
+
+@dataclass(frozen=True)
+class GpuDemand:
+    """Bytes one destination GPU must extract from each source this batch."""
+
+    dst: int
+    volumes: dict[int, float]
+
+    def __post_init__(self) -> None:
+        for src, vol in self.volumes.items():
+            if vol < 0:
+                raise ValueError(f"negative volume {vol} for source {src}")
+
+    @property
+    def total_bytes(self) -> float:
+        return float(sum(self.volumes.values()))
+
+    def volume(self, src: int) -> float:
+        return float(self.volumes.get(src, 0.0))
+
+    @property
+    def nonlocal_sources(self) -> list[int]:
+        return [s for s, v in self.volumes.items() if s != self.dst and v > 0]
+
+
+@dataclass(frozen=True)
+class GpuExtractionReport:
+    """Per-destination outcome of one simulated batch extraction."""
+
+    dst: int
+    mechanism: Mechanism
+    time: float
+    time_by_source: dict[int, float]
+    volumes: dict[int, float]
+    cores_by_source: dict[int, float] = field(default_factory=dict)
+    stage_times: dict[str, float] = field(default_factory=dict)
+
+    def volume_local(self) -> float:
+        return float(self.volumes.get(self.dst, 0.0))
+
+    def volume_host(self) -> float:
+        return float(self.volumes.get(HOST, 0.0))
+
+    def volume_remote(self) -> float:
+        return float(
+            sum(v for s, v in self.volumes.items() if s not in (self.dst, HOST))
+        )
+
+
+# ----------------------------------------------------------------------
+# Core dedication (§5.3)
+# ----------------------------------------------------------------------
+def core_dedication(
+    platform: Platform, dst: int, active_sources: list[int]
+) -> dict[int, int]:
+    """UGache's static core split for GPU ``dst`` (§5.3).
+
+    Host gets its small tolerance first ("a small number of cores for
+    host").  The remaining cores are sliced across remote GPUs by link
+    bandwidth ratio on hard-wired platforms, or equally on switch
+    platforms (abstracting the switch into a fully connected graph so each
+    reader claims a 1/(N-1) non-overlapping share).  Every remaining core
+    — and each dedicated core once its group drains — serves local
+    extraction, so local is not listed here.
+    """
+    total = platform.gpu.num_cores
+    dedication: dict[int, int] = {}
+    remotes = [s for s in active_sources if s not in (dst, HOST)]
+    if HOST in active_sources:
+        dedication[HOST] = min(platform.tolerance(dst, HOST), total // 4)
+
+    remaining = total - dedication.get(HOST, 0)
+    if remotes:
+        if platform.topology.kind is TopologyKind.SWITCH:
+            # Equal split across *all* peers keeps per-source claims at
+            # outbound/(N-1) even when only a few have traffic this batch.
+            share = remaining // (platform.num_gpus - 1)
+            for src in remotes:
+                dedication[src] = max(1, share)
+        else:
+            weights = {src: platform.bandwidth(dst, src) for src in remotes}
+            total_weight = sum(weights.values())
+            for src in remotes:
+                dedication[src] = max(
+                    1, int(remaining * weights[src] / total_weight)
+                )
+    return dedication
+
+
+# ----------------------------------------------------------------------
+# Factored extraction (§5.3)
+# ----------------------------------------------------------------------
+def factored_extraction(
+    platform: Platform,
+    demand: GpuDemand,
+    local_padding: bool = True,
+) -> GpuExtractionReport:
+    """Batch time under UGache's factored extraction mechanism.
+
+    Each non-local group ``j`` runs on its dedicated cores at
+    ``min(cores_j * per_core_bw, B_j)``; the local group runs at low
+    priority on every otherwise-idle core.  With padding, the batch time
+    is the larger of the slowest group and the work-conservation bound
+    ``(sum of busy core-seconds) / num_cores`` — exactly the Extractor
+    estimate the solver optimizes (§6.2).  Without padding (ablation),
+    local extraction waits for all non-local groups to finish.
+    """
+    gpu = platform.gpu
+    dedication = core_dedication(platform, demand.dst, list(demand.volumes))
+    time_by_source: dict[int, float] = {}
+    cores_by_source: dict[int, float] = {}
+    busy_core_seconds = 0.0
+    slowest_group = 0.0
+
+    for src in demand.nonlocal_sources + ([HOST] if demand.volume(HOST) > 0 else []):
+        if src in time_by_source:
+            continue
+        vol = demand.volume(src)
+        if vol <= 0:
+            continue
+        cores = dedication.get(src, 1)
+        link_bw = platform.bandwidth(demand.dst, src)
+        rate = min(cores * gpu.per_core_bandwidth, link_bw)
+        group_time = vol / rate
+        time_by_source[src] = group_time
+        cores_by_source[src] = cores
+        # Cores beyond the link's tolerance would stall; UGache never
+        # dedicates them, but guard the accounting anyway.
+        busy = min(cores, platform.tolerance(demand.dst, src))
+        busy_core_seconds += busy * group_time
+        slowest_group = max(slowest_group, group_time)
+
+    local_vol = demand.volume(demand.dst)
+    local_core_seconds = local_vol / gpu.per_core_bandwidth
+    if local_padding:
+        total = max(
+            slowest_group,
+            (busy_core_seconds + local_core_seconds) / gpu.num_cores,
+        )
+    else:
+        total = slowest_group + local_vol / gpu.local_bandwidth
+    if local_vol > 0:
+        time_by_source[demand.dst] = local_core_seconds / gpu.num_cores
+        cores_by_source[demand.dst] = gpu.num_cores
+
+    return GpuExtractionReport(
+        dst=demand.dst,
+        mechanism=Mechanism.FACTORED,
+        time=float(total),
+        time_by_source=time_by_source,
+        volumes=dict(demand.volumes),
+        cores_by_source=cores_by_source,
+    )
+
+
+# ----------------------------------------------------------------------
+# Naive peer extraction (WholeGraph-style, §5.2)
+# ----------------------------------------------------------------------
+def naive_peer_extraction(
+    platform: Platform,
+    demand: GpuDemand,
+    readers_per_source: dict[int, int] | None = None,
+    congestion: CongestionModel | None = None,
+) -> GpuExtractionReport:
+    """Batch time under unorganized zero-copy peer extraction.
+
+    ``readers_per_source`` tells the switch-collision model how many GPUs
+    are simultaneously pulling from each source (data-parallel execution
+    makes this ``G - 1`` for every GPU source under a partition policy).
+    """
+    gpu = platform.gpu
+    readers = readers_per_source or {}
+    peaks: dict[int, float] = {}
+    pressure: dict[int, float] = {}
+    for src, vol in demand.volumes.items():
+        if vol <= 0:
+            continue
+        if src in (demand.dst, HOST):
+            peaks[src] = platform.bandwidth(demand.dst, src)
+            pressure[src] = 1.0
+        elif platform.topology.kind is TopologyKind.SWITCH:
+            n_readers = max(1, readers.get(src, 1))
+            peaks[src] = platform.topology.outbound_bandwidth(src) / n_readers
+            pressure[src] = float(n_readers)
+        else:
+            peaks[src] = platform.bandwidth(demand.dst, src)
+            pressure[src] = 1.0
+
+    outcome = solve_congested_extraction(
+        volumes={s: v for s, v in demand.volumes.items() if v > 0},
+        peak_bandwidth=peaks,
+        per_core_bandwidth=gpu.per_core_bandwidth,
+        num_cores=gpu.num_cores,
+        model=congestion,
+        collision_pressure=pressure,
+    )
+    time_by_source = {
+        s: cs / gpu.num_cores for s, cs in outcome.core_seconds.items()
+    }
+    return GpuExtractionReport(
+        dst=demand.dst,
+        mechanism=Mechanism.PEER_NAIVE,
+        time=outcome.total_time,
+        time_by_source=time_by_source,
+        volumes=dict(demand.volumes),
+        cores_by_source=outcome.cores_by_source,
+    )
+
+
+# ----------------------------------------------------------------------
+# Message-based extraction (SOK-style AllToAll, §3.2)
+# ----------------------------------------------------------------------
+#: Fixed per-stage cost of launching/synchronizing a collective round.
+MESSAGE_STAGE_OVERHEAD = 30e-6
+
+
+def message_extraction(
+    platform: Platform,
+    demands: list[GpuDemand],
+    congestion: CongestionModel | None = None,
+) -> list[GpuExtractionReport]:
+    """Batch times under buffered AllToAll message passing.
+
+    Stages (serialized, as NCCL-based embedding exchanges are):
+
+    1. *gather*: every GPU reads the entries requested by all peers from
+       its local shard and packs them into contiguous send buffers — one
+       gather pass plus one sequential write pass over the HBM;
+    2. *exchange*: AllToAll over the interconnect; collectives schedule
+       transfers explicitly, so links run at full (uncongested) bandwidth
+       and the stage ends when the busiest endpoint finishes;
+    3. *reorder*: each GPU scatters received buffers back into the
+       requested key order — again two HBM passes;
+    4. host-resident entries are fetched directly over PCIe, overlapping
+       the exchange stage.
+
+    All GPUs synchronize at each collective, so every GPU reports the same
+    batch time (the max over endpoints).
+    """
+    if not demands:
+        return []
+    gpu = platform.gpu
+    dsts = [d.dst for d in demands]
+    if len(set(dsts)) != len(dsts):
+        raise ValueError("duplicate destination GPUs in demand list")
+
+    # Bytes GPU j must send to GPU i: demands[i].volumes[j].
+    sent_by: dict[int, float] = {g: 0.0 for g in platform.gpu_ids}
+    recv_by: dict[int, float] = {g: 0.0 for g in platform.gpu_ids}
+    pair_bytes: dict[tuple[int, int], float] = {}
+    host_by: dict[int, float] = {g: 0.0 for g in platform.gpu_ids}
+    local_by: dict[int, float] = {g: 0.0 for g in platform.gpu_ids}
+    for d in demands:
+        for src, vol in d.volumes.items():
+            if vol <= 0:
+                continue
+            if src == HOST:
+                host_by[d.dst] += vol
+            elif src == d.dst:
+                local_by[d.dst] += vol
+            else:
+                sent_by[src] += vol
+                recv_by[d.dst] += vol
+                pair_bytes[(d.dst, src)] = pair_bytes.get((d.dst, src), 0.0) + vol
+
+    # Stage 1: gather into send buffers (plus each GPU's local entries,
+    # which message-based systems also route through the buffer).
+    gather_time = max(
+        2.0 * (sent_by[g] + local_by[g]) / gpu.local_bandwidth
+        for g in platform.gpu_ids
+    )
+
+    # Stage 2: AllToAll exchange.
+    if platform.topology.kind is TopologyKind.SWITCH:
+        out_bw = platform.topology.outbound_bandwidth(0)
+        exchange_time = max(
+            max(sent_by[g] / out_bw, recv_by[g] / out_bw) for g in platform.gpu_ids
+        )
+    else:
+        exchange_time = 0.0
+        for (dst, src), vol in pair_bytes.items():
+            bw = platform.peak_pair_bandwidth(dst, src)
+            if bw <= 0:
+                # Unconnected pair: the collective routes through PCIe.
+                bw = platform.pcie_bandwidth
+            exchange_time = max(exchange_time, vol / bw)
+
+    # Stage 4 overlaps stage 2.
+    host_time = max(
+        (host_by[g] / platform.pcie_bandwidth for g in platform.gpu_ids), default=0.0
+    )
+    exchange_time = max(exchange_time, host_time)
+
+    # Stage 3: reorder received buffers (remote + local + host entries all
+    # pass through the output reordering).
+    reorder_time = max(
+        2.0 * (recv_by[g] + local_by[g] + host_by[g]) / gpu.local_bandwidth
+        for g in platform.gpu_ids
+    )
+
+    total = (
+        gather_time + exchange_time + reorder_time + 3 * MESSAGE_STAGE_OVERHEAD
+    )
+    reports = []
+    for d in demands:
+        stage_times = {
+            "gather": gather_time,
+            "exchange": exchange_time,
+            "reorder": reorder_time,
+        }
+        time_by_source = {
+            src: (vol / d.total_bytes) * total if d.total_bytes else 0.0
+            for src, vol in d.volumes.items()
+        }
+        reports.append(
+            GpuExtractionReport(
+                dst=d.dst,
+                mechanism=Mechanism.MESSAGE,
+                time=float(total),
+                time_by_source=time_by_source,
+                volumes=dict(d.volumes),
+                stage_times=stage_times,
+            )
+        )
+    return reports

@@ -1,0 +1,45 @@
+"""Shared utilities: unit conversions, deterministic RNG helpers, statistics."""
+
+from repro.utils.units import (
+    GB,
+    GIB,
+    KB,
+    MB,
+    MS,
+    US,
+    bytes_to_gb,
+    gb_to_bytes,
+    gbps,
+    seconds_to_ms,
+    seconds_to_us,
+)
+from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.stats import (
+    geometric_mean,
+    normalize,
+    weighted_percentile,
+    zipf_pmf,
+)
+
+__all__ = [
+    "GB",
+    "GIB",
+    "KB",
+    "MB",
+    "MS",
+    "US",
+    "bytes_to_gb",
+    "gb_to_bytes",
+    "gbps",
+    "seconds_to_ms",
+    "seconds_to_us",
+    "enable_console_logging",
+    "get_logger",
+    "make_rng",
+    "spawn_rngs",
+    "geometric_mean",
+    "normalize",
+    "weighted_percentile",
+    "zipf_pmf",
+]

@@ -1,0 +1,44 @@
+"""Library logging: namespaced loggers with the standard null handler.
+
+Follows library convention: ``repro`` never configures the root logger;
+applications opt in (e.g. ``logging.basicConfig(level=logging.DEBUG)``)
+and then see solver/refresher diagnostics.  :func:`enable_console_logging`
+is a convenience for scripts and the CLI.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` namespace (idempotent).
+
+    Returns the handler so callers can detach it again.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in root.handlers:
+        if getattr(handler, "_repro_console", False):
+            root.setLevel(level)
+            return handler
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    handler._repro_console = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

@@ -1,0 +1,85 @@
+"""Figure 6 microbenchmark model: bandwidth vs participating cores."""
+
+import pytest
+
+from repro.hardware.bandwidth import achieved_bandwidth, tolerance_curves
+from repro.hardware.platform import HOST
+
+
+class TestAchievedBandwidth:
+    def test_linear_before_plateau(self, platform_c):
+        one = achieved_bandwidth(platform_c, 0, 0, 1)
+        two = achieved_bandwidth(platform_c, 0, 0, 2)
+        assert two == pytest.approx(2 * one)
+
+    def test_local_plateau_is_hbm(self, platform_c):
+        full = achieved_bandwidth(platform_c, 0, 0, platform_c.gpu.num_cores)
+        assert full == pytest.approx(platform_c.gpu.local_bandwidth)
+
+    def test_host_plateau_is_pcie(self, platform_a):
+        full = achieved_bandwidth(platform_a, 0, HOST, 80)
+        assert full == pytest.approx(platform_a.pcie_bandwidth)
+
+    def test_extra_cores_add_nothing(self, platform_a):
+        at_tol = achieved_bandwidth(platform_a, 0, HOST, platform_a.tolerance(0, HOST))
+        beyond = achieved_bandwidth(platform_a, 0, HOST, 80)
+        assert beyond == pytest.approx(at_tol, rel=0.25)
+
+    def test_cores_clamped_to_gpu(self, platform_a):
+        assert achieved_bandwidth(platform_a, 0, 0, 10_000) == pytest.approx(
+            platform_a.gpu.local_bandwidth
+        )
+
+    def test_zero_cores_zero_bandwidth(self, platform_a):
+        assert achieved_bandwidth(platform_a, 0, 1, 0) == 0.0
+
+    def test_concurrent_readers_share_switch_outbound(self, platform_c):
+        alone = achieved_bandwidth(platform_c, 0, 1, 108, concurrent_readers=1)
+        shared = achieved_bandwidth(platform_c, 0, 1, 108, concurrent_readers=7)
+        assert alone == pytest.approx(300e9)
+        assert shared == pytest.approx(300e9 / 7)
+
+    def test_concurrent_readers_ignored_on_hardwired(self, platform_a):
+        alone = achieved_bandwidth(platform_a, 0, 1, 80, concurrent_readers=1)
+        shared = achieved_bandwidth(platform_a, 0, 1, 80, concurrent_readers=3)
+        assert alone == shared
+
+    def test_rejects_negative_cores(self, platform_a):
+        with pytest.raises(ValueError):
+            achieved_bandwidth(platform_a, 0, 0, -1)
+
+    def test_rejects_zero_readers(self, platform_c):
+        with pytest.raises(ValueError):
+            achieved_bandwidth(platform_c, 0, 1, 10, concurrent_readers=0)
+
+
+class TestToleranceCurves:
+    def test_includes_cpu_local_remote(self, platform_a):
+        labels = [c.source_label for c in tolerance_curves(platform_a)]
+        assert "CPU" in labels and "Local" in labels
+        assert any(label.startswith("Remote") for label in labels)
+
+    def test_cpu_saturates_before_local(self, platform_c):
+        curves = {c.source_label: c for c in tolerance_curves(platform_c)}
+        assert curves["CPU"].saturation_cores < curves["Local"].saturation_cores
+
+    def test_curves_monotone(self, platform_a):
+        for curve in tolerance_curves(platform_a):
+            diffs = curve.bandwidth[1:] - curve.bandwidth[:-1]
+            assert (diffs >= -1e-6).all()
+
+    def test_dgx1_has_multiple_remote_curves(self, platform_b):
+        remotes = [
+            c for c in tolerance_curves(platform_b) if c.source_label.startswith("Remote")
+        ]
+        # DGX-1 pairs have 1-lane and 2-lane links: two distinct curves.
+        assert len(remotes) == 2
+
+    def test_plateaus_match_platform(self, platform_a):
+        curves = {c.source_label: c for c in tolerance_curves(platform_a)}
+        assert curves["Local"].plateau_bandwidth == pytest.approx(
+            platform_a.gpu.local_bandwidth
+        )
+        assert curves["CPU"].plateau_bandwidth == pytest.approx(
+            platform_a.pcie_bandwidth
+        )

@@ -1,0 +1,82 @@
+"""Benchmark context builders (shared by every figure driver)."""
+
+import pytest
+
+from repro.bench.contexts import (
+    DLR_BATCH_SIZE,
+    GNN_BATCH_SIZE,
+    dlr_cell,
+    gnn_cell,
+    platform_by_name,
+)
+from repro.hardware.platform import server_c
+
+
+class TestPlatformByName:
+    def test_known_names(self):
+        for name in ("server-a", "server-b", "server-c"):
+            assert platform_by_name(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            platform_by_name("server-d")
+
+
+class TestGnnCell:
+    @pytest.fixture(scope="class")
+    def cell(self):
+        return gnn_cell(server_c(), "pa", "sage-sup")
+
+    def test_context_shape(self, cell):
+        ctx = cell.context
+        assert ctx.kind == "gnn"
+        assert ctx.num_entries == 111_000
+        assert ctx.entry_bytes == 512
+        assert ctx.batch_keys > GNN_BATCH_SIZE  # seeds + sampled neighbours
+
+    def test_dense_and_sampling_times(self, cell):
+        assert cell.context.dense_time > 0
+        assert cell.context.sampling_time > 0
+
+    def test_iterations_positive(self, cell):
+        assert cell.iterations_per_epoch >= 1
+
+    def test_capacity_from_scaled_memory(self, cell):
+        assert 0 < cell.context.capacity_entries < 111_000
+
+    def test_ratio_override(self):
+        cell = gnn_cell(server_c(), "pa", "sage-sup", cache_ratio=0.02)
+        assert cell.context.capacity_entries == int(0.02 * 111_000)
+
+    def test_hotness_memoized(self):
+        a = gnn_cell(server_c(), "pa", "sage-sup")
+        b = gnn_cell(server_c(), "pa", "sage-sup")
+        assert a.context.hotness is b.context.hotness
+
+
+class TestDlrCell:
+    @pytest.fixture(scope="class")
+    def cell(self):
+        return dlr_cell(server_c(), "syn-a", "dlrm")
+
+    def test_context_shape(self, cell):
+        ctx = cell.context
+        assert ctx.kind == "dlr"
+        assert ctx.num_entries == 800_000
+        assert ctx.num_tables == 100
+        assert ctx.batch_keys == DLR_BATCH_SIZE * 100
+
+    def test_no_sampling_time(self, cell):
+        assert cell.context.sampling_time == 0.0
+
+    def test_dense_time_positive(self, cell):
+        assert cell.context.dense_time > 0
+
+    def test_model_recorded(self, cell):
+        assert cell.model == "dlrm"
+        assert cell.dataset_key == "syn-a"
+
+    def test_dcn_costs_more(self):
+        dlrm = dlr_cell(server_c(), "syn-a", "dlrm").context.dense_time
+        dcn = dlr_cell(server_c(), "syn-a", "dcn").context.dense_time
+        assert dcn > dlrm

@@ -1,0 +1,69 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.platform == "server-c"
+        assert args.cache_ratio == 0.08
+
+    def test_solve_overrides(self):
+        args = build_parser().parse_args(
+            ["solve", "--platform", "server-a", "--entries", "100", "--alpha", "0.9"]
+        )
+        assert args.platform == "server-a"
+        assert args.entries == 100
+        assert args.alpha == 0.9
+
+    def test_invalid_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--platform", "server-z"])
+
+
+class TestCommands:
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        for key in ("fig2", "fig10", "table1", "fig16"):
+            assert key in out
+
+    def test_experiment_registry_complete(self):
+        # Every paper table/figure has a CLI id.
+        expected = {
+            "table1", "table3",
+            "fig2", "fig4", "fig6", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "fig16", "fig17",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_platforms_command(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "server-a" in out and "server-c" in out
+        assert "GB/s" in out
+
+    def test_solve_command_small(self, capsys):
+        code = main(
+            ["solve", "--entries", "500", "--cache-ratio", "0.1",
+             "--platform", "server-a", "--coarse-frac", "0.1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated extraction time" in out
+        assert "hit rates" in out
+
+    def test_experiment_command_fast_driver(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "Criteo-TB" in capsys.readouterr().out

@@ -1,0 +1,157 @@
+"""Placement evaluation: source resolution, hit rates, demands."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluate import (
+    demand_from_keys,
+    evaluate_placement,
+    expected_demands,
+    hit_rates,
+    resolve_sources,
+)
+from repro.core.policy import (
+    Placement,
+    empty_placement,
+    partition_policy,
+    replication_policy,
+)
+from repro.hardware.platform import HOST
+from repro.sim.mechanisms import Mechanism
+from repro.utils.stats import zipf_pmf
+
+HOT = zipf_pmf(500, 1.2) * 2000
+ENTRY_BYTES = 64
+
+
+class TestResolveSources:
+    def test_local_preferred(self, platform_a):
+        placement = replication_policy(HOT, 50, 4)
+        srcs = resolve_sources(platform_a, placement)
+        for g in range(4):
+            assert (srcs[g][:50] == g).all()
+
+    def test_uncached_goes_to_host(self, platform_a):
+        placement = replication_policy(HOT, 50, 4)
+        srcs = resolve_sources(platform_a, placement)
+        assert (srcs[0][50:] == HOST).all()
+
+    def test_partition_reads_remote_holder(self, platform_a):
+        placement = partition_policy(HOT, 50, 4)
+        srcs = resolve_sources(platform_a, placement)
+        mat = placement.storage_matrix()
+        for g in range(4):
+            cached_somewhere = mat.any(axis=0)
+            mask = cached_somewhere & ~mat[g]
+            # Non-local cached entries are read from their holder, not host.
+            assert (srcs[g][mask] != HOST).all()
+            # And the chosen source actually stores the entry.
+            for e in np.flatnonzero(mask)[:20]:
+                assert mat[srcs[g][e], e]
+
+    def test_unconnected_holder_falls_back_to_host(self, platform_b):
+        # Entry cached only on GPU 5; GPU 0 cannot reach it on DGX-1.
+        per_gpu = [np.empty(0, dtype=np.int64)] * 8
+        per_gpu[5] = np.array([7])
+        placement = Placement(num_entries=500, per_gpu=tuple(per_gpu))
+        srcs = resolve_sources(platform_b, placement)
+        assert srcs[0][7] == HOST
+        assert srcs[4][7] == 5  # same quad: reachable
+
+    def test_equal_cost_holders_rotated(self, platform_c):
+        # All 7 remote GPUs hold the same entries: readers spread load.
+        ids = np.arange(100)
+        per_gpu = tuple(ids for _ in range(8))
+        placement = Placement(num_entries=500, per_gpu=per_gpu)
+        # Remove local copies for GPU 0 to force remote reads.
+        per_gpu = (np.empty(0, dtype=np.int64),) + tuple(ids for _ in range(7))
+        placement = Placement(num_entries=500, per_gpu=per_gpu)
+        srcs = resolve_sources(platform_c, placement)[0][:100]
+        assert len(np.unique(srcs)) > 1
+
+    def test_gpu_count_mismatch_rejected(self, platform_a):
+        placement = replication_policy(HOT, 10, 8)
+        with pytest.raises(ValueError):
+            resolve_sources(platform_a, placement)
+
+
+class TestHitRates:
+    def test_replication_has_no_remote(self, platform_a):
+        hits = hit_rates(platform_a, replication_policy(HOT, 100, 4), HOT)
+        assert hits.remote == 0.0
+        assert hits.local + hits.host == pytest.approx(1.0)
+
+    def test_partition_local_is_global_over_gpus(self, platform_c):
+        hits = hit_rates(platform_c, partition_policy(HOT, 50, 8), HOT)
+        assert hits.local == pytest.approx(hits.global_hit / 8, rel=0.15)
+
+    def test_empty_cache_all_host(self, platform_a):
+        hits = hit_rates(platform_a, empty_placement(500, 4), HOT)
+        assert hits.host == pytest.approx(1.0)
+
+    def test_splits_sum_to_one(self, platform_b):
+        hits = hit_rates(platform_b, partition_policy(HOT, 30, 8), HOT)
+        assert hits.local + hits.remote + hits.host == pytest.approx(1.0)
+
+    def test_as_percent(self, platform_a):
+        hits = hit_rates(platform_a, replication_policy(HOT, 100, 4), HOT)
+        pct = hits.as_percent()
+        assert pct["local"] == pytest.approx(100 * hits.local)
+
+
+class TestExpectedDemands:
+    def test_volumes_match_hotness_mass(self, platform_a):
+        placement = replication_policy(HOT, 100, 4)
+        demands = expected_demands(platform_a, placement, HOT, ENTRY_BYTES)
+        total = sum(d.total_bytes for d in demands)
+        assert total == pytest.approx(4 * HOT.sum() * ENTRY_BYTES)
+
+    def test_local_volume_is_cached_mass(self, platform_a):
+        placement = replication_policy(HOT, 100, 4)
+        demands = expected_demands(platform_a, placement, HOT, ENTRY_BYTES)
+        expected_local = HOT[:100].sum() * ENTRY_BYTES
+        assert demands[0].volume(0) == pytest.approx(expected_local)
+
+    def test_hotness_length_checked(self, platform_a):
+        placement = replication_policy(HOT, 10, 4)
+        with pytest.raises(ValueError):
+            expected_demands(platform_a, placement, HOT[:-1], ENTRY_BYTES)
+
+
+class TestDemandFromKeys:
+    def test_counts_duplicates(self, platform_a):
+        placement = replication_policy(HOT, 100, 4)
+        srcs = resolve_sources(platform_a, placement)
+        keys = np.array([0, 0, 0, 499])
+        demand = demand_from_keys(platform_a, srcs, 0, keys, ENTRY_BYTES)
+        assert demand.volume(0) == 3 * ENTRY_BYTES
+        assert demand.volume(HOST) == 1 * ENTRY_BYTES
+
+    def test_empty_batch(self, platform_a):
+        placement = replication_policy(HOT, 100, 4)
+        srcs = resolve_sources(platform_a, placement)
+        demand = demand_from_keys(
+            platform_a, srcs, 0, np.empty(0, dtype=np.int64), ENTRY_BYTES
+        )
+        assert demand.total_bytes == 0.0
+
+
+class TestEvaluatePlacement:
+    def test_more_cache_never_slower(self, platform_c):
+        small = evaluate_placement(
+            platform_c, replication_policy(HOT, 20, 8), HOT, ENTRY_BYTES
+        ).time
+        large = evaluate_placement(
+            platform_c, replication_policy(HOT, 200, 8), HOT, ENTRY_BYTES
+        ).time
+        assert large <= small
+
+    def test_mechanism_affects_time(self, platform_c):
+        placement = partition_policy(HOT, 50, 8)
+        fem = evaluate_placement(
+            platform_c, placement, HOT, ENTRY_BYTES, Mechanism.FACTORED
+        ).time
+        naive = evaluate_placement(
+            platform_c, placement, HOT, ENTRY_BYTES, Mechanism.PEER_NAIVE
+        ).time
+        assert fem < naive

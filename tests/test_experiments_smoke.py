@@ -1,0 +1,69 @@
+"""Smoke tests for the cheap experiment drivers.
+
+The expensive sweeps (Figures 10-16) are exercised by ``pytest
+benchmarks/``; here only the seconds-scale drivers run, to keep the unit
+suite fast while guaranteeing every driver module stays importable and the
+fast ones produce structurally valid results.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.harness import render_table
+
+
+def test_all_drivers_importable():
+    drivers = [
+        experiments.table1_breakdown,
+        experiments.fig2_policy_motivation,
+        experiments.fig4_mechanism_motivation,
+        experiments.fig6_core_tolerance,
+        experiments.fig10_end_to_end,
+        experiments.fig11_extraction_time,
+        experiments.fig12_incremental,
+        experiments.fig13_link_utilization,
+        experiments.fig14_access_split,
+        experiments.fig15_time_split,
+        experiments.fig16_vs_optimal,
+        experiments.fig17_refresh,
+        experiments.table3_datasets,
+        experiments.misc_solver_scale,
+        experiments.ablation_padding,
+        experiments.ablation_blocking,
+    ]
+    assert all(callable(d) for d in drivers)
+
+
+def test_table3_rows_render():
+    result = experiments.table3_datasets()
+    assert len(result.rows) == 6
+    text = render_table(result)
+    assert "Criteo-TB" in text
+
+
+def test_fig6_curves():
+    result = experiments.fig6_core_tolerance()
+    platforms = {row["platform"] for row in result.rows}
+    assert platforms == {"server-a", "server-c"}
+    for row in result.rows:
+        assert row["plateau_gbps"] > 0
+
+
+def test_fig17_refresh_bounds():
+    result = experiments.fig17_refresh()
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert 0 < row["impact_pct"] <= 10.5
+        assert row["latency_during_ms"] > row["latency_before_ms"]
+
+
+@pytest.mark.slow
+def test_table1_structure():
+    result = experiments.table1_breakdown()
+    components = [row["component"] for row in result.rows]
+    assert components == [
+        "MLP (dense+sample)",
+        "EMT (no cache)",
+        "EMT (w/ cache)",
+        "Total (w/ cache)",
+    ]

@@ -1,0 +1,105 @@
+"""Runtime factored Extractor: plans, grouping, execution (Figure 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import MultiGpuEmbeddingCache
+from repro.core.extractor import FactoredExtractor
+from repro.core.policy import partition_policy, replication_policy
+from repro.hardware.platform import HOST
+
+N, D = 2000, 8
+
+
+@pytest.fixture
+def extractor(platform_a, small_table, skewed_hotness):
+    placement = partition_policy(skewed_hotness, 200, 4)
+    cache = MultiGpuEmbeddingCache(platform_a, small_table, placement)
+    return FactoredExtractor(cache)
+
+
+class TestPlan:
+    def test_groups_cover_batch(self, extractor, rng):
+        keys = rng.integers(0, N, size=300)
+        plan = extractor.plan(0, keys)
+        positions = np.concatenate([g.batch_positions for g in plan.groups])
+        assert sorted(positions.tolist()) == list(range(300))
+
+    def test_groups_are_source_pure(self, extractor, rng):
+        keys = rng.integers(0, N, size=300)
+        plan = extractor.plan(0, keys)
+        source_map = extractor._cache.source_map
+        for group in plan.groups:
+            assert (source_map[0][group.keys] == group.source).all()
+
+    def test_local_group_is_last(self, extractor):
+        # Key 0..799 are partitioned over GPUs; include locals and remotes.
+        keys = np.arange(800)
+        plan = extractor.plan(2, keys)
+        local = plan.local_group
+        assert local is not None
+        assert plan.groups[-1].source == 2
+
+    def test_nonlocal_offsets_resolve_storage(self, extractor, small_table):
+        keys = np.arange(800)
+        plan = extractor.plan(0, keys)
+        for group in plan.nonlocal_groups:
+            if group.source == HOST:
+                continue
+            store = extractor._cache.store(group.source)
+            assert np.array_equal(store.data[group.offsets], small_table[group.keys])
+
+    def test_dedicated_cores_positive(self, extractor):
+        plan = extractor.plan(0, np.arange(1000))
+        for group in plan.groups:
+            assert group.dedicated_cores >= 1
+
+    def test_local_gets_all_cores(self, extractor, platform_a):
+        plan = extractor.plan(0, np.arange(1000))
+        assert plan.local_group.dedicated_cores == platform_a.gpu.num_cores
+
+    def test_demand_volumes(self, extractor):
+        keys = np.arange(100)
+        plan = extractor.plan(0, keys)
+        demand = plan.demand(entry_bytes=32)
+        assert demand.total_bytes == 100 * 32
+
+
+class TestExecute:
+    def test_values_exact(self, extractor, small_table, rng):
+        keys = rng.integers(0, N, size=500)
+        plan = extractor.plan(1, keys)
+        values, demand = extractor.execute(plan)
+        assert np.array_equal(values, small_table[keys])
+        assert demand.total_bytes == 500 * extractor._cache.entry_bytes
+
+    def test_extract_all_gpus(self, extractor, small_table, rng):
+        keys = [rng.integers(0, N, size=200) for _ in range(4)]
+        values, report = extractor.extract(keys)
+        for v, k in zip(values, keys):
+            assert np.array_equal(v, small_table[k])
+        assert report.time > 0
+
+    def test_price_matches_extract_time(self, extractor, rng):
+        keys = [rng.integers(0, N, size=200) for _ in range(4)]
+        _, report = extractor.extract(keys)
+        solo = extractor.price(0, keys[0])
+        assert solo.time <= report.time + 1e-9
+
+
+class TestPaddingAblation:
+    def test_padding_no_slower(self, extractor, rng):
+        keys = [rng.integers(0, N, size=400) for _ in range(4)]
+        _, padded = extractor.extract(keys, local_padding=True)
+        _, serial = extractor.extract(keys, local_padding=False)
+        assert padded.time <= serial.time + 1e-12
+
+
+class TestReplicationPlans:
+    def test_all_local_single_group(self, platform_a, small_table, skewed_hotness):
+        placement = replication_policy(skewed_hotness, N, 4)
+        cache = MultiGpuEmbeddingCache(platform_a, small_table, placement)
+        extractor = FactoredExtractor(cache)
+        plan = extractor.plan(0, np.arange(500))
+        assert len(plan.groups) == 1
+        assert plan.groups[0].source == 0

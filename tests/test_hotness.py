@@ -1,0 +1,120 @@
+"""Hotness metric (§6.1): tracking, presampling, degree proxy."""
+
+import numpy as np
+import pytest
+
+from repro.core.hotness import (
+    HotnessTracker,
+    degree_hotness,
+    hotness_skew,
+    presample_hotness,
+)
+
+
+class TestHotnessTracker:
+    def test_counts_accesses(self):
+        tracker = HotnessTracker(5)
+        tracker.record(np.array([0, 0, 3]))
+        counts = tracker.counts()
+        assert counts[0] == 2 and counts[3] == 1 and counts[1] == 0
+
+    def test_hotness_normalized_per_batch(self):
+        tracker = HotnessTracker(4)
+        tracker.record(np.array([1, 1]))
+        tracker.record(np.array([1]))
+        assert tracker.hotness()[1] == pytest.approx(1.5)
+
+    def test_duplicates_count(self):
+        # The paper's extract reads one entry per occurrence.
+        tracker = HotnessTracker(3)
+        tracker.record(np.array([2, 2, 2, 2]))
+        assert tracker.counts()[2] == 4
+
+    def test_empty_batch_still_counts_as_batch(self):
+        tracker = HotnessTracker(3)
+        tracker.record(np.array([], dtype=np.int64))
+        assert tracker.batches_recorded == 1
+
+    def test_hotness_before_recording_raises(self):
+        with pytest.raises(RuntimeError):
+            HotnessTracker(3).hotness()
+
+    def test_out_of_range_key_rejected(self):
+        tracker = HotnessTracker(3)
+        with pytest.raises(ValueError):
+            tracker.record(np.array([3]))
+        with pytest.raises(ValueError):
+            tracker.record(np.array([-1]))
+
+    def test_merge(self):
+        a = HotnessTracker(3)
+        b = HotnessTracker(3)
+        a.record(np.array([0]))
+        b.record(np.array([1, 1]))
+        a.merge(b)
+        assert a.batches_recorded == 2
+        assert a.counts()[1] == 2
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            HotnessTracker(3).merge(HotnessTracker(4))
+
+    def test_reset(self):
+        tracker = HotnessTracker(3)
+        tracker.record(np.array([0]))
+        tracker.reset()
+        assert tracker.batches_recorded == 0
+        assert tracker.counts().sum() == 0
+
+    def test_record_many(self):
+        tracker = HotnessTracker(3)
+        tracker.record_many([np.array([0]), np.array([1])])
+        assert tracker.batches_recorded == 2
+
+
+class TestPresample:
+    def test_averages_over_batches(self):
+        batches = iter([np.array([0, 1]), np.array([0])])
+        hot = presample_hotness(batches, num_entries=3)
+        assert hot[0] == pytest.approx(1.0)
+        assert hot[1] == pytest.approx(0.5)
+
+    def test_max_batches_respected(self):
+        batches = iter([np.array([0])] * 10)
+        hot = presample_hotness(batches, 2, max_batches=3)
+        assert hot[0] == pytest.approx(1.0)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            presample_hotness(iter([]), 3)
+
+
+class TestDegreeHotness:
+    def test_proportional_to_degree(self):
+        hot = degree_hotness(np.array([10.0, 5.0, 5.0]))
+        assert hot[0] == pytest.approx(2 * hot[1])
+
+    def test_scales_to_budget(self):
+        hot = degree_hotness(np.array([1.0, 1.0]), accesses_per_batch=10)
+        assert hot.sum() == pytest.approx(10)
+
+    def test_rejects_negative_degrees(self):
+        with pytest.raises(ValueError):
+            degree_hotness(np.array([-1.0, 2.0]))
+
+    def test_rejects_edgeless_graph(self):
+        with pytest.raises(ValueError):
+            degree_hotness(np.zeros(3))
+
+
+class TestSkewSummary:
+    def test_uniform_has_low_skew(self):
+        assert hotness_skew(np.ones(1000)) == pytest.approx(0.01, rel=0.2)
+
+    def test_pointmass_has_full_skew(self):
+        hot = np.zeros(1000)
+        hot[0] = 1.0
+        assert hotness_skew(hot) == pytest.approx(1.0)
+
+    def test_zero_hotness(self):
+        assert hotness_skew(np.zeros(10)) == 0.0

@@ -1,0 +1,139 @@
+"""End-to-end integration: workloads driving the full UGache stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.embedding_layer import EmbeddingLayerConfig, UGacheEmbeddingLayer
+from repro.core.evaluate import evaluate_placement
+from repro.core.policy import partition_policy, replication_policy
+from repro.core.solver import SolverConfig, solve_policy
+from repro.dlr.workload import DlrWorkload
+from repro.gnn.graph import power_law_graph
+from repro.gnn.workload import GnnWorkload
+from repro.sim.mechanisms import Mechanism
+
+FAST_SOLVER = SolverConfig(coarse_block_frac=0.05)
+
+
+class TestGnnEndToEnd:
+    @pytest.fixture
+    def setup(self, platform_a, rng):
+        graph = power_law_graph(3000, 30_000, degree_alpha=1.1, seed=0)
+        train = rng.choice(3000, size=600, replace=False)
+        workload = GnnWorkload(graph, train, "sage-sup", batch_size=64, num_gpus=4)
+        table = rng.standard_normal((3000, 16)).astype(np.float32)
+        hotness = workload.presampled_hotness(seed=1)
+        layer = UGacheEmbeddingLayer(
+            platform_a,
+            table,
+            hotness,
+            EmbeddingLayerConfig(cache_ratio=0.1, solver=FAST_SOLVER),
+        )
+        return workload, table, layer
+
+    def test_training_epoch_through_cache(self, setup):
+        workload, table, layer = setup
+        iterations = 0
+        for batches in workload.epoch(seed=2):
+            values, report = layer.extract(batches)
+            for v, keys in zip(values, batches):
+                assert np.array_equal(v, table[keys])
+            assert report.time > 0
+            iterations += 1
+        assert iterations == workload.iterations_per_epoch()
+
+    def test_cache_beats_no_cache(self, setup, platform_a):
+        workload, _table, layer = setup
+        hotness = workload.presampled_hotness(seed=1)
+        cached = layer.expected_report().time
+        uncached = evaluate_placement(
+            platform_a,
+            replication_policy(hotness, 0, 4),
+            hotness,
+            layer.cache.entry_bytes,
+            Mechanism.FACTORED,
+        ).time
+        assert cached < uncached
+
+    def test_presample_predicts_later_epochs(self, setup):
+        # §2's "stable, predictable": epoch-1 hotness correlates with epoch 2.
+        workload, _table, _layer = setup
+        hot1 = workload.presampled_hotness(seed=2)
+        hot2 = workload.presampled_hotness(seed=99)
+        corr = np.corrcoef(hot1, hot2)[0, 1]
+        assert corr > 0.9
+
+
+class TestDlrEndToEnd:
+    @pytest.fixture
+    def setup(self, platform_c, rng):
+        workload = DlrWorkload(
+            table_sizes=(500, 300, 200), alpha=1.3, batch_size=128, num_gpus=8, seed=0
+        )
+        table = rng.standard_normal((workload.num_entries, 16)).astype(np.float32)
+        layer = UGacheEmbeddingLayer(
+            platform_c,
+            table,
+            workload.hotness(),
+            EmbeddingLayerConfig(cache_ratio=0.1, solver=FAST_SOLVER),
+        )
+        return workload, table, layer
+
+    def test_inference_iterations(self, setup):
+        workload, table, layer = setup
+        for batches in workload.take_batches(3, seed=5):
+            values, report = layer.extract(batches)
+            for v, keys in zip(values, batches):
+                assert np.array_equal(v, table[keys])
+            assert report.time > 0
+
+    def test_skew_makes_cache_effective(self, setup):
+        _workload, _table, layer = setup
+        hits = layer.hit_rates()
+        # 10% cache under zipf(1.3) must catch well over half the traffic.
+        assert hits.global_hit > 0.6
+
+
+class TestPolicyOrdering:
+    """The paper's headline orderings hold across platforms."""
+
+    def _hotness(self):
+        from repro.utils.stats import zipf_pmf
+
+        return zipf_pmf(3000, 1.2) * 50_000
+
+    @pytest.mark.parametrize("cap_frac", [0.05, 0.10, 0.20])
+    def test_ugache_never_worse_than_best_heuristic(self, any_platform, cap_frac):
+        hot = self._hotness()
+        cap = int(cap_frac * 3000)
+        eb = 512
+        solved = solve_policy(any_platform, hot, cap, eb, FAST_SOLVER)
+        ug = evaluate_placement(
+            any_platform, solved.realize(), hot, eb, Mechanism.FACTORED
+        ).time
+        rep = evaluate_placement(
+            any_platform,
+            replication_policy(hot, cap, any_platform.num_gpus),
+            hot,
+            eb,
+            Mechanism.FACTORED,
+        ).time
+        part = evaluate_placement(
+            any_platform,
+            partition_policy(hot, cap, any_platform.num_gpus),
+            hot,
+            eb,
+            Mechanism.FACTORED,
+        ).time
+        assert ug <= min(rep, part) * 1.10
+
+    def test_fem_beats_naive_and_message_on_partition(self, any_platform):
+        hot = self._hotness()
+        cap = 300
+        placement = partition_policy(hot, cap, any_platform.num_gpus)
+        times = {
+            mech: evaluate_placement(any_platform, placement, hot, 512, mech).time
+            for mech in Mechanism
+        }
+        assert times[Mechanism.FACTORED] <= times[Mechanism.PEER_NAIVE]
+        assert times[Mechanism.FACTORED] <= times[Mechanism.MESSAGE]

@@ -1,0 +1,126 @@
+"""Persistence: graphs, placements, policy summaries."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.policy import Placement, partition_policy
+from repro.core.serialization import (
+    load_placement,
+    load_policy_summary,
+    policy_summary,
+    save_placement,
+    save_policy_summary,
+)
+from repro.core.solver import SolverConfig, solve_policy
+from repro.gnn.graph import power_law_graph
+from repro.gnn.io import load_graph, read_edge_list, save_graph, write_edge_list
+from repro.utils.stats import zipf_pmf
+
+
+class TestGraphNpz:
+    def test_roundtrip(self, tmp_path):
+        graph = power_law_graph(300, 2000, seed=0)
+        path = tmp_path / "g.npz"
+        save_graph(path, graph)
+        loaded = load_graph(path)
+        assert np.array_equal(loaded.indptr, graph.indptr)
+        assert np.array_equal(loaded.indices, graph.indices)
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(ValueError):
+            load_graph(path)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        graph = power_law_graph(50, 200, seed=1)
+        path = tmp_path / "edges.txt"
+        write_edge_list(path, graph)
+        # The CSR already holds both directions, so parse asymmetric.
+        loaded = read_edge_list(path, num_nodes=50, symmetric=False)
+        assert loaded.num_edges == graph.num_edges
+        for u in range(50):
+            assert sorted(loaded.neighbors(u)) == sorted(graph.neighbors(u))
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n\n0 1\n1 2\n")
+        graph = read_edge_list(path, symmetric=False)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_symmetric_doubles_edges(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n")
+        graph = read_edge_list(path, symmetric=True)
+        assert graph.neighbors(0).tolist() == [1]
+        assert graph.neighbors(1).tolist() == [0]
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_edge_list(path)
+
+
+class TestPlacementNpz:
+    def test_roundtrip(self, tmp_path):
+        placement = partition_policy(zipf_pmf(500, 1.1), 40, 4)
+        path = tmp_path / "placement.npz"
+        save_placement(path, placement)
+        loaded = load_placement(path)
+        assert loaded.num_entries == placement.num_entries
+        assert loaded.num_gpus == placement.num_gpus
+        for a, b in zip(loaded.per_gpu, placement.per_gpu):
+            assert np.array_equal(a, b)
+
+    def test_empty_gpus_roundtrip(self, tmp_path):
+        placement = Placement(
+            num_entries=10,
+            per_gpu=(np.array([1, 2]), np.empty(0, dtype=np.int64)),
+        )
+        path = tmp_path / "p.npz"
+        save_placement(path, placement)
+        loaded = load_placement(path)
+        assert loaded.per_gpu[1].size == 0
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, whatever=np.arange(2))
+        with pytest.raises(ValueError):
+            load_placement(path)
+
+
+class TestPolicySummary:
+    @pytest.fixture(scope="class")
+    def solved(self, ):
+        from repro.hardware.platform import server_a
+
+        hot = zipf_pmf(400, 1.2) * 1000
+        return solve_policy(
+            server_a(), hot, 40, 512, SolverConfig(coarse_block_frac=0.05)
+        )
+
+    def test_summary_fields(self, solved):
+        summary = policy_summary(solved)
+        assert summary["platform"] == "server-a"
+        assert summary["entries"] == 400
+        assert len(summary["capacities"]) == 4
+        assert summary["estimated_time_seconds"] > 0
+        json.dumps(summary)  # must be JSON-able
+
+    def test_save_load(self, solved, tmp_path):
+        path = tmp_path / "policy.json"
+        save_policy_summary(path, solved)
+        loaded = load_policy_summary(path)
+        assert loaded == policy_summary(solved)
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"platform": "x"}')
+        with pytest.raises(ValueError):
+            load_policy_summary(path)

@@ -1,0 +1,118 @@
+"""Online LRU cache — the HPS baseline's eviction machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lru import LruCache, steady_state_overlap
+from repro.utils.stats import zipf_pmf
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = LruCache(2)
+        assert not cache.access(1)
+        assert cache.access(1)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LruCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # 2 is now LRU
+        cache.access(3)  # evicts 2
+        assert 2 not in cache
+        assert 1 in cache and 3 in cache
+        assert cache.stats.evictions == 1
+
+    def test_recency_order(self):
+        cache = LruCache(3)
+        for k in (1, 2, 3):
+            cache.access(k)
+        cache.access(1)
+        assert cache.recency_order() == [1, 3, 2]
+
+    def test_capacity_zero(self):
+        cache = LruCache(0)
+        assert not cache.access(1)
+        assert len(cache) == 0
+
+    def test_len_capped(self):
+        cache = LruCache(3)
+        for k in range(10):
+            cache.access(k)
+        assert len(cache) == 3
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(-1)
+
+    def test_contents_match_membership(self):
+        cache = LruCache(4)
+        for k in (5, 6, 7):
+            cache.access(k)
+        assert sorted(cache.contents().tolist()) == [5, 6, 7]
+
+    def test_access_batch_counts_hits(self):
+        cache = LruCache(8)
+        keys = np.array([1, 2, 1, 3, 2])
+        assert cache.access_batch(keys) == 2
+
+    def test_hit_rate(self):
+        cache = LruCache(8)
+        cache.access_batch(np.array([1, 1, 1, 2]))
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestSequences:
+    def test_cyclic_scan_thrashes(self):
+        # Classic LRU pathology: a scan one item larger than capacity.
+        cache = LruCache(3)
+        for _ in range(5):
+            for k in range(4):
+                cache.access(k)
+        assert cache.stats.hits == 0
+
+    def test_working_set_within_capacity_all_hits(self):
+        cache = LruCache(4)
+        keys = np.tile(np.arange(4), 50)
+        hits = cache.access_batch(keys)
+        assert hits == 200 - 4
+
+    def test_matches_reference_implementation(self, rng):
+        """Cross-check against an OrderedDict reference on random traffic."""
+        from collections import OrderedDict
+
+        cache = LruCache(16)
+        ref: OrderedDict = OrderedDict()
+        for key in rng.integers(0, 64, size=2000):
+            key = int(key)
+            hit = cache.access(key)
+            ref_hit = key in ref
+            if ref_hit:
+                ref.move_to_end(key)
+            else:
+                ref[key] = None
+                if len(ref) > 16:
+                    ref.popitem(last=False)
+            assert hit == ref_hit
+        assert sorted(cache.contents().tolist()) == sorted(ref.keys())
+
+
+class TestSteadyState:
+    def test_skewed_workload_converges_to_top_k(self):
+        hotness = zipf_pmf(2000, 1.4)
+        cache = LruCache(100)
+        overlap = steady_state_overlap(
+            cache, hotness, batch_size=512, warmup_batches=40
+        )
+        # §8.1's modelling assumption: LRU content ≈ frequency top-K.
+        assert overlap > 0.6
+
+    def test_uniform_workload_low_overlap_is_fine(self):
+        hotness = np.ones(2000)
+        cache = LruCache(100)
+        overlap = steady_state_overlap(cache, hotness, 512, 10)
+        assert 0.0 <= overlap <= 1.0
+
+    def test_empty_cache_overlap_zero(self):
+        assert steady_state_overlap(LruCache(0), np.ones(10), 4, 2) == 0.0

@@ -1,0 +1,77 @@
+"""Dense-layer cost models for GNN and DLR applications."""
+
+import pytest
+
+from repro.dlr import models as dlr_models
+from repro.gnn import models as gnn_models
+
+
+class TestGnnModels:
+    def test_mode_mapping(self):
+        assert gnn_models.model_for_mode("gcn").layers == 3
+        assert gnn_models.model_for_mode("sage-sup").layers == 2
+        assert gnn_models.model_for_mode("sage-unsup") is gnn_models.GRAPHSAGE
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            gnn_models.model_for_mode("gat")
+
+    def test_flops_scale_with_vertices(self):
+        m = gnn_models.GRAPHSAGE
+        assert m.flops_per_iteration(2000, 128) > m.flops_per_iteration(1000, 128)
+
+    def test_flops_scale_with_dim(self):
+        m = gnn_models.GRAPHSAGE
+        assert m.flops_per_iteration(1000, 768) > m.flops_per_iteration(1000, 128)
+
+    def test_a100_faster_than_v100(self, platform_a, platform_c):
+        t_v100 = gnn_models.dense_time_per_iteration(
+            platform_a, gnn_models.GCN, 10_000, 128
+        )
+        t_a100 = gnn_models.dense_time_per_iteration(
+            platform_c, gnn_models.GCN, 10_000, 128
+        )
+        assert t_a100 < t_v100
+
+    def test_sampling_time_scales(self, platform_c):
+        t1 = gnn_models.sampling_time_per_iteration(platform_c, 1000)
+        t2 = gnn_models.sampling_time_per_iteration(platform_c, 100_000)
+        assert t2 > t1
+
+    def test_unknown_gpu_rejected(self, platform_a):
+        import dataclasses
+
+        from repro.hardware.spec import GPUSpec
+
+        odd_gpu = GPUSpec("H100", 2**30, 10, 1e11, 4)
+        platform = dataclasses.replace(platform_a, gpu=odd_gpu)
+        with pytest.raises(ValueError):
+            gnn_models.dense_time_per_iteration(platform, gnn_models.GCN, 100, 128)
+
+
+class TestDlrModels:
+    def test_name_mapping(self):
+        assert dlr_models.model_by_name("dlrm") is dlr_models.DLRM
+        assert dlr_models.model_by_name("dcn") is dlr_models.DCN
+        with pytest.raises(ValueError):
+            dlr_models.model_by_name("wide-and-deep")
+
+    def test_dcn_costs_more_than_dlrm(self):
+        dlrm = dlr_models.DLRM.flops_per_request(26, 128)
+        dcn = dlr_models.DCN.flops_per_request(26, 128)
+        assert dcn > dlrm
+
+    def test_time_scales_with_batch(self, platform_c):
+        small = dlr_models.dense_time_per_iteration(platform_c, dlr_models.DLRM, 1024, 26, 128)
+        large = dlr_models.dense_time_per_iteration(platform_c, dlr_models.DLRM, 8192, 26, 128)
+        assert large > small
+
+    def test_more_tables_cost_more(self):
+        few = dlr_models.DLRM.flops_per_request(26, 128)
+        many = dlr_models.DLRM.flops_per_request(100, 128)
+        assert many > few
+
+    def test_paper_scale_sanity(self, platform_c):
+        # DLRM at batch 8K / 26 tables should be single-digit ms on A100.
+        t = dlr_models.dense_time_per_iteration(platform_c, dlr_models.DLRM, 8192, 26, 128)
+        assert 0.5e-3 < t < 20e-3

@@ -1,0 +1,53 @@
+"""Per-entry optimal reference and approximation gap (Figure 16)."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimal import MAX_OPTIMAL_ENTRIES, approximation_gap, solve_optimal
+from repro.core.solver import solve_policy
+from repro.utils.stats import zipf_pmf
+
+
+@pytest.fixture
+def hot300():
+    return zipf_pmf(300, 1.2) * 1000
+
+
+class TestSolveOptimal:
+    def test_refuses_large_universe(self, platform_a):
+        hot = np.ones(MAX_OPTIMAL_ENTRIES + 1)
+        with pytest.raises(ValueError, match="reduce the dataset"):
+            solve_optimal(platform_a, hot, 10, 512)
+
+    def test_per_entry_granularity(self, platform_a, hot300):
+        solved = solve_optimal(platform_a, hot300, 30, 512)
+        assert solved.blocks.num_blocks == 300
+
+    def test_optimal_no_worse_than_blocked(self, platform_a, hot300):
+        optimal = solve_optimal(platform_a, hot300, 30, 512)
+        blocked = solve_policy(platform_a, hot300, 30, 512)
+        # Per-entry relaxation lower-bounds the blocked estimate.
+        assert optimal.est_time <= blocked.est_time * (1 + 1e-6)
+
+    def test_blocked_gap_is_small(self, platform_a, hot300):
+        # §6.3 claims <2% average; allow some slack on tiny instances.
+        optimal = solve_optimal(platform_a, hot300, 30, 512)
+        blocked = solve_policy(platform_a, hot300, 30, 512)
+        assert approximation_gap(blocked, optimal) < 0.10
+
+    def test_capacity_respected(self, platform_a, hot300):
+        solved = solve_optimal(platform_a, hot300, 30, 512)
+        solved.realize().validate_capacity(30)
+
+
+class TestApproximationGap:
+    def test_zero_for_identical(self, platform_a, hot300):
+        solved = solve_optimal(platform_a, hot300, 30, 512)
+        assert approximation_gap(solved, solved) == pytest.approx(0.0)
+
+    def test_zero_optimal_time(self, platform_a, hot300):
+        import dataclasses
+
+        solved = solve_optimal(platform_a, hot300, 30, 512)
+        degenerate = dataclasses.replace(solved, est_time=0.0)
+        assert approximation_gap(solved, degenerate) == 0.0

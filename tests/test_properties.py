@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.blocks import build_blocks
+from repro.core.evaluate import hit_rates, resolve_sources
+from repro.core.policy import partition_policy, replication_policy
+from repro.hardware.memory import SlotArena
+from repro.hardware.platform import HOST, server_a, server_c
+from repro.sim.congestion import solve_congested_extraction
+from repro.sim.mechanisms import GpuDemand, factored_extraction
+from repro.utils.stats import coverage_curve, normalize, zipf_pmf
+
+PLATFORM_A = server_a()
+PLATFORM_C = server_c()
+
+hotness_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=8, max_value=400),
+    elements=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+)
+
+
+@st.composite
+def nonzero_hotness(draw):
+    hot = draw(hotness_arrays)
+    if hot.sum() == 0:
+        hot[0] = 1.0
+    return hot
+
+
+class TestBlockingProperties:
+    @given(hot=nonzero_hotness(), num_gpus=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_partition_entries_exactly(self, hot, num_gpus):
+        blocks = build_blocks(hot, num_gpus)
+        assert blocks.sizes.sum() == len(hot)
+        assert len(np.unique(blocks.order)) == len(hot)
+        assert blocks.hotness_sum.sum() == pytest.approx(hot.sum(), rel=1e-9)
+
+    @given(hot=nonzero_hotness())
+    @settings(max_examples=40, deadline=None)
+    def test_blocks_monotone_in_hotness(self, hot):
+        blocks = build_blocks(hot, 4)
+        means = blocks.mean_hotness()
+        assert (np.diff(means) <= 1e-9).all()
+
+
+class TestPolicyProperties:
+    @given(
+        hot=nonzero_hotness(),
+        capacity=st.integers(0, 500),
+        num_gpus=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_replication_within_capacity(self, hot, capacity, num_gpus):
+        placement = replication_policy(hot, capacity, num_gpus)
+        placement.validate_capacity(capacity)
+        assert placement.num_gpus == num_gpus
+
+    @given(
+        hot=nonzero_hotness(),
+        capacity=st.integers(0, 500),
+        num_gpus=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_no_duplicates_across_gpus(self, hot, capacity, num_gpus):
+        placement = partition_policy(hot, capacity, num_gpus)
+        placement.validate_capacity(capacity)
+        all_ids = np.concatenate(placement.per_gpu)
+        assert len(np.unique(all_ids)) == len(all_ids)
+
+    @given(hot=nonzero_hotness(), capacity=st.integers(1, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_covers_at_least_replication(self, hot, capacity):
+        rep = replication_policy(hot, capacity, 4)
+        part = partition_policy(hot, capacity, 4)
+        assert part.distinct_cached() >= rep.distinct_cached()
+
+
+class TestResolutionProperties:
+    @given(hot=nonzero_hotness(), capacity=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_hit_rates_always_sum_to_one(self, hot, capacity):
+        placement = partition_policy(hot, capacity, 4)
+        hits = hit_rates(PLATFORM_A, placement, hot)
+        assert hits.local + hits.remote + hits.host == pytest.approx(1.0)
+
+    @given(hot=nonzero_hotness(), capacity=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_sources_are_valid(self, hot, capacity):
+        placement = partition_policy(hot, capacity, 4)
+        srcs = resolve_sources(PLATFORM_A, placement)
+        mat = placement.storage_matrix()
+        for g in range(4):
+            unique = np.unique(srcs[g])
+            for s in unique:
+                assert s == HOST or 0 <= s < 4
+            # Any GPU source actually stores the entries mapped to it.
+            for s in unique:
+                if s == HOST:
+                    continue
+                entries = np.flatnonzero(srcs[g] == s)
+                assert mat[s, entries].all()
+
+
+class TestSimulationProperties:
+    volumes = st.dictionaries(
+        keys=st.sampled_from([0, 1, 2, 3, HOST]),
+        values=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    )
+
+    @given(volumes=volumes)
+    @settings(max_examples=80, deadline=None)
+    def test_factored_time_nonnegative_and_finite(self, volumes):
+        demand = GpuDemand(dst=0, volumes=volumes)
+        report = factored_extraction(PLATFORM_A, demand)
+        assert report.time >= 0.0
+        assert np.isfinite(report.time)
+
+    @given(volumes=volumes, scale=st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_factored_time_monotone_in_volume(self, volumes, scale):
+        base = factored_extraction(PLATFORM_A, GpuDemand(dst=0, volumes=volumes))
+        bigger = factored_extraction(
+            PLATFORM_A,
+            GpuDemand(dst=0, volumes={k: v * (1 + scale) for k, v in volumes.items()}),
+        )
+        assert bigger.time >= base.time - 1e-15
+
+    @given(
+        vols=st.lists(st.floats(min_value=1.0, max_value=1e9), min_size=1, max_size=4)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_congestion_never_faster_than_ideal(self, vols):
+        sources = list(range(len(vols)))
+        peaks = {s: 50e9 for s in sources}
+        out = solve_congested_extraction(
+            dict(zip(sources, vols)), peaks, 1e9, 80
+        )
+        ideal = sum(vols) / (80 * 1e9)  # all cores at full per-core rate
+        assert out.total_time >= ideal * 0.999
+
+
+class TestArenaProperties:
+    @given(ops=st.lists(st.booleans(), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_arena_accounting_invariant(self, ops):
+        arena = SlotArena(capacity_bytes=20 * 8, slot_bytes=8)
+        live: list[int] = []
+        for do_alloc in ops:
+            if do_alloc and arena.free_slots > 0:
+                live.append(arena.allocate())
+            elif live:
+                arena.free(live.pop())
+            assert arena.used_slots == len(live)
+            assert arena.used_slots + arena.free_slots == arena.num_slots
+            assert len(set(live)) == len(live)
+
+
+class TestStatsProperties:
+    @given(
+        n=st.integers(2, 500),
+        alpha=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_zipf_valid_distribution(self, n, alpha):
+        pmf = zipf_pmf(n, alpha)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert (pmf > 0).all()
+        assert (np.diff(pmf) <= 1e-15).all()
+
+    @given(hot=nonzero_hotness())
+    @settings(max_examples=40, deadline=None)
+    def test_coverage_curve_monotone_bounded(self, hot):
+        curve = coverage_curve(normalize(hot))
+        assert curve[0] == 0.0
+        assert curve[-1] == pytest.approx(1.0)
+        assert (np.diff(curve) >= -1e-12).all()

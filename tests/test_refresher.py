@@ -1,0 +1,137 @@
+"""Background cache Refresher (§7.2) — functional and timeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import MultiGpuEmbeddingCache
+from repro.core.policy import partition_policy, replication_policy
+from repro.core.refresher import (
+    RefreshConfig,
+    Refresher,
+    simulate_refresh_timeline,
+)
+
+N, D = 2000, 8
+
+
+@pytest.fixture
+def cache(platform_a, small_table, skewed_hotness):
+    placement = replication_policy(skewed_hotness, 200, 4)
+    return MultiGpuEmbeddingCache(platform_a, small_table, placement)
+
+
+class TestRefreshTrigger:
+    def test_triggers_on_improvement(self, cache):
+        refresher = Refresher(cache, RefreshConfig(trigger_ratio=1.05))
+        assert refresher.should_refresh(current_time=1.0, candidate_time=0.5)
+
+    def test_skips_marginal_improvement(self, cache):
+        refresher = Refresher(cache, RefreshConfig(trigger_ratio=1.05))
+        assert not refresher.should_refresh(current_time=1.0, candidate_time=0.99)
+
+    def test_skips_zero_candidate(self, cache):
+        refresher = Refresher(cache)
+        assert not refresher.should_refresh(1.0, 0.0)
+
+
+class TestFunctionalRefresh:
+    def test_refresh_to_new_placement(self, cache, small_table, skewed_hotness, rng):
+        refresher = Refresher(cache, RefreshConfig(update_batch_entries=64))
+        new_placement = partition_policy(skewed_hotness, 200, 4)
+        outcome = refresher.refresh(new_placement)
+        assert outcome.triggered
+        assert outcome.entries_moved > 0
+        # Lookups are exact after the refresh.
+        keys = rng.integers(0, N, size=500)
+        for gpu in range(4):
+            assert np.array_equal(cache.lookup(gpu, keys).values, small_table[keys])
+        assert cache.placement.replication_factor() == pytest.approx(1.0)
+
+    def test_noop_refresh(self, cache):
+        refresher = Refresher(cache)
+        outcome = refresher.refresh(cache.placement)
+        assert not outcome.triggered
+        assert outcome.entries_moved == 0
+
+    def test_lookups_correct_at_every_step(
+        self, cache, small_table, skewed_hotness, rng
+    ):
+        """§7.2's consistency: no lookup may see a dangling slot mid-refresh."""
+        refresher = Refresher(cache, RefreshConfig(update_batch_entries=32))
+        new_placement = partition_policy(skewed_hotness, 200, 4)
+        keys = rng.integers(0, N, size=200)
+        steps = 0
+        for _outcome in refresher.refresh_steps(new_placement):
+            for gpu in range(4):
+                result = cache.lookup(gpu, keys)
+                assert np.array_equal(result.values, small_table[keys])
+            steps += 1
+        assert steps > 2  # actually exercised interleaving
+
+    def test_capacity_never_exceeded_mid_refresh(
+        self, cache, skewed_hotness
+    ):
+        refresher = Refresher(cache, RefreshConfig(update_batch_entries=16))
+        new_placement = partition_policy(skewed_hotness, 200, 4)
+        for _ in refresher.refresh_steps(new_placement):
+            for gpu in range(4):
+                assert cache.store(gpu).arena.used_slots <= 200
+
+    def test_refresh_estimated_duration(self, cache, skewed_hotness):
+        config = RefreshConfig(solve_seconds=10.0, entries_per_second=1000.0)
+        refresher = Refresher(cache, config)
+        outcome = refresher.refresh(partition_policy(skewed_hotness, 200, 4))
+        expected = 10.0 + outcome.entries_moved / 1000.0
+        assert outcome.estimated_duration == pytest.approx(expected)
+
+
+class TestRefreshConfigValidation:
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            RefreshConfig(update_batch_entries=0)
+
+    def test_rejects_bad_impact(self):
+        with pytest.raises(ValueError):
+            RefreshConfig(foreground_impact=1.0)
+
+    def test_rejects_bad_trigger(self):
+        with pytest.raises(ValueError):
+            RefreshConfig(trigger_ratio=0.9)
+
+    def test_rejects_bad_throughput(self):
+        with pytest.raises(ValueError):
+            RefreshConfig(entries_per_second=0)
+
+
+class TestTimeline:
+    def test_latency_elevated_only_inside_windows(self):
+        timeline = simulate_refresh_timeline(
+            baseline_latency=2e-3,
+            total_duration=200.0,
+            refresh_starts=(40.0, 150.0),
+            entries_to_move=1_000_000,
+            config=RefreshConfig(foreground_impact=0.10),
+        )
+        assert len(timeline.refresh_windows) == 2
+        before = timeline.mean_latency(0, 39)
+        during = timeline.mean_latency(41, 45)
+        after = timeline.mean_latency(70, 100)
+        assert before == pytest.approx(2e-3)
+        assert during == pytest.approx(2.2e-3)
+        assert after == pytest.approx(2e-3)
+
+    def test_impact_bounded_at_config(self):
+        timeline = simulate_refresh_timeline(
+            2e-3, 100.0, (10.0,), 500_000, RefreshConfig(foreground_impact=0.08)
+        )
+        assert timeline.latencies.max() <= 2e-3 * 1.08 + 1e-12
+
+    def test_window_duration_scales_with_entries(self):
+        cfg = RefreshConfig(solve_seconds=5.0, entries_per_second=100_000)
+        t = simulate_refresh_timeline(1e-3, 100.0, (0.0,), 1_000_000, cfg)
+        start, stop = t.refresh_windows[0]
+        assert stop - start == pytest.approx(5.0 + 10.0)
+
+    def test_window_clamped_to_duration(self):
+        t = simulate_refresh_timeline(1e-3, 50.0, (45.0,), 10_000_000)
+        assert t.refresh_windows[0][1] == 50.0

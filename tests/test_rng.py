@@ -1,0 +1,45 @@
+"""Deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+def test_same_seed_same_stream():
+    a = make_rng(42).integers(0, 1000, 10)
+    b = make_rng(42).integers(0, 1000, 10)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = make_rng(1).integers(0, 1_000_000, 20)
+    b = make_rng(2).integers(0, 1_000_000, 20)
+    assert not np.array_equal(a, b)
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(7)
+    assert make_rng(gen) is gen
+
+
+def test_spawn_count():
+    assert len(spawn_rngs(0, 5)) == 5
+
+
+def test_spawn_children_independent():
+    kids = spawn_rngs(0, 2)
+    a = kids[0].integers(0, 1_000_000, 20)
+    b = kids[1].integers(0, 1_000_000, 20)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_deterministic():
+    a = spawn_rngs(3, 2)[1].integers(0, 1000, 5)
+    b = spawn_rngs(3, 2)[1].integers(0, 1000, 5)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_rejects_negative():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)

@@ -1,0 +1,188 @@
+"""The MILP/LP cache-policy solver (§6.2-6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluate import evaluate_placement, hit_rates
+from repro.core.policy import partition_policy, replication_policy
+from repro.core.solver import (
+    PolicySolveError,
+    SolverConfig,
+    dedication_ratios,
+    solve_policy,
+)
+from repro.hardware.platform import HOST
+from repro.sim.mechanisms import Mechanism
+from repro.utils.stats import zipf_pmf
+
+ENTRY_BYTES = 512
+
+
+@pytest.fixture
+def hot1000():
+    return zipf_pmf(1000, 1.2) * 5000
+
+
+class TestDedicationRatios:
+    def test_local_ratio_is_one(self, platform_c):
+        assert dedication_ratios(platform_c, 0)[0] == 1.0
+
+    def test_nonlocal_ratios_below_one(self, platform_a):
+        ratios = dedication_ratios(platform_a, 0)
+        for src, r in ratios.items():
+            if src != 0:
+                assert 0 < r < 1
+
+    def test_covers_all_sources(self, platform_b):
+        ratios = dedication_ratios(platform_b, 0)
+        assert set(ratios) == set(platform_b.sources_for(0))
+
+
+class TestSolveBasics:
+    def test_solves_quickly_at_block_granularity(self, platform_a, hot1000):
+        solved = solve_policy(platform_a, hot1000, 100, ENTRY_BYTES)
+        assert solved.solve_seconds < 30
+        assert solved.est_time > 0
+
+    def test_capacity_respected_in_realization(self, platform_a, hot1000):
+        solved = solve_policy(platform_a, hot1000, 100, ENTRY_BYTES)
+        solved.realize().validate_capacity(100)
+
+    def test_storage_fractions_bounded(self, platform_a, hot1000):
+        solved = solve_policy(platform_a, hot1000, 100, ENTRY_BYTES)
+        assert (solved.storage >= 0).all() and (solved.storage <= 1).all()
+
+    def test_access_covers_every_block(self, platform_a, hot1000):
+        solved = solve_policy(platform_a, hot1000, 100, ENTRY_BYTES)
+        # Per destination GPU, access fractions sum to 1 per block.
+        for i in range(platform_a.num_gpus):
+            cols = [p for p, (dst, _src) in enumerate(solved.pairs) if dst == i]
+            sums = solved.access[:, cols].sum(axis=1)
+            assert np.allclose(sums, 1.0, atol=1e-6)
+
+    def test_per_gpu_capacities(self, platform_a, hot1000):
+        caps = [50, 100, 150, 200]
+        solved = solve_policy(platform_a, hot1000, caps, ENTRY_BYTES)
+        placement = solved.realize()
+        for gpu, cap in enumerate(caps):
+            assert len(placement.per_gpu[gpu]) <= cap
+
+    def test_zero_capacity_all_host(self, platform_a, hot1000):
+        solved = solve_policy(platform_a, hot1000, 0, ENTRY_BYTES)
+        placement = solved.realize()
+        assert placement.distinct_cached() == 0
+        # Estimated time equals pure-PCIe extraction.
+        expected = hot1000.sum() * ENTRY_BYTES / platform_a.pcie_bandwidth
+        assert solved.est_time == pytest.approx(expected, rel=0.1)
+
+    def test_rejects_bad_args(self, platform_a, hot1000):
+        with pytest.raises(ValueError):
+            solve_policy(platform_a, hot1000, [1, 2], ENTRY_BYTES)
+        with pytest.raises(ValueError):
+            solve_policy(platform_a, hot1000, 10, 0)
+
+
+class TestSolutionQuality:
+    def test_beats_replication_and_partition(self, platform_c, hot1000):
+        cap = 80
+        solved = solve_policy(platform_c, hot1000, cap, ENTRY_BYTES)
+        ug = evaluate_placement(
+            platform_c, solved.realize(), hot1000, ENTRY_BYTES, Mechanism.FACTORED
+        ).time
+        rep = evaluate_placement(
+            platform_c,
+            replication_policy(hot1000, cap, 8),
+            hot1000,
+            ENTRY_BYTES,
+            Mechanism.FACTORED,
+        ).time
+        part = evaluate_placement(
+            platform_c,
+            partition_policy(hot1000, cap, 8),
+            hot1000,
+            ENTRY_BYTES,
+            Mechanism.FACTORED,
+        ).time
+        assert ug <= rep * 1.05
+        assert ug <= part * 1.05
+
+    def test_full_capacity_goes_all_local(self, platform_a, hot1000):
+        solved = solve_policy(platform_a, hot1000, 1000, ENTRY_BYTES)
+        hits = hit_rates(platform_a, solved.realize(), hot1000)
+        assert hits.local > 0.99
+
+    def test_low_capacity_behaves_like_partition(self, platform_c, hot1000):
+        # §8.3: at tiny cache ratios the solved policy approaches partition.
+        flat = zipf_pmf(1000, 0.4) * 5000  # low skew favours partition
+        solved = solve_policy(platform_c, flat, 10, ENTRY_BYTES)
+        placement = solved.realize()
+        assert placement.replication_factor() < 2.0
+
+    def test_high_skew_increases_replication(self, platform_c):
+        cap = 120
+        low = zipf_pmf(1000, 0.4) * 5000
+        high = zipf_pmf(1000, 1.6) * 5000
+        rep_low = solve_policy(platform_c, low, cap, ENTRY_BYTES).realize()
+        rep_high = solve_policy(platform_c, high, cap, ENTRY_BYTES).realize()
+        assert rep_high.replication_factor() > rep_low.replication_factor()
+
+    def test_estimate_close_to_simulated(self, platform_c, hot1000):
+        solved = solve_policy(platform_c, hot1000, 100, ENTRY_BYTES)
+        simulated = evaluate_placement(
+            platform_c, solved.realize(), hot1000, ENTRY_BYTES, Mechanism.FACTORED
+        ).time
+        # Realization rounds fractions; estimate within 2x brackets.
+        assert simulated == pytest.approx(solved.est_time, rel=1.0)
+
+
+class TestUnconnectedPairs:
+    def test_dgx1_never_reads_unconnected(self, platform_b, hot1000):
+        solved = solve_policy(platform_b, hot1000, 100, ENTRY_BYTES)
+        for _p, (i, j) in enumerate(solved.pairs):
+            if j != HOST:
+                assert platform_b.is_connected(i, j)
+
+    def test_dgx1_solves_and_beats_partition(self, platform_b, hot1000):
+        cap = 80
+        solved = solve_policy(platform_b, hot1000, cap, ENTRY_BYTES)
+        ug = evaluate_placement(
+            platform_b, solved.realize(), hot1000, ENTRY_BYTES, Mechanism.FACTORED
+        ).time
+        part = evaluate_placement(
+            platform_b,
+            partition_policy(hot1000, cap, 8),
+            hot1000,
+            ENTRY_BYTES,
+            Mechanism.FACTORED,
+        ).time
+        assert ug <= part * 1.05
+
+
+class TestIntegralMode:
+    def test_small_instance_integral(self, platform_a):
+        hot = zipf_pmf(60, 1.2) * 100
+        config = SolverConfig(integral=True, coarse_block_frac=0.2)
+        solved = solve_policy(platform_a, hot, 10, ENTRY_BYTES, config=config)
+        # Binary storage: fractions are 0/1 up to solver tolerance.
+        frac = solved.storage[(solved.storage > 1e-6) & (solved.storage < 1 - 1e-6)]
+        assert frac.size == 0
+
+    def test_integral_no_better_than_relaxation(self, platform_a):
+        hot = zipf_pmf(60, 1.2) * 100
+        relaxed = solve_policy(platform_a, hot, 10, ENTRY_BYTES)
+        integral = solve_policy(
+            platform_a, hot, 10, ENTRY_BYTES, config=SolverConfig(integral=True)
+        )
+        assert integral.est_time >= relaxed.est_time - 1e-12
+
+
+class TestSolvedPolicyAccessors:
+    def test_access_volume_fractions_sum_to_one(self, platform_a, hot1000):
+        solved = solve_policy(platform_a, hot1000, 100, ENTRY_BYTES)
+        fractions = solved.access_volume_fractions(0)
+        assert sum(fractions.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_problem_size_reported(self, platform_a, hot1000):
+        solved = solve_policy(platform_a, hot1000, 100, ENTRY_BYTES)
+        assert solved.num_variables > 0
+        assert solved.num_constraints > 0

@@ -1,0 +1,79 @@
+"""Properties of SolvedPolicy.realize(): the fraction→placement bridge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluate import hit_rates
+from repro.core.solver import SolverConfig, solve_policy
+from repro.hardware.platform import server_a, server_c
+from repro.utils.stats import zipf_pmf
+
+PLATFORMS = {"server-a": server_a(), "server-c": server_c()}
+FAST = SolverConfig(coarse_block_frac=0.05)
+
+
+class TestRealizationProperties:
+    @given(
+        platform_name=st.sampled_from(["server-a", "server-c"]),
+        alpha=st.floats(0.3, 1.8),
+        ratio=st.floats(0.01, 0.6),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_capacity_and_coverage(self, platform_name, alpha, ratio, seed):
+        platform = PLATFORMS[platform_name]
+        rng = np.random.default_rng(seed)
+        hotness = zipf_pmf(600, alpha)[rng.permutation(600)] * 10_000
+        capacity = int(ratio * 600)
+        solved = solve_policy(platform, hotness, capacity, 512, FAST)
+        placement = solved.realize()
+        # Capacity is a hard constraint after realization.
+        placement.validate_capacity(capacity)
+        # Realized global coverage tracks the LP's distinct storage mass.
+        lp_distinct = min(
+            float((solved.storage.max(axis=1) * solved.blocks.sizes).sum()),
+            600.0,
+        )
+        realized = placement.distinct_cached()
+        assert realized >= 0.8 * lp_distinct - solved.blocks.num_blocks
+
+    @given(
+        alpha=st.floats(0.5, 1.6),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_partition_like_solutions_tile_blocks(self, alpha, seed):
+        """When the LP partitions a block (Σ_j s = 1), rotation realizes a
+        near-exact tiling: few duplicates, near-full coverage."""
+        platform = PLATFORMS["server-c"]
+        rng = np.random.default_rng(seed)
+        hotness = zipf_pmf(800, alpha)[rng.permutation(800)] * 10_000
+        solved = solve_policy(platform, hotness, 100, 512, FAST)
+        placement = solved.realize()
+        total_copies = sum(placement.cached_counts())
+        distinct = placement.distinct_cached()
+        # Copies never exceed the LP storage mass by more than rounding.
+        lp_mass = float((solved.storage * solved.blocks.sizes[:, None]).sum())
+        assert total_copies <= lp_mass + solved.blocks.num_blocks * 8
+
+    def test_realization_deterministic(self):
+        platform = PLATFORMS["server-a"]
+        hotness = zipf_pmf(500, 1.1) * 1000
+        solved = solve_policy(platform, hotness, 60, 512, FAST)
+        a = solved.realize()
+        b = solved.realize()
+        for x, y in zip(a.per_gpu, b.per_gpu):
+            assert np.array_equal(x, y)
+
+    def test_realized_hit_rates_track_lp_access(self):
+        """The realized placement's access mix stays close to the LP's."""
+        platform = PLATFORMS["server-c"]
+        hotness = zipf_pmf(2000, 1.2) * 50_000
+        solved = solve_policy(platform, hotness, 200, 512, FAST)
+        placement = solved.realize()
+        hits = hit_rates(platform, placement, hotness)
+        lp_fracs = solved.access_volume_fractions(0)
+        lp_local = lp_fracs.get(0, 0.0)
+        assert hits.local == pytest.approx(lp_local, abs=0.15)

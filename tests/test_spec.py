@@ -1,0 +1,67 @@
+"""GPU specifications."""
+
+import pytest
+
+from repro.hardware.spec import GPUSpec, a100_80gb, v100_16gb, v100_32gb
+from repro.utils.units import GIB
+
+
+class TestPresets:
+    def test_v100_16_memory(self):
+        assert v100_16gb().memory_bytes == 16 * GIB
+
+    def test_v100_32_memory(self):
+        assert v100_32gb().memory_bytes == 32 * GIB
+
+    def test_a100_memory(self):
+        assert a100_80gb().memory_bytes == 80 * GIB
+
+    def test_v100_outbound_is_150gbps(self):
+        # 6 NVLink lanes × 25 GB/s (§8.1).
+        assert v100_16gb().outbound_bandwidth == pytest.approx(150e9)
+
+    def test_a100_outbound_is_300gbps(self):
+        assert a100_80gb().outbound_bandwidth == pytest.approx(300e9)
+
+    def test_sm_counts(self):
+        assert v100_16gb().num_cores == 80
+        assert a100_80gb().num_cores == 108
+
+
+class TestPerCoreBandwidth:
+    def test_all_cores_reach_local_bandwidth(self):
+        spec = a100_80gb()
+        assert spec.per_core_bandwidth * spec.num_cores == pytest.approx(
+            spec.local_bandwidth
+        )
+
+    def test_positive(self):
+        assert v100_32gb().per_core_bandwidth > 0
+
+
+class TestValidation:
+    def _spec(self, **overrides):
+        base = dict(
+            name="test",
+            memory_bytes=GIB,
+            num_cores=10,
+            local_bandwidth=1e11,
+            nvlink_lanes=4,
+        )
+        base.update(overrides)
+        return GPUSpec(**base)
+
+    def test_rejects_zero_memory(self):
+        with pytest.raises(ValueError):
+            self._spec(memory_bytes=0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            self._spec(num_cores=0)
+
+    def test_rejects_negative_lanes(self):
+        with pytest.raises(ValueError):
+            self._spec(nvlink_lanes=-1)
+
+    def test_zero_lanes_allowed(self):
+        assert self._spec(nvlink_lanes=0).outbound_bandwidth == 0

@@ -1,0 +1,106 @@
+"""Statistics helpers: Zipf pmf, coverage curves, aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    coverage_curve,
+    geometric_mean,
+    normalize,
+    weighted_percentile,
+    zipf_pmf,
+)
+
+
+class TestZipfPmf:
+    def test_sums_to_one(self):
+        assert zipf_pmf(1000, 1.2).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        pmf = zipf_pmf(100, 0.8)
+        assert (np.diff(pmf) <= 0).all()
+
+    def test_alpha_zero_is_uniform(self):
+        pmf = zipf_pmf(10, 0.0)
+        assert np.allclose(pmf, 0.1)
+
+    def test_higher_alpha_more_skewed(self):
+        low = zipf_pmf(1000, 0.9)
+        high = zipf_pmf(1000, 1.4)
+        assert high[0] > low[0]
+        assert high[-1] < low[-1]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_pmf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_pmf(10, -0.1)
+
+
+class TestNormalize:
+    def test_result_sums_to_one(self):
+        assert normalize(np.array([1.0, 3.0])).sum() == pytest.approx(1.0)
+
+    def test_preserves_ratios(self):
+        out = normalize(np.array([1.0, 3.0]))
+        assert out[1] / out[0] == pytest.approx(3.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize(np.array([1.0, -1.0]))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            normalize(np.zeros(3))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            normalize(np.ones((2, 2)))
+
+
+class TestGeometricMean:
+    def test_of_constant(self):
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestWeightedPercentile:
+    def test_median_uniform_weights(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        weights = np.ones(5)
+        assert weighted_percentile(values, weights, 50) == pytest.approx(3.0)
+
+    def test_skewed_weights_shift_percentile(self):
+        values = np.array([1.0, 10.0])
+        weights = np.array([0.99, 0.01])
+        assert weighted_percentile(values, weights, 50) == pytest.approx(1.0)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            weighted_percentile(np.ones(2), np.ones(2), 150)
+
+
+class TestCoverageCurve:
+    def test_starts_at_zero_ends_at_one(self):
+        curve = coverage_curve(zipf_pmf(50, 1.0))
+        assert curve[0] == 0.0
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_monotone(self):
+        curve = coverage_curve(zipf_pmf(50, 1.3))
+        assert (np.diff(curve) >= 0).all()
+
+    def test_concave_for_skewed_input(self):
+        curve = coverage_curve(zipf_pmf(100, 1.2))
+        # The first cached entry contributes more than the last.
+        assert curve[1] - curve[0] > curve[-1] - curve[-2]

@@ -1,0 +1,125 @@
+"""Interconnect topologies (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.topology import (
+    Topology,
+    TopologyKind,
+    dgx1_8gpu,
+    hardwired_fully_connected,
+    nvswitch,
+)
+
+
+class TestHardwiredFullyConnected:
+    def test_4gpu_pair_bandwidth(self):
+        # 6 lanes / 3 peers = 2 lanes = 50 GB/s per pair (Fig. 3(a)).
+        topo = hardwired_fully_connected(4)
+        assert topo.pair_bandwidth(0, 1) == pytest.approx(50e9)
+
+    def test_all_pairs_connected(self):
+        topo = hardwired_fully_connected(4)
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    assert topo.connected(i, j)
+
+    def test_outbound_sums_lanes(self):
+        topo = hardwired_fully_connected(4)
+        assert topo.outbound_bandwidth(2) == pytest.approx(150e9)
+
+    def test_single_clique(self):
+        assert hardwired_fully_connected(4).cliques() == [[0, 1, 2, 3]]
+
+    def test_rejects_uneven_split(self):
+        with pytest.raises(ValueError):
+            hardwired_fully_connected(5, lanes_per_gpu=6)
+
+    def test_rejects_single_gpu(self):
+        with pytest.raises(ValueError):
+            hardwired_fully_connected(1)
+
+
+class TestDgx1:
+    def test_each_gpu_uses_six_lanes(self):
+        topo = dgx1_8gpu()
+        assert (topo.lane_counts.sum(axis=1) == 6).all()
+
+    def test_has_unconnected_pairs(self):
+        topo = dgx1_8gpu()
+        assert not topo.connected(0, 5)
+        assert not topo.connected(0, 6)
+        assert not topo.connected(0, 7)
+
+    def test_cross_links_are_double(self):
+        topo = dgx1_8gpu()
+        for g in range(4):
+            assert topo.lane_counts[g, g + 4] == 2
+
+    def test_two_quad_cliques(self):
+        cliques = dgx1_8gpu().cliques()
+        assert sorted(sorted(c) for c in cliques) == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_nonuniform_bandwidth(self):
+        topo = dgx1_8gpu()
+        bws = {topo.pair_bandwidth(0, j) for j in topo.peers(0)}
+        assert len(bws) > 1
+
+    def test_symmetric(self):
+        topo = dgx1_8gpu()
+        assert np.array_equal(topo.lane_counts, topo.lane_counts.T)
+
+
+class TestNvswitch:
+    def test_every_pair_reachable(self):
+        topo = nvswitch(8)
+        for i in range(8):
+            assert len(topo.peers(i)) == 7
+
+    def test_single_flow_gets_full_outbound(self):
+        topo = nvswitch(8)
+        assert topo.pair_bandwidth(0, 1) == pytest.approx(300e9)
+
+    def test_outbound_capped_at_lanes(self):
+        topo = nvswitch(8)
+        assert topo.outbound_bandwidth(3) == pytest.approx(300e9)
+
+    def test_one_clique(self):
+        assert nvswitch(8).cliques() == [list(range(8))]
+
+    def test_kind(self):
+        assert nvswitch(4).kind is TopologyKind.SWITCH
+
+
+class TestValidation:
+    def test_rejects_asymmetric(self):
+        lanes = np.zeros((2, 2), dtype=int)
+        lanes[0, 1] = 1
+        with pytest.raises(ValueError):
+            Topology(TopologyKind.HARDWIRED, lanes, 25e9, 6)
+
+    def test_rejects_nonzero_diagonal(self):
+        lanes = np.eye(2, dtype=int)
+        with pytest.raises(ValueError):
+            Topology(TopologyKind.HARDWIRED, lanes, 25e9, 6)
+
+    def test_rejects_negative_lanes(self):
+        lanes = np.full((2, 2), -1, dtype=int)
+        np.fill_diagonal(lanes, 0)
+        with pytest.raises(ValueError):
+            Topology(TopologyKind.HARDWIRED, lanes, 25e9, 6)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            Topology(TopologyKind.HARDWIRED, np.zeros((2, 3), dtype=int), 25e9, 6)
+
+    def test_pair_bandwidth_self_is_error(self):
+        topo = nvswitch(4)
+        with pytest.raises(ValueError):
+            topo.pair_bandwidth(1, 1)
+
+    def test_lane_matrix_immutable(self):
+        topo = nvswitch(4)
+        with pytest.raises(ValueError):
+            topo.lane_counts[0, 1] = 99

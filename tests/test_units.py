@@ -1,0 +1,41 @@
+"""Unit conversion helpers."""
+
+import pytest
+
+from repro.utils import units
+
+
+def test_gb_is_decimal():
+    assert units.GB == 1_000_000_000
+
+
+def test_gib_is_binary():
+    assert units.GIB == 1024**3
+
+
+def test_gbps_converts_to_bytes_per_second():
+    assert units.gbps(25) == 25e9
+
+
+def test_gb_roundtrip():
+    assert units.bytes_to_gb(units.gb_to_bytes(3.5)) == pytest.approx(3.5)
+
+
+def test_gib_roundtrip():
+    assert units.bytes_to_gib(units.gib_to_bytes(16)) == pytest.approx(16)
+
+
+def test_seconds_to_ms():
+    assert units.seconds_to_ms(0.0215) == pytest.approx(21.5)
+
+
+def test_seconds_to_us():
+    assert units.seconds_to_us(3e-6) == pytest.approx(3.0)
+
+
+def test_ms_to_seconds_roundtrip():
+    assert units.seconds_to_ms(units.ms_to_seconds(7.5)) == pytest.approx(7.5)
+
+
+def test_gb_vs_gib_differ():
+    assert units.gb_to_bytes(1) < units.gib_to_bytes(1)
