@@ -4,6 +4,10 @@ Every benchmark runs one experiment driver exactly once under
 pytest-benchmark (the drivers are deterministic, minutes-scale sweeps — not
 microbenchmarks) and prints the reproduced table/figure rows uncaptured so
 they land in ``bench_output.txt``.
+
+Passing ``--metrics-out PATH`` writes one ``repro.obs`` JSON metrics
+artifact aggregated over every bench in the run (cache hit splits,
+per-GPU extraction timings, solver build/solve times, …).
 """
 
 from __future__ import annotations
@@ -11,16 +15,38 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.harness import ExperimentResult, render_table
+from repro.obs import MetricsRegistry, use_registry, write_json
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-out",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write a JSON metrics artifact aggregated over the benches run",
+    )
+
+
+@pytest.fixture(scope="session")
+def _bench_metrics(request):
+    """One registry for the whole bench session, exported at teardown."""
+    registry = MetricsRegistry("benchmarks")
+    yield registry
+    path = request.config.getoption("--metrics-out")
+    if path:
+        write_json(registry, path)
 
 
 @pytest.fixture
-def run_experiment(benchmark, capsys):
+def run_experiment(benchmark, capsys, _bench_metrics):
     """Run an experiment driver once, print its table, return its result."""
 
     def runner(driver, *args, **kwargs) -> ExperimentResult:
-        result = benchmark.pedantic(
-            driver, args=args, kwargs=kwargs, rounds=1, iterations=1
-        )
+        with use_registry(_bench_metrics):
+            result = benchmark.pedantic(
+                driver, args=args, kwargs=kwargs, rounds=1, iterations=1
+            )
         with capsys.disabled():
             print()
             print(render_table(result))

@@ -29,9 +29,10 @@ from repro.core import (
     solve_policy,
 )
 from repro.hardware import HOST, Platform, server_a, server_b, server_c
+from repro.obs import MetricsRegistry, get_registry, use_registry
 from repro.sim import BatchReport, GpuDemand, Mechanism, simulate_batch
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -51,4 +52,7 @@ __all__ = [
     "GpuDemand",
     "Mechanism",
     "simulate_batch",
+    "MetricsRegistry",
+    "get_registry",
+    "use_registry",
 ]

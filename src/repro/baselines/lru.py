@@ -164,7 +164,14 @@ def steady_state_overlap(
     a frequency-based replication cache (§8.1).
     """
     hotness = np.asarray(hotness, dtype=np.float64)
-    probs = hotness / hotness.sum()
+    if hotness.size == 0:
+        raise ValueError("hotness must be non-empty")
+    if (hotness < 0).any():
+        raise ValueError("hotness must be non-negative")
+    total = hotness.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ValueError("hotness must have positive total mass")
+    probs = hotness / total
     rng = np.random.default_rng(seed)
     for _ in range(warmup_batches):
         cache.access_batch(rng.choice(len(probs), size=batch_size, p=probs))

@@ -11,7 +11,12 @@ from repro.bench.contexts import (
     gnn_cell,
     platform_by_name,
 )
-from repro.bench.harness import ExperimentResult, render_table, speedup_summary
+from repro.bench.harness import (
+    ExperimentResult,
+    render_table,
+    run_with_metrics,
+    speedup_summary,
+)
 from repro.bench.validation import AgreementReport, AgreementSample, validate_model_agreement
 
 __all__ = [
@@ -29,5 +34,6 @@ __all__ = [
     "AgreementSample",
     "validate_model_agreement",
     "render_table",
+    "run_with_metrics",
     "speedup_summary",
 ]

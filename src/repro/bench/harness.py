@@ -4,13 +4,21 @@ Every figure/table driver in :mod:`repro.bench.experiments` returns an
 :class:`ExperimentResult` — a titled list of uniform row dicts — which the
 ``benchmarks/`` scripts render with :func:`render_table` so each bench
 prints the same rows/series the paper reports.
+
+:func:`run_with_metrics` is the observability entry point: it runs one
+driver inside a private :class:`~repro.obs.MetricsRegistry` so everything
+the hot paths record (cache hit splits, per-GPU extraction timings,
+solver build/solve times, …) lands in one machine-readable artifact
+instead of the global registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from pathlib import Path
+from typing import Any, Callable
 
+from repro.obs import MetricsRegistry, use_registry, write_json
 from repro.utils.stats import geometric_mean
 
 
@@ -22,6 +30,8 @@ class ExperimentResult:
     title: str
     rows: list[dict[str, Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: registry snapshot attached by :func:`run_with_metrics` (else None)
+    metrics: dict[str, Any] | None = None
 
     def add(self, **row: Any) -> None:
         self.rows.append(row)
@@ -69,6 +79,29 @@ def render_table(result: ExperimentResult) -> str:
     for note in result.notes:
         lines.append(f"note: {note}")
     return "\n".join(lines)
+
+
+def run_with_metrics(
+    driver: Callable[..., ExperimentResult],
+    *args: Any,
+    metrics_out: str | Path | None = None,
+    registry: MetricsRegistry | None = None,
+    **kwargs: Any,
+) -> ExperimentResult:
+    """Run one experiment driver with instrumentation captured.
+
+    The driver executes inside ``registry`` (a fresh one by default), so
+    only this run's counters/timings are collected.  The snapshot is
+    attached to ``result.metrics`` and, when ``metrics_out`` is given,
+    also written as a JSON artifact.
+    """
+    registry = registry or MetricsRegistry(getattr(driver, "__name__", "run"))
+    with use_registry(registry):
+        result = driver(*args, **kwargs)
+    result.metrics = registry.snapshot()
+    if metrics_out is not None:
+        write_json(registry, metrics_out)
+    return result
 
 
 def speedup_summary(

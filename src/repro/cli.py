@@ -8,7 +8,12 @@ Sub-commands:
   print the placement summary and Figure-8 Gantt chart;
 * ``experiment`` — run one of the paper's table/figure drivers by id
   (``fig2``, ``fig10``, ``table1``, …) and print its rows;
-* ``list-experiments`` — enumerate available experiment ids.
+* ``list-experiments`` — enumerate available experiment ids;
+* ``metrics`` — summarize a metrics artifact written by ``--metrics-out``.
+
+``solve`` and ``experiment`` accept ``--metrics-out PATH`` to capture the
+run's instrumentation (cache hit splits, per-GPU extraction timings,
+solver build/solve times) into a JSON artifact.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ import sys
 from typing import Callable
 
 from repro.bench import experiments as _experiments
-from repro.bench.harness import ExperimentResult, render_table
+from repro.bench.harness import ExperimentResult, render_table, run_with_metrics
 
 #: Experiment id → driver.  Kept explicit so ``--help`` is self-documenting.
 EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
@@ -58,33 +63,41 @@ def _cmd_platforms(args: argparse.Namespace) -> int:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.bench.contexts import platform_by_name
-    from repro.core.evaluate import expected_demands, hit_rates
+    from repro.core.evaluate import evaluate_placement, expected_demands, hit_rates
     from repro.core.solver import SolverConfig, solve_policy
+    from repro.obs import MetricsRegistry, use_registry, write_json
     from repro.sim.trace import trace_factored
     from repro.utils.stats import zipf_pmf
 
-    platform = platform_by_name(args.platform)
-    hotness = zipf_pmf(args.entries, args.alpha) * args.batch_keys
-    capacity = int(args.cache_ratio * args.entries)
-    solved = solve_policy(
-        platform,
-        hotness,
-        capacity,
-        args.entry_bytes,
-        SolverConfig(coarse_block_frac=args.coarse_frac),
-    )
-    placement = solved.realize()
-    hits = hit_rates(platform, placement, hotness)
+    registry = MetricsRegistry("solve")
+    with use_registry(registry):
+        platform = platform_by_name(args.platform)
+        hotness = zipf_pmf(args.entries, args.alpha) * args.batch_keys
+        capacity = int(args.cache_ratio * args.entries)
+        solved = solve_policy(
+            platform,
+            hotness,
+            capacity,
+            args.entry_bytes,
+            SolverConfig(coarse_block_frac=args.coarse_frac),
+        )
+        placement = solved.realize()
+        hits = hit_rates(platform, placement, hotness)
+        report = evaluate_placement(platform, placement, hotness, args.entry_bytes)
+        demand = expected_demands(platform, placement, hotness, args.entry_bytes)[0]
     print(f"solved in {solved.solve_seconds:.2f}s: "
           f"{solved.blocks.num_blocks} blocks, "
           f"{solved.num_variables} variables")
     print(f"estimated extraction time: {solved.est_time * 1e3:.4f} ms/iteration")
+    print(f"realized placement extraction time: {report.time * 1e3:.4f} ms/iteration")
     print(f"replication factor: {placement.replication_factor():.2f}; "
           f"hit rates: local {hits.local:.1%} / remote {hits.remote:.1%} / "
           f"host {hits.host:.1%}")
-    demand = expected_demands(platform, placement, hotness, args.entry_bytes)[0]
     print()
     print(trace_factored(platform, demand).gantt())
+    if args.metrics_out:
+        path = write_json(registry, args.metrics_out)
+        print(f"metrics written to {path}")
     return 0
 
 
@@ -94,14 +107,28 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.id!r}; "
               f"try: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
-    result = driver()
+    result = run_with_metrics(driver, metrics_out=args.metrics_out)
     print(render_table(result))
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
     for name in EXPERIMENTS:
         print(name)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import load_metrics, summarize
+
+    try:
+        doc = load_metrics(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read metrics artifact {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    print(summarize(doc))
     return 0
 
 
@@ -128,14 +155,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="expected keys per batch per GPU")
     p.add_argument("--coarse-frac", type=float, default=0.01,
                    help="coarse blocking cap (paper: 0.005)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the run's metrics as a JSON artifact")
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("experiment", help="run one paper table/figure driver")
     p.add_argument("id", help="experiment id, e.g. fig2, fig10, table1")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the run's metrics as a JSON artifact")
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser("list-experiments", help="list experiment ids")
     p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("metrics", help="summarize a metrics artifact")
+    p.add_argument("path", help="artifact written by --metrics-out")
+    p.set_defaults(func=_cmd_metrics)
     return parser
 
 

@@ -24,7 +24,12 @@ from repro.core.filler import (
     fill_gpu,
     placement_diff,
 )
-from repro.core.location_table import LocationTable, pack_location, unpack_location
+from repro.core.location_table import (
+    LocationTable,
+    ProbeLimitError,
+    pack_location,
+    unpack_location,
+)
 from repro.core.serialization import (
     load_placement,
     load_policy_summary,
@@ -65,6 +70,7 @@ from repro.core.solver import (
 
 __all__ = [
     "LocationTable",
+    "ProbeLimitError",
     "pack_location",
     "unpack_location",
     "load_placement",

@@ -24,6 +24,7 @@ from repro.core.evaluate import demand_from_keys, resolve_sources
 from repro.core.filler import GpuCacheStore, fill_all
 from repro.core.policy import Placement
 from repro.hardware.platform import HOST, Platform
+from repro.obs import get_registry
 from repro.sim.congestion import CongestionModel
 from repro.sim.engine import BatchReport, simulate_batch
 from repro.sim.mechanisms import GpuDemand, Mechanism
@@ -104,6 +105,22 @@ class MultiGpuEmbeddingCache:
         """One GPU's cache store (slot arena + entry→slot map)."""
         return self._stores[gpu]
 
+    @property
+    def host_table(self) -> np.ndarray:
+        """The host-resident embedding table (the universal fallback)."""
+        return self._table
+
+    def host_gather(self, keys: np.ndarray) -> np.ndarray:
+        """Gather rows straight from the host table (the miss path).
+
+        The public form of what the Extractor's HOST group does: callers
+        outside this class must never index the private table directly.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        if keys.size and (keys.min() < 0 or keys.max() >= self.num_entries):
+            raise KeyError("host gather key out of range")
+        return self._table[keys]
+
     # ------------------------------------------------------------------
     # Lookup path
     # ------------------------------------------------------------------
@@ -129,6 +146,16 @@ class MultiGpuEmbeddingCache:
         demand = demand_from_keys(
             self._platform, self._source_map, dst, keys, self.entry_bytes
         )
+        reg = get_registry()
+        if reg.enabled:
+            local = int((sources == dst).sum())
+            host = int(host_mask.sum())
+            reg.counter("cache.lookup.calls").inc()
+            reg.counter("cache.lookup.keys", source="local").inc(local)
+            reg.counter("cache.lookup.keys", source="remote").inc(
+                len(keys) - local - host
+            )
+            reg.counter("cache.lookup.keys", source="host").inc(host)
         return LookupResult(values=values, demand=demand, sources=sources)
 
     def extract_all(

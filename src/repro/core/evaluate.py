@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.policy import Placement
 from repro.hardware.platform import HOST, Platform
+from repro.obs import get_registry
 from repro.sim.congestion import CongestionModel
 from repro.sim.engine import BatchReport, simulate_batch
 from repro.sim.mechanisms import GpuDemand, Mechanism
@@ -199,11 +200,18 @@ def hit_rates(
         host += hotness[srcs == HOST].sum()
         remote += hotness[(srcs != i) & (srcs != HOST)].sum()
     g = platform.num_gpus
-    return HitRates(
+    rates = HitRates(
         local=float(local / total / g),
         remote=float(remote / total / g),
         host=float(host / total / g),
     )
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("cache.hit_rate.evaluations").inc()
+        reg.gauge("cache.hit_rate", source="local").set(rates.local)
+        reg.gauge("cache.hit_rate", source="remote").set(rates.remote)
+        reg.gauge("cache.hit_rate", source="host").set(rates.host)
+    return rates
 
 
 def evaluate_placement(

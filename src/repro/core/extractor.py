@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.cache import MultiGpuEmbeddingCache
 from repro.hardware.platform import HOST, Platform
+from repro.obs import get_registry, timer
 from repro.sim.engine import BatchReport, simulate_batch
 from repro.sim.mechanisms import (
     GpuDemand,
@@ -23,6 +24,17 @@ from repro.sim.mechanisms import (
     core_dedication,
     factored_extraction,
 )
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.extractor")
+
+
+def _source_class(source: int, dst: int) -> str:
+    if source == dst:
+        return "local"
+    if source == HOST:
+        return "host"
+    return "remote"
 
 
 @dataclass(frozen=True)
@@ -81,51 +93,85 @@ class FactoredExtractor:
 
     def plan(self, dst: int, keys: np.ndarray) -> ExtractionPlan:
         """Group a batch by source location and dedicate cores (§5.3)."""
-        keys = np.ascontiguousarray(keys, dtype=np.int64)
-        sources = self._cache.source_map[dst][keys]
-        present = [int(s) for s in np.unique(sources)]
-        dedication = core_dedication(self.platform, dst, present)
-        groups: list[SourceGroup] = []
-        local_group: SourceGroup | None = None
-        for src in present:
-            positions = np.flatnonzero(sources == src)
-            group_keys = keys[positions]
-            if src == HOST:
-                offsets = np.empty(0, dtype=np.int64)
-            else:
-                offsets = self._cache.store(src).offset_of[group_keys]
-            group = SourceGroup(
-                source=src,
-                batch_positions=positions,
-                keys=group_keys,
-                offsets=offsets,
-                dedicated_cores=(
-                    self.platform.gpu.num_cores
-                    if src == dst
-                    else dedication.get(src, 1)
-                ),
-            )
-            if src == dst:
-                local_group = group
-            else:
-                groups.append(group)
-        # Local extraction is launched last, on a low-priority stream.
-        if local_group is not None:
-            groups.append(local_group)
+        reg = get_registry()
+        with timer("extractor.plan.seconds", reg):
+            keys = np.ascontiguousarray(keys, dtype=np.int64)
+            sources = self._cache.source_map[dst][keys]
+            present = [int(s) for s in np.unique(sources)]
+            dedication = core_dedication(self.platform, dst, present)
+            missing = [
+                s for s in present if s not in (dst, HOST) and s not in dedication
+            ]
+            if missing:
+                # A present source the core-dedication map does not cover
+                # means the topology model and the location table disagree
+                # — survivable (one core is a safe floor), but never silent.
+                reg.counter("extractor.plan.dedication_missing").inc(len(missing))
+                logger.warning(
+                    "GPU %d batch reads from source(s) %s absent from the "
+                    "core-dedication map; falling back to 1 dedicated core",
+                    dst, missing,
+                )
+            groups: list[SourceGroup] = []
+            local_group: SourceGroup | None = None
+            for src in present:
+                positions = np.flatnonzero(sources == src)
+                group_keys = keys[positions]
+                if src == HOST:
+                    offsets = np.empty(0, dtype=np.int64)
+                else:
+                    offsets = self._cache.store(src).offset_of[group_keys]
+                group = SourceGroup(
+                    source=src,
+                    batch_positions=positions,
+                    keys=group_keys,
+                    offsets=offsets,
+                    dedicated_cores=(
+                        self.platform.gpu.num_cores
+                        if src == dst
+                        else dedication.get(src, 1)
+                    ),
+                )
+                reg.counter(
+                    "extractor.plan.keys", source=_source_class(src, dst)
+                ).inc(len(group_keys))
+                reg.histogram(
+                    "extractor.plan.dedicated_cores",
+                    source=_source_class(src, dst),
+                ).observe(group.dedicated_cores)
+                if src == dst:
+                    local_group = group
+                else:
+                    groups.append(group)
+            # Local extraction is launched last, on a low-priority stream.
+            if local_group is not None:
+                groups.append(local_group)
+        reg.counter("extractor.plan.calls").inc()
         return ExtractionPlan(dst=dst, batch_size=len(keys), groups=tuple(groups))
 
     def execute(self, plan: ExtractionPlan) -> tuple[np.ndarray, GpuDemand]:
         """Gather values per the plan; returns (values, priced demand)."""
-        values = np.empty(
-            (plan.batch_size, self._cache.dim), dtype=self._cache.store(0).data.dtype
-        )
-        for group in plan.groups:
-            if group.source == HOST:
-                values[group.batch_positions] = self._cache._table[group.keys]
-            else:
-                store = self._cache.store(group.source)
-                values[group.batch_positions] = store.data[group.offsets]
-        return values, plan.demand(self._cache.entry_bytes)
+        reg = get_registry()
+        entry_bytes = self._cache.entry_bytes
+        with timer("extractor.execute.seconds", reg):
+            values = np.empty(
+                (plan.batch_size, self._cache.dim),
+                dtype=self._cache.store(0).data.dtype,
+            )
+            for group in plan.groups:
+                if group.source == HOST:
+                    values[group.batch_positions] = self._cache.host_gather(
+                        group.keys
+                    )
+                else:
+                    store = self._cache.store(group.source)
+                    values[group.batch_positions] = store.data[group.offsets]
+                reg.counter(
+                    "extractor.execute.bytes",
+                    source=_source_class(group.source, plan.dst),
+                ).inc(len(group.keys) * entry_bytes)
+        reg.counter("extractor.execute.calls").inc()
+        return values, plan.demand(entry_bytes)
 
     def extract(
         self, keys_per_gpu: list[np.ndarray], local_padding: bool = True

@@ -24,6 +24,16 @@ _OFFSET_BITS = 48
 _OFFSET_MASK = (np.int64(1) << _OFFSET_BITS) - 1
 
 
+class ProbeLimitError(RuntimeError):
+    """A probe chain visited every slot: the table is full or corrupt.
+
+    With the load-factor invariant intact this is unreachable — every
+    probe sequence meets an empty slot within ``capacity`` steps.  Raising
+    instead of spinning turns an invariant violation (external mutation,
+    a bypassed grow) into a diagnosable error rather than a hang.
+    """
+
+
 def pack_location(source: int, offset: int) -> np.int64:
     """Pack ``(source, offset)`` into one int64 slot value."""
     if source < HOST or source > 2**15 - 2:
@@ -94,7 +104,7 @@ class LocationTable:
             self._grow()
         packed = pack_location(source, offset)
         slot = self._slot(key)
-        while True:
+        for _ in range(self._capacity):
             existing = self._keys[slot]
             if existing == _EMPTY_KEY:
                 self._keys[slot] = key
@@ -105,6 +115,9 @@ class LocationTable:
                 self._values[slot] = packed
                 return
             slot = (slot + 1) & self._mask
+        raise ProbeLimitError(
+            f"insert({key}) probed all {self._capacity} slots: table full or corrupt"
+        )
 
     def remove(self, key: int) -> bool:
         """Delete one key; returns False if absent.
@@ -113,17 +126,29 @@ class LocationTable:
         relocated so no tombstones accumulate.
         """
         slot = self._slot(key)
-        while True:
+        for _ in range(self._capacity):
             existing = self._keys[slot]
             if existing == _EMPTY_KEY:
                 return False
             if existing == key:
                 break
             slot = (slot + 1) & self._mask
+        else:
+            raise ProbeLimitError(
+                f"remove({key}) probed all {self._capacity} slots: "
+                "table full or corrupt"
+            )
         # Backward-shift the rest of the cluster.
         hole = slot
         probe = (slot + 1) & self._mask
+        shifts = 0
         while self._keys[probe] != _EMPTY_KEY:
+            shifts += 1
+            if shifts > self._capacity:
+                raise ProbeLimitError(
+                    f"remove({key}) shift pass found no empty slot in "
+                    f"{self._capacity} probes: table full or corrupt"
+                )
             ideal = self._slot(int(self._keys[probe]))
             distance_probe = (probe - ideal) & self._mask
             distance_hole = (probe - hole) & self._mask
@@ -155,13 +180,16 @@ class LocationTable:
     def get(self, key: int) -> tuple[int, int] | None:
         """Location of one key, or None if absent."""
         slot = self._slot(key)
-        while True:
+        for _ in range(self._capacity):
             existing = self._keys[slot]
             if existing == _EMPTY_KEY:
                 return None
             if existing == key:
                 return unpack_location(self._values[slot])
             slot = (slot + 1) & self._mask
+        raise ProbeLimitError(
+            f"get({key}) probed all {self._capacity} slots: table full or corrupt"
+        )
 
     def lookup_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized-ish batch lookup.

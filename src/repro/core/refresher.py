@@ -19,6 +19,7 @@ reproduces Figure 17's latency-vs-time trace analytically.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +27,7 @@ import numpy as np
 from repro.core.cache import MultiGpuEmbeddingCache
 from repro.core.filler import apply_diff_step, placement_diff
 from repro.core.policy import Placement
+from repro.obs import get_registry
 from repro.utils.logging import get_logger
 
 logger = get_logger("core.refresher")
@@ -81,6 +83,10 @@ class Refresher:
     def __init__(self, cache: MultiGpuEmbeddingCache, config: RefreshConfig | None = None):
         self._cache = cache
         self._config = config or RefreshConfig()
+        # Epoch of the content now being served: set at construction (the
+        # initial fill) and advanced on every completed refresh; its age
+        # is the staleness the next refresh retires.
+        self._content_epoch = _time.perf_counter()
 
     def should_refresh(self, current_time: float, candidate_time: float) -> bool:
         """Trigger when the candidate policy is sufficiently better."""
@@ -110,9 +116,12 @@ class Refresher:
         rebuilt after the final step.
         """
         cfg = self._config
+        reg = get_registry()
+        swap_start = _time.perf_counter()
         diff = placement_diff(self._cache.placement, new_placement)
         total = diff.total_changes()
         if total == 0:
+            reg.counter("refresher.noop").inc()
             yield RefreshOutcome(triggered=False)
             return
 
@@ -132,7 +141,7 @@ class Refresher:
                 source_map[dst][evicted[stale]] = HOST
 
         steps = 0
-        table = self._cache._table
+        table = self._cache.host_table
         for gpu in range(new_placement.num_gpus):
             evict = diff.evictions[gpu]
             insert = diff.insertions[gpu]
@@ -153,6 +162,19 @@ class Refresher:
                 )
         self._cache.refresh_source_map()
         duration = cfg.solve_seconds + total / cfg.entries_per_second
+        if reg.enabled:
+            now = _time.perf_counter()
+            reg.counter("refresher.refreshes").inc()
+            reg.counter("refresher.entries_moved").inc(total)
+            reg.histogram("refresher.steps").observe(steps)
+            reg.histogram("refresher.swap.seconds").observe(now - swap_start)
+            reg.histogram("refresher.staleness.seconds").observe(
+                swap_start - self._content_epoch
+            )
+            reg.histogram("refresher.modelled_duration.seconds").observe(duration)
+            self._content_epoch = now
+        else:
+            self._content_epoch = _time.perf_counter()
         logger.info(
             "refresh complete: moved %d entries in %d steps (~%.1fs modelled)",
             total, steps, duration,

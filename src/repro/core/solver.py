@@ -38,6 +38,7 @@ from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 from repro.core.blocks import BlockSet, build_blocks
 from repro.core.policy import Placement
 from repro.hardware.platform import HOST, Platform
+from repro.obs import get_registry
 from repro.sim.mechanisms import core_dedication
 from repro.utils.logging import get_logger
 
@@ -227,6 +228,8 @@ def solve_policy(
     if entry_bytes <= 0:
         raise ValueError("entry_bytes must be positive")
 
+    reg = get_registry()
+    build_start = _time.perf_counter()
     if blocks is None:
         blocks = build_blocks(
             hotness,
@@ -355,6 +358,11 @@ def solve_policy(
     )
 
     start = _time.perf_counter()
+    if reg.enabled:
+        reg.histogram("solver.build.seconds").observe(start - build_start)
+        reg.gauge("solver.num_blocks").set(B)
+        reg.gauge("solver.num_variables").set(num_vars)
+        reg.gauge("solver.num_constraints").set(row + eq_row)
     if config.integral:
         integrality = np.zeros(num_vars)
         integrality[: num_a + num_s] = 1
@@ -380,9 +388,12 @@ def solve_policy(
             options={"time_limit": config.time_limit},
         )
     elapsed = _time.perf_counter() - start
+    reg.histogram("solver.solve.seconds").observe(elapsed)
     if res.status != 0 or res.x is None:
+        reg.counter("solver.failures").inc()
         logger.error("policy solve failed after %.2fs: %s", elapsed, res.message)
         raise PolicySolveError(f"policy solve failed: {res.message}")
+    reg.counter("solver.solves").inc()
     logger.debug(
         "solved %s: %d blocks, %d vars, %d constraints in %.2fs (z=%.3e s)",
         platform.name, B, num_vars, row + eq_row, elapsed, float(res.x[z0]),

@@ -1,0 +1,168 @@
+"""Exporters and readers for metrics artifacts.
+
+Two on-disk formats, both zero-dependency:
+
+* **JSON** (:func:`write_json`) — one document with ``schema``,
+  ``registry``, ``metrics`` (list of series snapshots) and ``spans``;
+  the format ``--metrics-out`` produces and ``python -m repro metrics``
+  consumes.
+* **JSON-lines** (:func:`write_jsonl`) — one series snapshot per line,
+  preceded by a header line; convenient for appending across runs and
+  for ``jq``/line-oriented tooling.
+
+:func:`to_prometheus_text` renders the Prometheus text exposition format
+for scraping-style integration; :func:`load_metrics` reads either disk
+format back; :func:`summarize` turns a loaded document into the terse
+text report the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "load_metrics",
+    "summarize",
+    "to_prometheus_text",
+    "write_json",
+    "write_jsonl",
+]
+
+
+def write_json(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write one registry snapshot as a single JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(registry.snapshot(), indent=2) + "\n")
+    return path
+
+
+def write_jsonl(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write a registry as JSON-lines: header line, then one series/line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    snap = registry.snapshot()
+    lines = [json.dumps({"schema": snap["schema"], "registry": snap["registry"]})]
+    lines += [json.dumps(m) for m in snap["metrics"]]
+    lines += [json.dumps({"span": s}) for s in snap["spans"]]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_metrics(path: str | Path) -> dict[str, Any]:
+    """Read a metrics artifact written by either exporter.
+
+    Returns the single-document form (``{"schema", "registry",
+    "metrics", "spans"}``) regardless of which format is on disk.
+    """
+    text = Path(path).read_text()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "metrics" in doc:
+        return doc
+    # JSON-lines: header then one object per line.
+    out: dict[str, Any] = {"schema": "repro.obs/v1", "registry": "?",
+                           "metrics": [], "spans": []}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if "span" in obj:
+            out["spans"].append(obj["span"])
+        elif "name" in obj:
+            out["metrics"].append(obj)
+        else:
+            out["schema"] = obj.get("schema", out["schema"])
+            out["registry"] = obj.get("registry", out["registry"])
+    return out
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + "".join(c if c.isalnum() else "_" for c in name)
+
+
+def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Histograms follow the convention: cumulative ``_bucket{le=...}``
+    series plus ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for series in registry.series():
+        snap = series.snapshot()
+        base = _prom_name(snap["name"])
+        if base not in typed:
+            lines.append(f"# TYPE {base} {snap['type']}")
+            typed.add(base)
+        labels = snap["labels"]
+        if snap["type"] == "histogram":
+            cumulative = 0
+            for bound, count in snap["buckets"]:
+                cumulative += count
+                le = "+Inf" if bound is None else f"{bound:.6g}"
+                lines.append(
+                    f"{base}_bucket{_prom_labels(labels, {'le': le})} {cumulative}"
+                )
+            if snap["buckets"] and snap["buckets"][-1][0] is not None:
+                lines.append(
+                    f"{base}_bucket{_prom_labels(labels, {'le': '+Inf'})} {cumulative}"
+                )
+            lines.append(f"{base}_sum{_prom_labels(labels)} {snap['sum']:.9g}")
+            lines.append(f"{base}_count{_prom_labels(labels)} {snap['count']}")
+        else:
+            lines.append(f"{base}{_prom_labels(labels)} {snap['value']:.9g}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.001:
+        return f"{value:.3g}"
+    return f"{value:.4g}"
+
+
+def summarize(doc: dict[str, Any]) -> str:
+    """Terse text summary of a loaded metrics document.
+
+    Counters and gauges print name/labels/value; histograms print
+    count/mean/min/max.  This is what ``python -m repro metrics PATH``
+    shows.
+    """
+    lines = [f"metrics artifact: registry={doc.get('registry', '?')} "
+             f"({len(doc.get('metrics', []))} series, "
+             f"{len(doc.get('spans', []))} spans)"]
+    for m in doc.get("metrics", []):
+        labels = m.get("labels") or {}
+        label_text = (
+            "{" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            if labels
+            else ""
+        )
+        name = f"{m['name']}{label_text}"
+        if m.get("type") == "histogram":
+            count = m.get("count", 0)
+            mean = (m.get("sum", 0.0) / count) if count else 0.0
+            lines.append(
+                f"  {name:48s} count={count} mean={_fmt(mean)} "
+                f"min={_fmt(m.get('min') or 0.0)} max={_fmt(m.get('max') or 0.0)}"
+            )
+        else:
+            lines.append(f"  {name:48s} {_fmt(m.get('value', 0.0))}")
+    return "\n".join(lines)

@@ -1,0 +1,334 @@
+"""Process-local metrics: counters, gauges, histograms, and the registry.
+
+Zero-dependency instrumentation for the runtime's hot paths.  Instruments
+are plain Python objects updated in place (one dict lookup + one float
+add), so a default-on registry costs next to nothing; a registry can also
+be disabled outright, in which case :meth:`MetricsRegistry.counter` and
+friends hand back shared no-op instruments and the hot path does no work
+at all.
+
+Histograms use *fixed* log-scale buckets (half-decade steps spanning
+1 ns .. 1 Ms) so two artifacts are always mergeable bucket-by-bucket and
+export never needs per-histogram bucket negotiation.
+
+The module keeps one process-local default registry.  Code that wants a
+private capture (the CLI's ``--metrics-out``, the benchmark harness)
+swaps its own registry in with :func:`use_registry` for the duration of a
+run; instrumented modules always call :func:`get_registry` at record time
+so the swap redirects them.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+#: Half-decade log-scale bucket upper bounds: 1e-9, ~3.16e-9, 1e-8, … 1e6.
+#: Fixed for every histogram so artifacts merge bucket-by-bucket.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(10.0 ** (e / 2.0) for e in range(-18, 13))
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing counter (e.g. lookups, bytes moved)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able state of this series."""
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """Last-value instrument (e.g. current hit rate, LP variable count)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the latest observed value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able state of this series."""
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Log-bucketed distribution (timings, batch sizes, byte volumes).
+
+    Buckets are the fixed :data:`BUCKET_BOUNDS`; an extra overflow bucket
+    catches anything above the last bound and observations ``<= 0`` land
+    in the first bucket (they still count toward ``count``/``sum``).
+    """
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "bucket_counts")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.bucket_counts = [0] * (len(BUCKET_BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.bucket_counts[bisect_left(BUCKET_BOUNDS, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile (``q`` in [0, 100]) from the buckets.
+
+        Returns the upper bound of the bucket holding the q-th
+        observation, clamped to the observed min/max — good to within one
+        half-decade, which is plenty for latency summaries.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= rank and n:
+                bound = (
+                    BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS) else self.max
+                )
+                return float(min(max(bound, self.min), self.max))
+        return float(self.max)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able state of this series (sparse non-empty buckets)."""
+        buckets = [
+            [BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS) else None, n]
+            for i, n in enumerate(self.bucket_counts)
+            if n
+        ]
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": buckets,
+        }
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Process-local collection of named, labelled instruments.
+
+    Series are keyed by ``(name, sorted labels)``; asking twice for the
+    same series returns the same object.  A disabled registry hands out
+    shared no-op instruments so instrumented code needs no branching of
+    its own.
+    """
+
+    def __init__(self, name: str = "default", enabled: bool = True) -> None:
+        self.name = name
+        self.enabled = enabled
+        self._series: dict[tuple[str, str, LabelKey], Instrument] = {}
+        self._lock = threading.Lock()
+        #: trace spans land here when :attr:`tracing_enabled` is set
+        self.spans: list[Any] = []
+        self.tracing_enabled = False
+
+    # ------------------------------------------------------------------
+    # Series access
+    # ------------------------------------------------------------------
+    def _get(self, cls: type, name: str, labels: dict[str, Any]) -> Instrument:
+        key = (cls.kind, name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            with self._lock:
+                series = self._series.setdefault(key, cls(name, key[2]))
+        return series
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create a counter series."""
+        if not self.enabled:
+            return _NOOP_COUNTER
+        return self._get(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create a gauge series."""
+        if not self.enabled:
+            return _NOOP_GAUGE
+        return self._get(Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """Get or create a histogram series."""
+        if not self.enabled:
+            return _NOOP_HISTOGRAM
+        return self._get(Histogram, name, labels)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def series(self) -> Iterator[Instrument]:
+        """All series, sorted by (name, kind, labels) for stable export."""
+        for key in sorted(self._series):
+            yield self._series[key]
+
+    def value(self, name: str, **labels: Any) -> float | None:
+        """Current value of a counter/gauge series, or None if absent."""
+        for kind in ("counter", "gauge"):
+            series = self._series.get((kind, name, _label_key(labels)))
+            if series is not None:
+                return series.value  # type: ignore[union-attr]
+        return None
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-able document for the whole registry."""
+        return {
+            "schema": "repro.obs/v1",
+            "registry": self.name,
+            "metrics": [s.snapshot() for s in self.series()],
+            "spans": [s.snapshot() for s in self.spans],
+        }
+
+    def reset(self) -> None:
+        """Drop every series and buffered span."""
+        with self._lock:
+            self._series.clear()
+            self.spans.clear()
+
+
+class _NoopCounter(Counter):
+    """Discards updates; what a disabled registry hands out."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+
+class _NoopGauge(Gauge):
+    """Discards updates; what a disabled registry hands out."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+
+class _NoopHistogram(Histogram):
+    """Discards updates; what a disabled registry hands out."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+#: Shared no-op instruments handed out by disabled registries.
+_NOOP_COUNTER = _NoopCounter("noop")
+_NOOP_GAUGE = _NoopGauge("noop")
+_NOOP_HISTOGRAM = _NoopHistogram("noop")
+
+_default_registry = MetricsRegistry("global")
+_registry_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active process-local registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the active registry; returns the previous one."""
+    global _default_registry
+    with _registry_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous
+
+
+class use_registry:
+    """Context manager: route all instrumentation into ``registry``.
+
+    Re-entrant in the nesting sense (restores whatever was active on
+    exit), which is how the CLI and benchmark harness capture one run
+    into a private registry without disturbing the global one.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._previous: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_registry(self._registry)
+        return self._registry
+
+    def __exit__(self, *exc_info: Any) -> None:
+        assert self._previous is not None
+        set_registry(self._previous)

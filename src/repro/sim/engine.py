@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hardware.platform import HOST, Platform
+from repro.obs import get_registry
 from repro.sim.congestion import CongestionModel
 from repro.sim.mechanisms import (
     GpuDemand,
@@ -131,4 +132,13 @@ def simulate_batch(
         ]
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unknown mechanism {mechanism}")
-    return BatchReport(mechanism=mechanism, per_gpu=reports)
+    report = BatchReport(mechanism=mechanism, per_gpu=reports)
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("extract.batches", mechanism=mechanism.value).inc()
+        for r in reports:
+            reg.histogram("extract.gpu_seconds", gpu=r.dst).observe(r.time)
+        reg.histogram("extract.batch_seconds").observe(report.time)
+        for cls, vol in report.volume_split().items():
+            reg.counter("extract.volume_bytes", source=cls).inc(vol)
+    return report

@@ -67,3 +67,47 @@ class TestCommands:
     def test_experiment_command_fast_driver(self, capsys):
         assert main(["experiment", "table3"]) == 0
         assert "Criteo-TB" in capsys.readouterr().out
+
+
+class TestMetrics:
+    def test_solve_writes_metrics_artifact(self, capsys, tmp_path):
+        from repro.obs import load_metrics
+
+        out = tmp_path / "solve.json"
+        code = main(
+            ["solve", "--entries", "500", "--cache-ratio", "0.1",
+             "--platform", "server-a", "--coarse-frac", "0.1",
+             "--metrics-out", str(out)]
+        )
+        assert code == 0
+        assert "metrics written to" in capsys.readouterr().out
+        doc = load_metrics(out)
+        names = {m["name"] for m in doc["metrics"]}
+        # Hit split, per-GPU extraction timing, and solver solve time all
+        # land in one artifact.
+        assert "cache.hit_rate" in names
+        assert "extract.gpu_seconds" in names
+        assert "solver.solve.seconds" in names
+
+    def test_experiment_writes_metrics_artifact(self, capsys, tmp_path):
+        from repro.obs import load_metrics
+
+        out = tmp_path / "exp.json"
+        assert main(["experiment", "table3", "--metrics-out", str(out)]) == 0
+        doc = load_metrics(out)
+        assert doc["schema"] == "repro.obs/v1"
+
+    def test_metrics_command_summarizes(self, capsys, tmp_path):
+        out = tmp_path / "m.json"
+        main(["solve", "--entries", "500", "--cache-ratio", "0.1",
+              "--platform", "server-a", "--coarse-frac", "0.1",
+              "--metrics-out", str(out)])
+        capsys.readouterr()
+        assert main(["metrics", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "metrics artifact" in text
+        assert "solver.solve.seconds" in text
+
+    def test_metrics_command_missing_file(self, capsys, tmp_path):
+        assert main(["metrics", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -103,3 +103,64 @@ class TestReplicationPlans:
         plan = extractor.plan(0, np.arange(500))
         assert len(plan.groups) == 1
         assert plan.groups[0].source == 0
+
+
+class TestHostGatherApi:
+    """The extractor goes through the cache's public host-gather path."""
+
+    def test_execute_matches_cache_lookup(self, extractor, rng):
+        keys = rng.integers(0, N, size=500)
+        plan = extractor.plan(2, keys)
+        values, _ = extractor.execute(plan)
+        looked_up = extractor._cache.lookup(2, keys).values
+        assert np.array_equal(values, looked_up)
+
+    def test_host_gather_matches_table(self, extractor, small_table, rng):
+        keys = rng.integers(0, N, size=64)
+        assert np.array_equal(
+            extractor._cache.host_gather(keys), small_table[keys]
+        )
+
+    def test_host_gather_rejects_out_of_range(self, extractor):
+        with pytest.raises(KeyError):
+            extractor._cache.host_gather(np.array([N + 1]))
+        with pytest.raises(KeyError):
+            extractor._cache.host_gather(np.array([-1]))
+
+
+class TestDedicationMismatch:
+    """A present source missing from core_dedication is loud, not silent."""
+
+    def test_missing_source_warns_and_counts(self, extractor, monkeypatch, caplog):
+        import logging
+
+        from repro.core import extractor as extractor_module
+        from repro.obs import MetricsRegistry, use_registry
+
+        monkeypatch.setattr(
+            extractor_module, "core_dedication", lambda *a, **k: {}
+        )
+        reg = MetricsRegistry("t")
+        with use_registry(reg), caplog.at_level(
+            logging.WARNING, logger="repro.core.extractor"
+        ):
+            plan = extractor.plan(0, np.arange(800))
+        assert reg.value("extractor.plan.dedication_missing") >= 1
+        assert any("core-dedication" in r.message for r in caplog.records)
+        # The fallback still yields a usable plan: every group >= 1 core.
+        for group in plan.nonlocal_groups:
+            if group.source != HOST:
+                assert group.dedicated_cores == 1
+
+    def test_covered_sources_do_not_warn(self, extractor, caplog):
+        import logging
+
+        from repro.obs import MetricsRegistry, use_registry
+
+        reg = MetricsRegistry("t")
+        with use_registry(reg), caplog.at_level(
+            logging.WARNING, logger="repro.core.extractor"
+        ):
+            extractor.plan(0, np.arange(800))
+        assert reg.value("extractor.plan.dedication_missing") is None
+        assert not caplog.records

@@ -152,3 +152,56 @@ class TestHypothesis:
         assert len(table) == len(reference)
         for key, value in reference.items():
             assert table.get(key) == value
+
+
+class TestProbeBounds:
+    """Probe loops are capped: a full/corrupt table raises, never hangs."""
+
+    @staticmethod
+    def _filled_to_capacity() -> LocationTable:
+        table = LocationTable(4)
+        # Bypass the load-factor guard (as a corrupting writer would) so
+        # every slot ends up occupied.
+        table._max_load = 2.0
+        key = 0
+        while len(table) < table.capacity:
+            table.insert(key, 0, key)
+            key += 1
+        return table
+
+    def test_insert_into_full_table_raises(self):
+        from repro.core.location_table import ProbeLimitError
+
+        table = self._filled_to_capacity()
+        with pytest.raises(ProbeLimitError, match="full or corrupt"):
+            table.insert(10_000, 0, 0)
+
+    def test_get_absent_key_in_full_table_raises(self):
+        from repro.core.location_table import ProbeLimitError
+
+        table = self._filled_to_capacity()
+        with pytest.raises(ProbeLimitError):
+            table.get(10_000)
+
+    def test_remove_absent_key_in_full_table_raises(self):
+        from repro.core.location_table import ProbeLimitError
+
+        table = self._filled_to_capacity()
+        with pytest.raises(ProbeLimitError):
+            table.remove(10_000)
+
+    def test_present_keys_still_resolve_when_full(self):
+        table = self._filled_to_capacity()
+        for key in range(table.capacity):
+            assert table.get(key) == (0, key)
+
+    def test_remove_in_nearly_full_table_still_works(self):
+        # One empty slot is enough for backward-shift to terminate.
+        table = LocationTable(4)
+        table._max_load = 2.0
+        for key in range(table.capacity - 1):
+            table.insert(key, 0, key)
+        assert table.remove(0) is True
+        assert table.get(0) is None
+        for key in range(1, table.capacity - 1):
+            assert table.get(key) == (0, key)

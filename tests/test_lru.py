@@ -116,3 +116,27 @@ class TestSteadyState:
 
     def test_empty_cache_overlap_zero(self):
         assert steady_state_overlap(LruCache(0), np.ones(10), 4, 2) == 0.0
+
+
+class TestSteadyStateValidation:
+    """Degenerate hotness raises instead of feeding NaNs to rng.choice."""
+
+    def test_all_zero_hotness_rejected(self):
+        with pytest.raises(ValueError, match="positive total mass"):
+            steady_state_overlap(LruCache(4), np.zeros(10), 4, 2)
+
+    def test_negative_hotness_rejected(self):
+        hotness = np.ones(10)
+        hotness[3] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            steady_state_overlap(LruCache(4), hotness, 4, 2)
+
+    def test_empty_hotness_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            steady_state_overlap(LruCache(4), np.empty(0), 4, 2)
+
+    def test_non_finite_hotness_rejected(self):
+        hotness = np.ones(10)
+        hotness[0] = np.inf
+        with pytest.raises(ValueError):
+            steady_state_overlap(LruCache(4), hotness, 4, 2)

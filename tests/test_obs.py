@@ -1,0 +1,349 @@
+"""Observability: registry semantics, exporters, and hot-path wiring."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_with_metrics
+from repro.obs import (
+    BUCKET_BOUNDS,
+    MetricsRegistry,
+    get_registry,
+    load_metrics,
+    set_registry,
+    span,
+    summarize,
+    timer,
+    to_prometheus_text,
+    use_registry,
+    write_json,
+    write_jsonl,
+)
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.5)
+        assert reg.value("c") == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("keys", source="local").inc(3)
+        reg.counter("keys", source="host").inc(4)
+        assert reg.value("keys", source="local") == 3
+        assert reg.value("keys", source="host") == 4
+        assert reg.value("keys") is None
+
+    def test_same_series_is_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1) is reg.counter("x", a=1)
+        assert reg.counter("x", a=1) is not reg.counter("x", a=2)
+
+
+class TestGauge:
+    def test_set_and_adjust(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(5.0)
+        g.inc(-2.0)
+        assert reg.value("g") == 3.0
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (0.001, 0.01, 0.1):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.111)
+        assert h.min == pytest.approx(0.001)
+        assert h.max == pytest.approx(0.1)
+        assert h.mean == pytest.approx(0.037)
+
+    def test_bucket_counts_total_matches(self):
+        h = MetricsRegistry().histogram("h")
+        rng = np.random.default_rng(0)
+        for v in rng.lognormal(size=200):
+            h.observe(v)
+        assert sum(h.bucket_counts) == 200
+
+    def test_overflow_and_nonpositive_observations(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(0.0)  # below the first bound
+        h.observe(1e12)  # above the last bound
+        assert h.bucket_counts[0] == 1
+        assert h.bucket_counts[-1] == 1
+        assert h.count == 2
+
+    def test_percentile_within_observed_range(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (0.002, 0.004, 0.2):
+            h.observe(v)
+        assert h.min <= h.percentile(50) <= h.max
+        assert h.percentile(100) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_buckets_are_fixed_and_increasing(self):
+        bounds = np.asarray(BUCKET_BOUNDS)
+        assert (np.diff(bounds) > 0).all()
+        assert bounds[0] == pytest.approx(1e-9)
+
+
+class TestRegistry:
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(1)
+        assert list(reg.series()) == []
+        assert reg.snapshot()["metrics"] == []
+
+    def test_use_registry_swaps_and_restores(self):
+        outer = get_registry()
+        private = MetricsRegistry("private")
+        with use_registry(private):
+            assert get_registry() is private
+            get_registry().counter("c").inc()
+        assert get_registry() is outer
+        assert private.value("c") == 1
+
+    def test_set_registry_returns_previous(self):
+        previous = set_registry(MetricsRegistry("tmp"))
+        try:
+            assert get_registry().name == "tmp"
+        finally:
+            set_registry(previous)
+
+    def test_reset_clears_series(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert list(reg.series()) == []
+
+
+class TestTracing:
+    def test_timer_observes_histogram(self):
+        reg = MetricsRegistry()
+        with timer("t.seconds", reg):
+            pass
+        h = reg.histogram("t.seconds")
+        assert h.count == 1
+        assert h.min >= 0
+
+    def test_span_noop_unless_tracing_enabled(self):
+        reg = MetricsRegistry()
+        with span("quiet", reg):
+            pass
+        assert reg.spans == []
+        reg.tracing_enabled = True
+        with span("loud", reg, gpu=0) as s:
+            s.set(keys=128)
+        assert len(reg.spans) == 1
+        record = reg.spans[0]
+        assert record.name == "loud"
+        assert record.attrs == {"gpu": 0, "keys": 128}
+
+    def test_span_attrs_captured(self):
+        reg = MetricsRegistry()
+        reg.tracing_enabled = True
+        with span("s", reg, gpu=3) as s:
+            s.set(keys=7)
+        assert reg.spans[0].attrs == {"gpu": 3, "keys": 7}
+        assert reg.spans[0].duration >= 0
+
+
+class TestExport:
+    def _populated(self):
+        reg = MetricsRegistry("roundtrip")
+        reg.counter("cache.lookup.keys", source="local").inc(10)
+        reg.gauge("cache.hit_rate", source="local").set(0.9)
+        h = reg.histogram("solver.solve.seconds")
+        h.observe(0.5)
+        h.observe(0.05)
+        return reg
+
+    def test_json_roundtrip(self, tmp_path):
+        reg = self._populated()
+        path = write_json(reg, tmp_path / "m.json")
+        doc = load_metrics(path)
+        assert doc["schema"] == "repro.obs/v1"
+        assert doc["registry"] == "roundtrip"
+        by_name = {(m["name"], tuple(sorted(m["labels"].items()))): m
+                   for m in doc["metrics"]}
+        assert by_name[("cache.lookup.keys", (("source", "local"),))]["value"] == 10
+        hist = by_name[("solver.solve.seconds", ())]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(0.55)
+
+    def test_jsonl_roundtrip_matches_json(self, tmp_path):
+        reg = self._populated()
+        json_doc = load_metrics(write_json(reg, tmp_path / "m.json"))
+        jsonl_doc = load_metrics(write_jsonl(reg, tmp_path / "m.jsonl"))
+        assert jsonl_doc["metrics"] == json_doc["metrics"]
+        assert jsonl_doc["registry"] == json_doc["registry"]
+
+    def test_prometheus_text_format(self):
+        text = to_prometheus_text(self._populated())
+        assert '# TYPE repro_cache_lookup_keys counter' in text
+        assert 'repro_cache_lookup_keys{source="local"} 10' in text
+        assert 'repro_solver_solve_seconds_count 2' in text
+        assert 'le="+Inf"' in text
+
+    def test_prometheus_bucket_counts_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (0.01, 0.01, 100.0):
+            h.observe(v)
+        lines = [l for l in to_prometheus_text(reg).splitlines() if "_bucket" in l]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_summarize_mentions_series(self):
+        text = summarize(self._populated().snapshot())
+        assert "cache.lookup.keys{source=local}" in text
+        assert "solver.solve.seconds" in text
+        assert "count=2" in text
+
+
+class TestHotPathWiring:
+    """The instrumented runtime actually records what the README promises."""
+
+    def _cache(self, platform, table, hotness):
+        from repro.core.cache import MultiGpuEmbeddingCache
+        from repro.core.policy import partition_policy
+
+        placement = partition_policy(hotness, 200, platform.num_gpus)
+        return MultiGpuEmbeddingCache(platform, table, placement)
+
+    def test_lookup_records_hit_split(self, platform_a, small_table, skewed_hotness):
+        cache = self._cache(platform_a, small_table, skewed_hotness)
+        reg = MetricsRegistry("t")
+        with use_registry(reg):
+            cache.lookup(0, np.arange(800))
+        total = sum(
+            reg.value("cache.lookup.keys", source=s) or 0
+            for s in ("local", "remote", "host")
+        )
+        assert total == 800
+        assert reg.value("cache.lookup.calls") == 1
+
+    def test_extractor_records_plan_and_execute(
+        self, platform_a, small_table, skewed_hotness
+    ):
+        from repro.core.extractor import FactoredExtractor
+
+        cache = self._cache(platform_a, small_table, skewed_hotness)
+        extractor = FactoredExtractor(cache)
+        reg = MetricsRegistry("t")
+        with use_registry(reg):
+            plan = extractor.plan(0, np.arange(800))
+            extractor.execute(plan)
+        assert reg.value("extractor.plan.calls") == 1
+        assert reg.value("extractor.execute.calls") == 1
+        assert reg.histogram("extractor.plan.seconds").count == 1
+        assert reg.histogram("extractor.execute.seconds").count == 1
+        executed = sum(
+            reg.value("extractor.execute.bytes", source=s) or 0
+            for s in ("local", "remote", "host")
+        )
+        assert executed == 800 * cache.entry_bytes
+
+    def test_simulate_batch_records_per_gpu_timing(self, platform_a):
+        from repro.sim.engine import simulate_batch
+        from repro.sim.mechanisms import GpuDemand
+
+        demands = [
+            GpuDemand(dst=i, volumes={i: 1e6}) for i in platform_a.gpu_ids
+        ]
+        reg = MetricsRegistry("t")
+        with use_registry(reg):
+            simulate_batch(platform_a, demands)
+        for i in platform_a.gpu_ids:
+            assert reg.histogram("extract.gpu_seconds", gpu=i).count == 1
+        assert reg.value("extract.volume_bytes", source="local") == pytest.approx(
+            4e6
+        )
+
+    def test_solver_records_build_and_solve(self, platform_a, skewed_hotness):
+        from repro.core.solver import solve_policy
+
+        reg = MetricsRegistry("t")
+        with use_registry(reg):
+            solve_policy(platform_a, skewed_hotness, 200, 32)
+        assert reg.value("solver.solves") == 1
+        assert reg.histogram("solver.solve.seconds").count == 1
+        assert reg.histogram("solver.build.seconds").count == 1
+        assert reg.value("solver.num_variables") > 0
+        assert reg.value("solver.num_constraints") > 0
+
+    def test_refresher_records_swap_and_staleness(
+        self, platform_a, small_table, skewed_hotness
+    ):
+        from repro.core.policy import partition_policy, replication_policy
+        from repro.core.refresher import Refresher
+
+        cache = self._cache(platform_a, small_table, skewed_hotness)
+        refresher = Refresher(cache)
+        reg = MetricsRegistry("t")
+        with use_registry(reg):
+            outcome = refresher.refresh(
+                replication_policy(skewed_hotness, 200, platform_a.num_gpus)
+            )
+        assert outcome.triggered
+        assert reg.value("refresher.refreshes") == 1
+        assert reg.value("refresher.entries_moved") == outcome.entries_moved
+        assert reg.histogram("refresher.swap.seconds").count == 1
+        assert reg.histogram("refresher.staleness.seconds").count == 1
+
+
+class TestRunWithMetrics:
+    def test_driver_artifact_is_parseable_and_complete(self, tmp_path):
+        """One benchmark-driver run emits a machine-readable artifact."""
+        from repro.bench.contexts import platform_by_name
+        from repro.core.evaluate import evaluate_placement, hit_rates
+        from repro.core.solver import SolverConfig, solve_policy
+        from repro.bench.harness import ExperimentResult
+        from repro.utils.stats import zipf_pmf
+
+        def tiny_driver() -> ExperimentResult:
+            platform = platform_by_name("server-a")
+            hotness = zipf_pmf(600, 1.2) * 1000.0
+            solved = solve_policy(
+                platform, hotness, 60, 64, SolverConfig(coarse_block_frac=0.1)
+            )
+            placement = solved.realize()
+            hit_rates(platform, placement, hotness)
+            evaluate_placement(platform, placement, hotness, 64)
+            return ExperimentResult(experiment="tiny", title="tiny")
+
+        out = tmp_path / "metrics.json"
+        result = run_with_metrics(tiny_driver, metrics_out=out)
+        assert result.metrics is not None
+        doc = load_metrics(out)
+        names = {m["name"] for m in doc["metrics"]}
+        # The acceptance triad: hit split, per-GPU timing, solver time.
+        assert "cache.hit_rate" in names
+        assert "extract.gpu_seconds" in names
+        assert "solver.solve.seconds" in names
+
+    def test_global_registry_untouched(self):
+        from repro.bench.harness import ExperimentResult
+
+        marker = "obs.test.isolated"
+
+        def driver():
+            get_registry().counter(marker).inc()
+            return ExperimentResult(experiment="e", title="t")
+
+        result = run_with_metrics(driver)
+        assert get_registry().value(marker) is None
+        assert any(m["name"] == marker for m in result.metrics["metrics"])

@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.baselines",
     "repro.framework",
     "repro.bench",
+    "repro.obs",
     "repro.utils",
 ]
 
