@@ -120,6 +120,31 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import (
+        SCENARIOS,
+        ChaosConfig,
+        render_results,
+        run_matrix,
+    )
+    from repro.obs import MetricsRegistry, use_registry, write_json
+
+    scenarios = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    cfg = (
+        ChaosConfig.quick(seed=args.seed)
+        if args.quick
+        else ChaosConfig(seed=args.seed)
+    )
+    registry = MetricsRegistry("chaos")
+    with use_registry(registry):
+        results = run_matrix(scenarios, cfg)
+    print(render_results(results))
+    if args.metrics_out:
+        path = write_json(registry, args.metrics_out)
+        print(f"metrics written to {path}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs import load_metrics, summarize
 
@@ -167,6 +192,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("list-experiments", help="list experiment ids")
     p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("chaos", help="run the fault-injection scenario matrix")
+    p.add_argument("--scenario", default="all",
+                   choices=["all", "gpu-failure", "link-degradation",
+                            "link-partition", "host-stall", "corrupt-slot",
+                            "solver-timeout", "refresh-interrupt"],
+                   help="one scenario, or 'all' for the full matrix")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized workload (seconds, not minutes)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the workload and the fault plan")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the run's metrics as a JSON artifact")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("metrics", help="summarize a metrics artifact")
     p.add_argument("path", help="artifact written by --metrics-out")

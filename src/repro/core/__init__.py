@@ -5,7 +5,11 @@ library is substrate (hardware model, workloads, baselines) or glue.
 """
 
 from repro.core.blocks import BlockSet, build_blocks, build_uniform_blocks, per_entry_blocks
-from repro.core.cache import LookupResult, MultiGpuEmbeddingCache
+from repro.core.cache import (
+    CacheIntegrityError,
+    LookupResult,
+    MultiGpuEmbeddingCache,
+)
 from repro.core.embedding_layer import EmbeddingLayerConfig, UGacheEmbeddingLayer
 from repro.core.evaluate import (
     HitRates,
@@ -25,6 +29,7 @@ from repro.core.filler import (
     placement_diff,
 )
 from repro.core.location_table import (
+    CorruptEntryError,
     LocationTable,
     ProbeLimitError,
     pack_location,
@@ -55,20 +60,29 @@ from repro.core.policy import (
 )
 from repro.core.refresher import (
     RefreshConfig,
+    RefreshInterrupted,
     RefreshOutcome,
     Refresher,
     RefreshTimeline,
     simulate_refresh_timeline,
 )
 from repro.core.solver import (
+    FallbackConfig,
+    PolicyOutcome,
     PolicySolveError,
+    PolicySolveTimeout,
     SolvedPolicy,
     SolverConfig,
+    clear_policy_cache,
     dedication_ratios,
+    last_known_good,
+    remember_policy,
     solve_policy,
+    solve_policy_with_fallback,
 )
 
 __all__ = [
+    "CorruptEntryError",
     "LocationTable",
     "ProbeLimitError",
     "pack_location",
@@ -85,6 +99,7 @@ __all__ = [
     "build_blocks",
     "build_uniform_blocks",
     "per_entry_blocks",
+    "CacheIntegrityError",
     "LookupResult",
     "MultiGpuEmbeddingCache",
     "EmbeddingLayerConfig",
@@ -118,13 +133,21 @@ __all__ = [
     "partition_policy",
     "replication_policy",
     "RefreshConfig",
+    "RefreshInterrupted",
     "RefreshOutcome",
     "Refresher",
     "RefreshTimeline",
     "simulate_refresh_timeline",
+    "FallbackConfig",
+    "PolicyOutcome",
     "PolicySolveError",
+    "PolicySolveTimeout",
     "SolvedPolicy",
     "SolverConfig",
+    "clear_policy_cache",
     "dedication_ratios",
+    "last_known_good",
+    "remember_policy",
     "solve_policy",
+    "solve_policy_with_fallback",
 ]

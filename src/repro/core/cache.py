@@ -30,6 +30,11 @@ from repro.sim.engine import BatchReport, simulate_batch
 from repro.sim.mechanisms import GpuDemand, Mechanism
 
 
+class CacheIntegrityError(RuntimeError):
+    """The cache's cross-structure invariants are violated (see
+    :meth:`MultiGpuEmbeddingCache.check_integrity`)."""
+
+
 @dataclass(frozen=True)
 class LookupResult:
     """Values plus provenance for one GPU's batch lookup."""
@@ -204,3 +209,72 @@ class MultiGpuEmbeddingCache:
         per_gpu = tuple(store.cached_entries() for store in self._stores)
         self._placement = Placement(num_entries=self.num_entries, per_gpu=per_gpu)
         self._source_map = resolve_sources(self._platform, self._placement)
+
+    def restore_location_state(
+        self, placement: Placement, source_map: np.ndarray
+    ) -> None:
+        """Rollback hook: restore a snapshotted placement + location table.
+
+        Used by the Refresher's transactional refresh to return the cache
+        to its exact pre-refresh routing after an interrupted update (the
+        stores must already hold ``placement``'s entries).
+        """
+        if placement.num_entries != self.num_entries:
+            raise ValueError("snapshot placement does not cover the table")
+        if source_map.shape != self._source_map.shape:
+            raise ValueError("snapshot source map has the wrong shape")
+        self._placement = placement
+        self._source_map = source_map.copy()
+
+    # ------------------------------------------------------------------
+    # Invariant checking
+    # ------------------------------------------------------------------
+    def verify_integrity(self) -> list[str]:
+        """Cross-structure invariant check; returns violations (empty = ok).
+
+        Checks, per GPU store: slot assignments are unique, arena
+        occupancy matches the entry count, and cached values are
+        bit-identical to the host table.  Across the location table:
+        every source id is a real GPU (or HOST), and every routed read
+        points at a GPU that actually holds the entry.
+        """
+        problems: list[str] = []
+        G = self._platform.num_gpus
+        for gpu, store in enumerate(self._stores):
+            cached = store.cached_entries()
+            offsets = store.offset_of[cached]
+            if len(np.unique(offsets)) != len(offsets):
+                problems.append(f"GPU {gpu}: duplicate slot assignments")
+            if store.arena.used_slots != len(cached):
+                problems.append(
+                    f"GPU {gpu}: arena holds {store.arena.used_slots} slots "
+                    f"but {len(cached)} entries are mapped"
+                )
+            if len(cached) and not np.array_equal(
+                store.data[offsets], self._table[cached]
+            ):
+                problems.append(f"GPU {gpu}: cached values diverge from host table")
+        for dst in range(G):
+            srcs = self._source_map[dst]
+            bad = (srcs != HOST) & ((srcs < 0) | (srcs >= G))
+            if bad.any():
+                problems.append(
+                    f"GPU {dst}: {int(bad.sum())} out-of-range source ids"
+                )
+            for g in range(G):
+                pointed = np.flatnonzero(srcs == g)
+                if len(pointed) == 0:
+                    continue
+                missing = pointed[self._stores[g].offset_of[pointed] < 0]
+                if len(missing):
+                    problems.append(
+                        f"GPU {dst}: {len(missing)} entries routed to GPU {g} "
+                        "which does not hold them"
+                    )
+        return problems
+
+    def check_integrity(self) -> None:
+        """Raise :class:`CacheIntegrityError` if any invariant is violated."""
+        problems = self.verify_integrity()
+        if problems:
+            raise CacheIntegrityError("; ".join(problems))

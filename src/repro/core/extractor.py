@@ -1,4 +1,4 @@
-"""Runtime factored Extractor (§5.3, Figure 8).
+"""Runtime factored Extractor (§5.3, Figure 8) with degraded-mode routing.
 
 The Extractor turns one GPU's key batch into an *extraction plan*: keys
 grouped by source location, cores dedicated per non-local group within link
@@ -6,6 +6,14 @@ tolerance, and the local group scheduled last at low priority to pad ragged
 finishing times.  Executing a plan gathers the actual values (through the
 cache stores) and prices it with the factored timing model, so functional
 correctness and simulated performance come from one code path.
+
+Fault tolerance: when a :class:`~repro.faults.spec.HealthView` marks a
+source GPU down or a link partitioned — or the location table hands back a
+corrupt/stale ``<GPU, Offset>`` — the planner reroutes exactly those keys
+to the cheapest surviving replica (host as the last resort), re-normalizes
+the core-dedication map over the sources that remain, and emits
+``faults.rerouted_keys`` so degradation is visible, never silent.  A batch
+always completes; only its price changes.
 """
 
 from __future__ import annotations
@@ -15,6 +23,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.cache import MultiGpuEmbeddingCache
+from repro.faults.degrade import degraded_platform
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import HealthView
 from repro.hardware.platform import HOST, Platform
 from repro.obs import get_registry, timer
 from repro.sim.engine import BatchReport, simulate_batch
@@ -60,6 +71,8 @@ class ExtractionPlan:
     batch_size: int
     #: non-local groups first (launch order), local group last (low priority)
     groups: tuple[SourceGroup, ...]
+    #: keys this plan rerouted away from their mapped source (faults)
+    rerouted_keys: int = 0
 
     @property
     def local_group(self) -> SourceGroup | None:
@@ -81,36 +94,201 @@ class ExtractionPlan:
         )
 
 
-class FactoredExtractor:
-    """Plans and executes factored extraction over a multi-GPU cache."""
+def renormalize_dedication(
+    platform: Platform,
+    dst: int,
+    present: list[int],
+    dedication: dict[int, int],
+) -> tuple[dict[int, int], list[int]]:
+    """Re-normalize core shares when the map misses a present source.
 
-    def __init__(self, cache: MultiGpuEmbeddingCache) -> None:
+    The topology model and the location table can disagree (a stale map
+    after a fault, a route the solver never priced): instead of the old
+    one-core floor, recompute the non-host split over *every* present
+    remote source, weighting by link bandwidth (unreachable sources drain
+    through the host path, so they weigh in at PCIe speed), and shrink
+    proportionally so the total never exceeds the SM budget.
+
+    Returns ``(dedication, missing)``; when nothing was missing the input
+    map is returned unchanged.
+    """
+    remotes = [s for s in present if s not in (dst, HOST)]
+    missing = [s for s in remotes if s not in dedication]
+    if not missing:
+        return dedication, []
+    total = platform.gpu.num_cores
+    host_cores = dedication.get(HOST, 0)
+    budget = max(total - host_cores, len(remotes))
+    weights: dict[int, float] = {}
+    for s in remotes:
+        bw = platform.bandwidth(dst, s)
+        weights[s] = bw if bw > 0 else platform.pcie_bandwidth
+    wsum = sum(weights.values())
+    out: dict[int, int] = {HOST: host_cores} if HOST in dedication else {}
+    for s in remotes:
+        out[s] = max(1, int(budget * weights[s] / wsum))
+    while sum(v for k, v in out.items() if k != HOST) > budget:
+        biggest = max((k for k in out if k != HOST), key=lambda k: out[k])
+        if out[biggest] <= 1:
+            break
+        out[biggest] -= 1
+    return out, missing
+
+
+class FactoredExtractor:
+    """Plans and executes factored extraction over a multi-GPU cache.
+
+    ``injector`` (optional) supplies per-call health views from its fault
+    plan; callers can also pass an explicit ``health`` to any planning
+    entry point, which wins over the injector.
+    """
+
+    def __init__(
+        self,
+        cache: MultiGpuEmbeddingCache,
+        injector: FaultInjector | None = None,
+    ) -> None:
         self._cache = cache
+        self._injector = injector
 
     @property
     def platform(self) -> Platform:
         return self._cache.platform
 
-    def plan(self, dst: int, keys: np.ndarray) -> ExtractionPlan:
+    def _resolve_health(
+        self, health: HealthView | None, now: float
+    ) -> HealthView | None:
+        if health is not None:
+            return health
+        if self._injector is not None:
+            return self._injector.health(now)
+        return None
+
+    def _find_replicas(
+        self, dst: int, keys: np.ndarray, health: HealthView | None
+    ) -> np.ndarray:
+        """Cheapest surviving holder per key; HOST when nobody has it.
+
+        Degraded links inflate a candidate's cost by ``1 / link_factor``
+        so a half-speed replica loses to a healthy one but still beats
+        host when it is the only copy left.
+        """
+        out = np.full(len(keys), HOST, dtype=np.int16)
+        best_cost = np.full(len(keys), np.inf)
+        for g in self.platform.gpu_ids:
+            if g == dst:
+                continue
+            if health is not None and not health.source_usable(dst, g):
+                continue
+            if not self.platform.is_connected(dst, g):
+                continue
+            cost = self.platform.cost_per_byte(dst, g)
+            if health is not None:
+                cost /= health.link_factor(dst, g)
+            if not np.isfinite(cost):
+                continue
+            held = self._cache.store(g).offset_of[keys] >= 0
+            better = held & (cost < best_cost)
+            out[better] = g
+            best_cost[better] = cost
+        return out
+
+    def _reroute_degraded(
+        self,
+        dst: int,
+        keys: np.ndarray,
+        sources: np.ndarray,
+        health: HealthView | None,
+        reg,
+    ) -> tuple[np.ndarray, int]:
+        """Replace unusable sources in ``sources``; returns (sources, n).
+
+        A source is unusable when its id is corrupt (outside the GPU
+        range), the health view marks it down or unreachable, or its
+        store does not actually hold the key (a stale location).
+        """
+        G = self.platform.num_gpus
+        bad = (sources != HOST) & ((sources < 0) | (sources >= G))
+        n_corrupt = int(bad.sum())
+        n_stale = 0
+        for g in range(G):
+            idx = np.flatnonzero(sources == g)
+            if len(idx) == 0:
+                continue
+            if g != dst and not self.platform.is_connected(dst, g):
+                # A corrupt map can route over a link that does not exist;
+                # treat it like a partition rather than let the simulator
+                # reject the plan.
+                bad[idx] = True
+                n_corrupt += len(idx)
+                continue
+            if health is not None and not health.source_usable(dst, g):
+                bad[idx] = True
+                continue
+            stale = self._cache.store(g).offset_of[keys[idx]] < 0
+            if stale.any():
+                bad[idx[stale]] = True
+                n_stale += int(stale.sum())
+        if not bad.any():
+            return sources, 0
+        bad_idx = np.flatnonzero(bad)
+        replacements = self._find_replicas(dst, keys[bad_idx], health)
+        sources = sources.copy()
+        sources[bad_idx] = replacements
+        n = len(bad_idx)
+        reg.counter("faults.rerouted_keys", dst=dst).inc(n)
+        reg.counter(
+            "faults.rerouted_keys_to", target="host"
+        ).inc(int((replacements == HOST).sum()))
+        reg.counter(
+            "faults.rerouted_keys_to", target="replica"
+        ).inc(int((replacements != HOST).sum()))
+        if n_corrupt:
+            reg.counter("faults.corrupt_reads").inc(n_corrupt)
+        if n_stale:
+            reg.counter("faults.stale_reads").inc(n_stale)
+        logger.debug(
+            "GPU %d: rerouted %d/%d keys (%d corrupt, %d stale) around faults",
+            dst, n, len(keys), n_corrupt, n_stale,
+        )
+        return sources, n
+
+    def plan(
+        self,
+        dst: int,
+        keys: np.ndarray,
+        health: HealthView | None = None,
+        now: float = 0.0,
+    ) -> ExtractionPlan:
         """Group a batch by source location and dedicate cores (§5.3)."""
         reg = get_registry()
+        health = self._resolve_health(health, now)
         with timer("extractor.plan.seconds", reg):
             keys = np.ascontiguousarray(keys, dtype=np.int64)
             sources = self._cache.source_map[dst][keys]
+            sources, rerouted = self._reroute_degraded(
+                dst, keys, sources, health, reg
+            )
+            platform = self.platform
+            if health is not None:
+                platform = degraded_platform(platform, health)
             present = [int(s) for s in np.unique(sources)]
-            dedication = core_dedication(self.platform, dst, present)
-            missing = [
-                s for s in present if s not in (dst, HOST) and s not in dedication
-            ]
+            dedication = core_dedication(platform, dst, present)
+            dedication, missing = renormalize_dedication(
+                platform, dst, present, dedication
+            )
             if missing:
                 # A present source the core-dedication map does not cover
                 # means the topology model and the location table disagree
-                # — survivable (one core is a safe floor), but never silent.
+                # — survivable, and the shares above were re-normalized
+                # over what is actually present, but never silent.
                 reg.counter("extractor.plan.dedication_missing").inc(len(missing))
+                reg.counter("extractor.plan.dedication_renormalized").inc()
                 logger.warning(
                     "GPU %d batch reads from source(s) %s absent from the "
-                    "core-dedication map; falling back to 1 dedicated core",
-                    dst, missing,
+                    "core-dedication map; re-normalized shares across %d "
+                    "remote source(s)",
+                    dst, missing, len([s for s in present if s not in (dst, HOST)]),
                 )
             groups: list[SourceGroup] = []
             local_group: SourceGroup | None = None
@@ -147,7 +325,12 @@ class FactoredExtractor:
             if local_group is not None:
                 groups.append(local_group)
         reg.counter("extractor.plan.calls").inc()
-        return ExtractionPlan(dst=dst, batch_size=len(keys), groups=tuple(groups))
+        return ExtractionPlan(
+            dst=dst,
+            batch_size=len(keys),
+            groups=tuple(groups),
+            rerouted_keys=rerouted,
+        )
 
     def execute(self, plan: ExtractionPlan) -> tuple[np.ndarray, GpuDemand]:
         """Gather values per the plan; returns (values, priced demand)."""
@@ -174,24 +357,43 @@ class FactoredExtractor:
         return values, plan.demand(entry_bytes)
 
     def extract(
-        self, keys_per_gpu: list[np.ndarray], local_padding: bool = True
+        self,
+        keys_per_gpu: list[np.ndarray],
+        local_padding: bool = True,
+        health: HealthView | None = None,
+        now: float = 0.0,
     ) -> tuple[list[np.ndarray], BatchReport]:
         """Plan, execute and price one data-parallel batch."""
-        plans = [self.plan(i, keys) for i, keys in enumerate(keys_per_gpu)]
+        health = self._resolve_health(health, now)
+        plans = [
+            self.plan(i, keys, health=health) for i, keys in enumerate(keys_per_gpu)
+        ]
         outputs = [self.execute(p) for p in plans]
         report = simulate_batch(
             self.platform,
             [demand for _, demand in outputs],
             mechanism=Mechanism.FACTORED,
             local_padding=local_padding,
+            health=health,
         )
         return [values for values, _ in outputs], report
 
-    def price(self, dst: int, keys: np.ndarray, local_padding: bool = True):
+    def price(
+        self,
+        dst: int,
+        keys: np.ndarray,
+        local_padding: bool = True,
+        health: HealthView | None = None,
+        now: float = 0.0,
+    ):
         """Timing-only path for one GPU (no value gathering)."""
-        plan = self.plan(dst, keys)
+        health = self._resolve_health(health, now)
+        plan = self.plan(dst, keys, health=health)
+        platform = self.platform
+        if health is not None:
+            platform = degraded_platform(platform, health)
         return factored_extraction(
-            self.platform,
+            platform,
             plan.demand(self._cache.entry_bytes),
             local_padding=local_padding,
         )

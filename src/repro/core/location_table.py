@@ -34,6 +34,26 @@ class ProbeLimitError(RuntimeError):
     """
 
 
+class CorruptEntryError(RuntimeError):
+    """A slot unpacked to an out-of-range ``<gpu, offset>``.
+
+    Raised by lookups when a stored location falls outside the bounds the
+    table was built with (see ``LocationTable``'s ``num_sources`` /
+    ``max_offset``) — a flipped bit, an external poke, or a fault-injected
+    corruption.  Carries the key and the garbage location so the degraded
+    router can reroute exactly the poisoned entries to host.
+    """
+
+    def __init__(self, key: int, source: int, offset: int) -> None:
+        super().__init__(
+            f"key {key} maps to out-of-range location <gpu {source}, "
+            f"offset {offset}>"
+        )
+        self.key = key
+        self.source = source
+        self.offset = offset
+
+
 def pack_location(source: int, offset: int) -> np.int64:
     """Pack ``(source, offset)`` into one int64 slot value."""
     if source < HOST or source > 2**15 - 2:
@@ -58,17 +78,32 @@ class LocationTable:
     keeps worst-case probe lengths bounded after many refresh cycles.
     """
 
-    def __init__(self, expected_entries: int, max_load: float = 0.7) -> None:
+    def __init__(
+        self,
+        expected_entries: int,
+        max_load: float = 0.7,
+        num_sources: int | None = None,
+        max_offset: int | None = None,
+    ) -> None:
         if expected_entries < 0:
             raise ValueError("expected_entries must be non-negative")
         if not 0.1 <= max_load < 1.0:
             raise ValueError("max_load must be in [0.1, 1.0)")
+        if num_sources is not None and num_sources <= 0:
+            raise ValueError("num_sources must be positive")
+        if max_offset is not None and max_offset < 0:
+            raise ValueError("max_offset must be non-negative")
         capacity = 8
         while capacity * max_load < max(expected_entries, 1):
             capacity *= 2
         self._capacity = capacity
         self._mask = capacity - 1
         self._max_load = max_load
+        #: validation bounds for unpacked locations (None = unbounded):
+        #: valid sources are HOST plus GPU ids ``0..num_sources-1``, valid
+        #: offsets ``0..max_offset``.
+        self._num_sources = num_sources
+        self._max_offset = max_offset
         self._keys = np.full(capacity, _EMPTY_KEY, dtype=np.int64)
         self._values = np.zeros(capacity, dtype=np.int64)
         self._size = 0
@@ -174,34 +209,86 @@ class LocationTable:
                 source, offset = unpack_location(value)
                 self.insert(int(key), source, offset)
 
+    def corrupt_slot(self, key: int, source: int, offset: int) -> None:
+        """Fault-injection hook: overwrite ``key``'s stored location.
+
+        Bypasses the bounds validation lookups enforce, so the injector
+        can plant an out-of-range ``<gpu, offset>`` and tests can verify
+        the read path raises :class:`CorruptEntryError` instead of
+        returning garbage.  The location must still be *packable*
+        (16-bit source, 48-bit offset).
+        """
+        slot = self._slot(key)
+        for _ in range(self._capacity):
+            existing = self._keys[slot]
+            if existing == _EMPTY_KEY:
+                raise KeyError(f"cannot corrupt absent key {key}")
+            if existing == key:
+                self._values[slot] = pack_location(source, offset)
+                return
+            slot = (slot + 1) & self._mask
+        raise ProbeLimitError(
+            f"corrupt_slot({key}) probed all {self._capacity} slots: "
+            "table full or corrupt"
+        )
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+    def _checked_location(self, key: int, packed: np.int64) -> tuple[int, int]:
+        source, offset = unpack_location(packed)
+        if source != HOST:
+            if source < 0 or (
+                self._num_sources is not None and source >= self._num_sources
+            ):
+                raise CorruptEntryError(key, source, offset)
+            if self._max_offset is not None and offset > self._max_offset:
+                raise CorruptEntryError(key, source, offset)
+        return source, offset
+
     def get(self, key: int) -> tuple[int, int] | None:
-        """Location of one key, or None if absent."""
+        """Location of one key, or None if absent.
+
+        Raises:
+            CorruptEntryError: the stored location is outside the table's
+                ``num_sources`` / ``max_offset`` bounds.
+        """
         slot = self._slot(key)
         for _ in range(self._capacity):
             existing = self._keys[slot]
             if existing == _EMPTY_KEY:
                 return None
             if existing == key:
-                return unpack_location(self._values[slot])
+                return self._checked_location(key, self._values[slot])
             slot = (slot + 1) & self._mask
         raise ProbeLimitError(
             f"get({key}) probed all {self._capacity} slots: table full or corrupt"
         )
 
-    def lookup_batch(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def lookup_batch(
+        self, keys: np.ndarray, on_corrupt: str = "raise"
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized-ish batch lookup.
 
         Returns ``(sources, offsets)``; absent keys get source
         :data:`HOST` and offset = key (host storage is addressed by key).
+        ``on_corrupt`` picks the degraded behaviour for poisoned slots:
+        ``"raise"`` propagates :class:`CorruptEntryError`, ``"host"``
+        routes the corrupt key to host like a miss (the fault-tolerant
+        extraction path — host always has the truth).
         """
+        if on_corrupt not in ("raise", "host"):
+            raise ValueError("on_corrupt must be 'raise' or 'host'")
         keys = np.asarray(keys, dtype=np.int64)
         sources = np.empty(len(keys), dtype=np.int16)
         offsets = np.empty(len(keys), dtype=np.int64)
         for i, key in enumerate(keys):
-            hit = self.get(int(key))
+            try:
+                hit = self.get(int(key))
+            except CorruptEntryError:
+                if on_corrupt == "raise":
+                    raise
+                hit = None
             if hit is None:
                 sources[i] = HOST
                 offsets[i] = key
@@ -222,16 +309,25 @@ class LocationTable:
 
     @staticmethod
     def from_source_map(
-        sources: np.ndarray, offsets: np.ndarray
+        sources: np.ndarray,
+        offsets: np.ndarray,
+        num_sources: int | None = None,
+        max_offset: int | None = None,
     ) -> "LocationTable":
         """Build a table from dense source/offset arrays (cache-fill path).
 
         Host-resident entries (source == HOST) are not inserted — absence
-        *means* host, exactly as the runtime treats misses.
+        *means* host, exactly as the runtime treats misses.  Pass
+        ``num_sources``/``max_offset`` (e.g. GPU count and slot count) to
+        arm the corruption bounds check on the read path.
         """
         sources = np.asarray(sources)
         cached = np.flatnonzero(sources != HOST)
-        table = LocationTable(expected_entries=len(cached))
+        table = LocationTable(
+            expected_entries=len(cached),
+            num_sources=num_sources,
+            max_offset=max_offset,
+        )
         for key in cached:
             table.insert(int(key), int(sources[key]), int(offsets[key]))
         return table

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -75,6 +76,20 @@ class RefreshOutcome:
     entries_moved: int = 0
     steps: int = 0
     estimated_duration: float = 0.0
+    interrupted: bool = False
+    rolled_back: bool = False
+
+
+class RefreshInterrupted(RuntimeError):
+    """A refresh was aborted mid-flight and rolled back.
+
+    ``outcome`` carries the rollback's :class:`RefreshOutcome`
+    (``interrupted=True, rolled_back=True``).
+    """
+
+    def __init__(self, message: str, outcome: RefreshOutcome | None = None):
+        super().__init__(message)
+        self.outcome = outcome
 
 
 class Refresher:
@@ -94,18 +109,54 @@ class Refresher:
             return False
         return current_time / candidate_time >= self._config.trigger_ratio
 
-    def refresh(self, new_placement: Placement) -> RefreshOutcome:
+    def refresh(
+        self,
+        new_placement: Placement,
+        abort: Callable[[], bool] | None = None,
+    ) -> RefreshOutcome:
         """Incrementally move the cache to ``new_placement``.
 
-        Drains :meth:`refresh_steps`; see there for the consistency
-        argument.
+        Drains :meth:`refresh_steps`; see there for the consistency and
+        rollback arguments.  When ``abort`` fires mid-refresh, the cache
+        is rolled back to its pre-refresh state and the returned outcome
+        has ``interrupted=True, rolled_back=True`` (no exception escapes).
         """
         outcome = RefreshOutcome(triggered=False)
-        for outcome in self.refresh_steps(new_placement):
-            pass
+        try:
+            for outcome in self.refresh_steps(new_placement, abort=abort):
+                pass
+        except RefreshInterrupted as exc:
+            assert exc.outcome is not None
+            return exc.outcome
         return outcome
 
-    def refresh_steps(self, new_placement: Placement):
+    def _rollback(
+        self,
+        undo: list[tuple[int, np.ndarray, np.ndarray]],
+        placement: Placement,
+        source_map: np.ndarray,
+    ) -> None:
+        """Reverse every applied step, restore the snapshotted routing, and
+        prove the cache is bit-identical to its pre-refresh state."""
+        table = self._cache.host_table
+        for gpu, evicted, inserted in reversed(undo):
+            # Inverse of apply_diff_step: drop what it inserted, re-insert
+            # what it evicted (values come back from the host table, which
+            # is the ground truth the stores mirror).
+            apply_diff_step(self._cache.store(gpu), table, inserted, evicted)
+        self._cache.restore_location_state(placement, source_map)
+        self._cache.check_integrity()
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("refresher.rollbacks").inc()
+            reg.histogram("refresher.rollback.steps").observe(len(undo))
+        logger.warning("refresh rolled back: %d step(s) undone", len(undo))
+
+    def refresh_steps(
+        self,
+        new_placement: Placement,
+        abort: Callable[[], bool] | None = None,
+    ):
         """Generator form of :meth:`refresh`: yields after every small-batch
         update step so a caller (or test) can interleave foreground lookups.
 
@@ -114,6 +165,16 @@ class Refresher:
         location tables, so no lookup can chase a slot a later step
         recycles; inserted entries only become visible when the maps are
         rebuilt after the final step.
+
+        The refresh is transactional: the placement and location table are
+        snapshotted up front and every applied step is recorded in an undo
+        log.  If ``abort()`` returns True between steps (refresher
+        interruption under a fault plan), or any step raises, the log is
+        replayed in reverse and the snapshot restored, leaving the cache
+        bit-identical to its pre-refresh state — verified by
+        :meth:`~repro.core.cache.MultiGpuEmbeddingCache.check_integrity`.
+        Interruption then raises :class:`RefreshInterrupted`; other
+        exceptions propagate unchanged after the rollback.
         """
         cfg = self._config
         reg = get_registry()
@@ -124,6 +185,10 @@ class Refresher:
             reg.counter("refresher.noop").inc()
             yield RefreshOutcome(triggered=False)
             return
+
+        snapshot_placement = self._cache.placement
+        snapshot_map = self._cache.source_map.copy()
+        undo: list[tuple[int, np.ndarray, np.ndarray]] = []
 
         # The old source map may point any GPU at a slot a refresh step
         # recycles, so first route every to-be-evicted entry to host for
@@ -142,24 +207,45 @@ class Refresher:
 
         steps = 0
         table = self._cache.host_table
-        for gpu in range(new_placement.num_gpus):
-            evict = diff.evictions[gpu]
-            insert = diff.insertions[gpu]
-            cursor_e = cursor_i = 0
-            while cursor_e < len(evict) or cursor_i < len(insert):
-                batch_e = evict[cursor_e : cursor_e + cfg.update_batch_entries]
-                batch_i = insert[cursor_i : cursor_i + cfg.update_batch_entries]
-                # Keep occupancy within capacity: evict before insert.
-                apply_diff_step(self._cache.store(gpu), table, batch_e, batch_i)
-                cursor_e += len(batch_e)
-                cursor_i += len(batch_i)
-                steps += 1
-                yield RefreshOutcome(
-                    triggered=True,
-                    entries_moved=int(cursor_e + cursor_i),
-                    steps=steps,
-                    estimated_duration=0.0,
-                )
+        try:
+            for gpu in range(new_placement.num_gpus):
+                evict = diff.evictions[gpu]
+                insert = diff.insertions[gpu]
+                cursor_e = cursor_i = 0
+                while cursor_e < len(evict) or cursor_i < len(insert):
+                    if abort is not None and abort():
+                        raise RefreshInterrupted(
+                            f"refresh aborted after {steps} step(s)"
+                        )
+                    batch_e = evict[cursor_e : cursor_e + cfg.update_batch_entries]
+                    batch_i = insert[cursor_i : cursor_i + cfg.update_batch_entries]
+                    # Keep occupancy within capacity: evict before insert.
+                    apply_diff_step(self._cache.store(gpu), table, batch_e, batch_i)
+                    undo.append((gpu, batch_e, batch_i))
+                    cursor_e += len(batch_e)
+                    cursor_i += len(batch_i)
+                    steps += 1
+                    yield RefreshOutcome(
+                        triggered=True,
+                        entries_moved=int(cursor_e + cursor_i),
+                        steps=steps,
+                        estimated_duration=0.0,
+                    )
+        except RefreshInterrupted as exc:
+            self._rollback(undo, snapshot_placement, snapshot_map)
+            if reg.enabled:
+                reg.counter("refresher.interrupted").inc()
+            exc.outcome = RefreshOutcome(
+                triggered=True,
+                entries_moved=0,
+                steps=steps,
+                interrupted=True,
+                rolled_back=True,
+            )
+            raise
+        except Exception:
+            self._rollback(undo, snapshot_placement, snapshot_map)
+            raise
         self._cache.refresh_source_map()
         duration = cfg.solve_seconds + total / cfg.entries_per_second
         if reg.enabled:

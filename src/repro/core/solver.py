@@ -29,18 +29,20 @@ true binary program for small instances.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from typing import Callable
 
 import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 
 from repro.core.blocks import BlockSet, build_blocks
-from repro.core.policy import Placement
+from repro.core.policy import Placement, hot_replicate_warm_partition_policy
 from repro.hardware.platform import HOST, Platform
 from repro.obs import get_registry
 from repro.sim.mechanisms import core_dedication
 from repro.utils.logging import get_logger
+from repro.utils.retry import Deadline, RetriesExhausted, RetryPolicy, retry_call
 
 logger = get_logger("core.solver")
 
@@ -171,6 +173,10 @@ class SolvedPolicy:
 
 class PolicySolveError(RuntimeError):
     """Raised when HiGHS cannot find a feasible cache policy."""
+
+
+class PolicySolveTimeout(PolicySolveError):
+    """The solve exhausted its wall-clock budget before reaching optimality."""
 
 
 def dedication_ratios(platform: Platform, dst: int) -> dict[int, float]:
@@ -392,6 +398,11 @@ def solve_policy(
     if res.status != 0 or res.x is None:
         reg.counter("solver.failures").inc()
         logger.error("policy solve failed after %.2fs: %s", elapsed, res.message)
+        if res.status == 1:  # HiGHS iteration/time-limit status
+            reg.counter("solver.timeouts").inc()
+            raise PolicySolveTimeout(
+                f"policy solve hit its {config.time_limit:.1f}s budget: {res.message}"
+            )
         raise PolicySolveError(f"policy solve failed: {res.message}")
     reg.counter("solver.solves").inc()
     logger.debug(
@@ -416,3 +427,212 @@ def solve_policy(
         num_variables=num_vars,
         num_constraints=row + eq_row,
     )
+
+
+# ---------------------------------------------------------------------------
+# Fallback chain: MILP → greedy heuristic → last-known-good cached policy.
+# ---------------------------------------------------------------------------
+
+#: Last successful MILP solve per platform name — the chain's final rung.
+_LAST_KNOWN_GOOD: dict[str, SolvedPolicy] = {}
+
+
+def remember_policy(solved: SolvedPolicy) -> None:
+    """Record ``solved`` as the last-known-good policy for its platform."""
+    _LAST_KNOWN_GOOD[solved.platform_name] = solved
+
+
+def last_known_good(platform_name: str) -> SolvedPolicy | None:
+    """The most recent successful solve for ``platform_name``, if any."""
+    return _LAST_KNOWN_GOOD.get(platform_name)
+
+
+def clear_policy_cache() -> None:
+    """Forget all cached policies (test isolation)."""
+    _LAST_KNOWN_GOOD.clear()
+
+
+@dataclass(frozen=True)
+class FallbackConfig:
+    """Knobs of :func:`solve_policy_with_fallback`.
+
+    Attributes:
+        deadline_seconds: total wall-clock budget across all MILP attempts;
+            each attempt's HiGHS ``time_limit`` is clipped to what remains.
+        retry: backoff schedule for MILP attempts (defaults to two tries
+            with no sleep — solver failures are rarely transient, but a
+            fresh attempt with a smaller remaining budget can still finish
+            on a presolve-friendly path).
+        greedy_fractions: ``replicate_fraction`` candidates searched by the
+            greedy fallback.
+        use_cached: consult the last-known-good registry when the MILP
+            fails (and prefer it over greedy when its estimate is better).
+    """
+
+    deadline_seconds: float = 30.0
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_attempts=2, base_delay=0.0)
+    )
+    greedy_fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+    use_cached: bool = True
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """What :func:`solve_policy_with_fallback` actually delivered.
+
+    ``source`` records which rung of the chain produced the placement:
+    ``"milp"`` (the real solve), ``"greedy"``
+    (:func:`~repro.core.policy.hot_replicate_warm_partition_policy`
+    searched over replicate fractions), or ``"cached"`` (last-known-good
+    from a previous successful solve).
+    """
+
+    placement: Placement
+    source: str
+    est_time: float
+    elapsed: float
+    attempts: int
+    solved: SolvedPolicy | None = None
+
+
+def _cached_compatible(
+    cached: SolvedPolicy, num_entries: int, caps: list[int]
+) -> bool:
+    return (
+        cached.blocks.num_entries == num_entries
+        and list(cached.capacities) == caps
+    )
+
+
+def solve_policy_with_fallback(
+    platform: Platform,
+    hotness: np.ndarray,
+    capacity_entries: int | list[int],
+    entry_bytes: int,
+    config: SolverConfig | None = None,
+    fallback: FallbackConfig | None = None,
+    solve_fn: Callable[..., SolvedPolicy] = solve_policy,
+    clock: Callable[[], float] = _time.monotonic,
+    sleep: Callable[[float], None] = _time.sleep,
+) -> PolicyOutcome:
+    """Solve the cache policy, degrading gracefully instead of raising.
+
+    The chain (§6 solve hardened for production):
+
+    1. **MILP** — :func:`solve_policy` under ``fallback.retry``, with each
+       attempt's HiGHS budget clipped to the remaining wall-clock deadline.
+       Successful solves are remembered per platform.
+    2. **Greedy** — searches
+       :func:`~repro.core.policy.hot_replicate_warm_partition_policy` over
+       ``fallback.greedy_fractions``, scored by
+       :func:`~repro.core.evaluate.evaluate_placement`.
+    3. **Cached** — the last-known-good :class:`SolvedPolicy` for this
+       platform (same entry count and capacities), used when it beats the
+       greedy estimate or when greedy itself fails.
+
+    ``solve_fn``, ``clock`` and ``sleep`` are injectable so tests can force
+    timeouts deterministically.  Raises :class:`PolicySolveError` only when
+    every rung fails.
+    """
+    from repro.core.evaluate import evaluate_placement
+
+    config = config or SolverConfig()
+    fb = fallback or FallbackConfig()
+    reg = get_registry()
+    start = clock()
+    deadline = Deadline.after(fb.deadline_seconds, clock=clock)
+    G = platform.num_gpus
+    caps = (
+        [int(capacity_entries)] * G
+        if np.isscalar(capacity_entries)
+        else [int(c) for c in capacity_entries]
+    )
+    hotness = np.asarray(hotness, dtype=np.float64)
+    attempts = 0
+
+    def attempt() -> SolvedPolicy:
+        nonlocal attempts
+        attempts += 1
+        budget = deadline.remaining()
+        if budget <= 0:
+            raise PolicySolveTimeout("wall-clock deadline exhausted before solve")
+        cfg = replace(config, time_limit=min(config.time_limit, budget))
+        return solve_fn(platform, hotness, caps, entry_bytes, cfg)
+
+    try:
+        solved = retry_call(
+            attempt,
+            policy=fb.retry,
+            retry_on=(PolicySolveError,),
+            sleep=sleep,
+            deadline=deadline,
+        )
+        remember_policy(solved)
+        reg.counter("solver.fallback.source", source="milp").inc()
+        return PolicyOutcome(
+            placement=solved.realize(),
+            source="milp",
+            est_time=solved.est_time,
+            elapsed=clock() - start,
+            attempts=attempts,
+            solved=solved,
+        )
+    except (RetriesExhausted, PolicySolveError) as exc:
+        reg.counter("solver.fallback.engaged").inc()
+        logger.warning(
+            "MILP solve failed after %d attempt(s) (%s); "
+            "falling back to greedy policy",
+            attempts,
+            exc,
+        )
+        milp_failure = exc
+
+    cached = last_known_good(platform.name) if fb.use_cached else None
+    if cached is not None and not _cached_compatible(cached, len(hotness), caps):
+        cached = None
+
+    greedy_best: tuple[Placement, float] | None = None
+    try:
+        cap = min(caps)
+        for frac in fb.greedy_fractions:
+            placement = hot_replicate_warm_partition_policy(hotness, cap, G, frac)
+            report = evaluate_placement(platform, placement, hotness, entry_bytes)
+            if greedy_best is None or report.time < greedy_best[1]:
+                greedy_best = (placement, report.time)
+    except Exception:
+        logger.exception("greedy fallback policy failed")
+        greedy_best = None
+
+    if greedy_best is not None and (
+        cached is None or greedy_best[1] <= cached.est_time
+    ):
+        reg.counter("solver.fallback.source", source="greedy").inc()
+        logger.info(
+            "serving greedy fallback policy (est %.3es)", greedy_best[1]
+        )
+        return PolicyOutcome(
+            placement=greedy_best[0],
+            source="greedy",
+            est_time=greedy_best[1],
+            elapsed=clock() - start,
+            attempts=attempts,
+        )
+    if cached is not None:
+        reg.counter("solver.fallback.source", source="cached").inc()
+        logger.info(
+            "serving last-known-good cached policy for %s (est %.3es)",
+            platform.name,
+            cached.est_time,
+        )
+        return PolicyOutcome(
+            placement=cached.realize(),
+            source="cached",
+            est_time=cached.est_time,
+            elapsed=clock() - start,
+            attempts=attempts,
+            solved=cached,
+        )
+    raise PolicySolveError(
+        "every rung of the fallback chain failed (milp, greedy, cached)"
+    ) from milp_failure

@@ -1,0 +1,39 @@
+"""Fault model, injection, and graceful degradation (the robustness layer).
+
+A :class:`FaultSpec` describes one failure (GPU drop-out, link
+degradation/partition, host-gather stall, solver timeout, refresher
+interruption, corrupted location slot) with onset, duration, and severity;
+a :class:`FaultPlan` schedules many deterministically.  The runtime never
+reads specs directly: :class:`FaultInjector` realizes one-shot state
+corruption and flattens standing faults into :class:`HealthView` snapshots
+that the extractor, solver fallback chain, refresher, and simulators
+consume.  ``python -m repro chaos`` (see :mod:`repro.faults.chaos`) runs
+the scenario matrix end to end.
+
+Note: :mod:`repro.faults.chaos` is intentionally not imported here — it
+pulls in the whole core/sim stack, while this package must stay importable
+from inside :mod:`repro.sim.engine`.
+"""
+
+from repro.faults.degrade import DegradedPlatform, degraded_platform, reroute_demand
+from repro.faults.injector import CORRUPT_SOURCE_BASE, FaultInjector
+from repro.faults.spec import (
+    HEALTHY,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    HealthView,
+)
+
+__all__ = [
+    "CORRUPT_SOURCE_BASE",
+    "DegradedPlatform",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "HEALTHY",
+    "HealthView",
+    "degraded_platform",
+    "reroute_demand",
+]

@@ -1,0 +1,337 @@
+"""Chaos scenario matrix: end-to-end fault drills over a live cache.
+
+Each scenario builds a small but complete stack — platform, Zipf workload,
+filled :class:`~repro.core.cache.MultiGpuEmbeddingCache`, degraded-mode
+:class:`~repro.core.extractor.FactoredExtractor` with an attached
+:class:`~repro.faults.injector.FaultInjector` — then runs a batch loop
+across the fault's onset, active window, and recovery, asserting that
+
+* no exception escapes the extractor (degraded mode reroutes instead),
+* every gathered value stays bit-identical to the host table,
+* latency degrades while the fault is active and recovers after it clears.
+
+The ``solver-timeout`` and ``refresh-interrupt`` scenarios exercise the
+fallback chain and the transactional refresh directly instead of a batch
+loop.  ``python -m repro chaos`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import MultiGpuEmbeddingCache
+from repro.core.extractor import FactoredExtractor
+from repro.core.policy import hot_replicate_warm_partition_policy
+from repro.core.refresher import RefreshConfig, Refresher
+from repro.core.solver import (
+    FallbackConfig,
+    PolicySolveTimeout,
+    clear_policy_cache,
+    solve_policy_with_fallback,
+)
+from repro.faults.spec import FaultKind, FaultPlan, FaultSpec
+from repro.faults.injector import FaultInjector
+from repro.obs import get_registry
+from repro.utils.logging import get_logger
+from repro.utils.rng import make_rng
+from repro.utils.stats import zipf_pmf
+
+logger = get_logger("faults.chaos")
+
+#: Every scenario the matrix knows how to run, in display order.
+SCENARIOS: tuple[str, ...] = (
+    "gpu-failure",
+    "link-degradation",
+    "link-partition",
+    "host-stall",
+    "corrupt-slot",
+    "solver-timeout",
+    "refresh-interrupt",
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Workload and timeline knobs shared by every scenario."""
+
+    platform: str = "server-a"
+    num_entries: int = 20_000
+    alpha: float = 1.1
+    cache_ratio: float = 0.12
+    entry_bytes: int = 32
+    batch_keys: int = 2048
+    num_batches: int = 12
+    onset: float = 4.0
+    duration: float = 4.0
+    seed: int = 0
+
+    @classmethod
+    def quick(cls, seed: int = 0) -> "ChaosConfig":
+        """CI-sized variant (< a second per scenario)."""
+        return cls(
+            num_entries=3_000,
+            batch_keys=512,
+            num_batches=8,
+            onset=3.0,
+            duration=2.0,
+            seed=seed,
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's verdict and headline numbers."""
+
+    scenario: str
+    ok: bool
+    completed_batches: int = 0
+    values_exact: bool = True
+    baseline_time: float = 0.0
+    degraded_time: float = 0.0
+    recovered_time: float = 0.0
+    rerouted_keys: int = 0
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def degradation(self) -> float:
+        """During-fault latency relative to baseline (1.0 = unaffected)."""
+        if self.baseline_time <= 0:
+            return 1.0
+        return self.degraded_time / self.baseline_time
+
+    @property
+    def recovery(self) -> float:
+        """Post-fault latency relative to baseline (≈1.0 = fully recovered)."""
+        if self.baseline_time <= 0:
+            return 1.0
+        return self.recovered_time / self.baseline_time
+
+
+def build_fault_plan(scenario: str, cfg: ChaosConfig) -> FaultPlan:
+    """The fault schedule a batch-loop scenario injects."""
+    onset, duration = cfg.onset, cfg.duration
+    if scenario == "gpu-failure":
+        spec = FaultSpec(FaultKind.GPU_FAILURE, onset, duration, gpu=1)
+    elif scenario == "link-degradation":
+        spec = FaultSpec(
+            FaultKind.LINK_DEGRADATION, onset, duration, severity=0.75, link=(0, 1)
+        )
+    elif scenario == "link-partition":
+        spec = FaultSpec(FaultKind.LINK_PARTITION, onset, duration, link=(0, 1))
+    elif scenario == "host-stall":
+        spec = FaultSpec(FaultKind.HOST_STALL, onset, duration, severity=0.9)
+    elif scenario == "corrupt-slot":
+        spec = FaultSpec(FaultKind.CORRUPT_SLOT, onset, duration, severity=0.05, gpu=1)
+    else:
+        raise ValueError(f"unknown batch-loop scenario {scenario!r}")
+    return FaultPlan(faults=(spec,), seed=cfg.seed, name=scenario)
+
+
+def _sum_counter(name: str) -> float:
+    """Sum one counter over all of its label combinations."""
+    reg = get_registry()
+    series = getattr(reg, "series", None)
+    if series is None:
+        return 0.0
+    return float(
+        sum(s.value for s in series() if s.kind == "counter" and s.name == name)
+    )
+
+
+def _build_stack(cfg: ChaosConfig, plan: FaultPlan | None = None):
+    """Platform + workload + filled cache + extractor (injector attached)."""
+    from repro.bench.contexts import platform_by_name
+
+    platform = platform_by_name(cfg.platform)
+    rng = make_rng(cfg.seed)
+    dim = max(1, cfg.entry_bytes // 4)
+    table = rng.standard_normal((cfg.num_entries, dim)).astype(np.float32)
+    pmf = zipf_pmf(cfg.num_entries, cfg.alpha)
+    hotness = pmf * cfg.batch_keys * platform.num_gpus
+    capacity = max(1, int(cfg.cache_ratio * cfg.num_entries))
+    placement = hot_replicate_warm_partition_policy(
+        hotness, capacity, platform.num_gpus, 0.5
+    )
+    cache = MultiGpuEmbeddingCache(platform, table, placement)
+    injector = FaultInjector(plan, cache=cache) if plan is not None else None
+    extractor = FactoredExtractor(cache, injector=injector)
+    return platform, table, pmf, hotness, capacity, cache, extractor, injector, rng
+
+
+def _run_batch_loop(scenario: str, cfg: ChaosConfig) -> ScenarioResult:
+    """Drive the extractor through onset → fault → recovery."""
+    plan = build_fault_plan(scenario, cfg)
+    (platform, table, pmf, _hotness, _cap, _cache, extractor, injector, rng) = (
+        _build_stack(cfg, plan)
+    )
+    rerouted_before = _sum_counter("faults.rerouted_keys")
+    times: list[float] = []
+    values_exact = True
+    completed = 0
+    for t in range(cfg.num_batches):
+        now = float(t)
+        injector.advance(now)
+        keys = [
+            rng.choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
+            for _ in range(platform.num_gpus)
+        ]
+        values, report = extractor.extract(keys, now=now)
+        for got, want in zip(values, keys):
+            if not np.array_equal(got, table[want]):
+                values_exact = False
+        times.append(report.time)
+        completed += 1
+    rerouted = int(_sum_counter("faults.rerouted_keys") - rerouted_before)
+
+    clear = plan.last_clear_time()
+    baseline = [x for t, x in enumerate(times) if t < cfg.onset]
+    during = [x for t, x in enumerate(times) if cfg.onset <= t < clear]
+    after = [x for t, x in enumerate(times) if t >= clear]
+    result = ScenarioResult(
+        scenario=scenario,
+        ok=values_exact and completed == cfg.num_batches,
+        completed_batches=completed,
+        values_exact=values_exact,
+        baseline_time=float(np.mean(baseline)) if baseline else 0.0,
+        degraded_time=float(np.mean(during)) if during else 0.0,
+        recovered_time=float(np.mean(after)) if after else 0.0,
+        rerouted_keys=rerouted,
+        notes=f"{completed}/{cfg.num_batches} batches, {rerouted} keys rerouted",
+    )
+    return result
+
+
+def _run_solver_timeout(cfg: ChaosConfig) -> ScenarioResult:
+    """MILP times out → the fallback chain must answer within its deadline."""
+    from repro.bench.contexts import platform_by_name
+
+    platform = platform_by_name(cfg.platform)
+    pmf = zipf_pmf(cfg.num_entries, cfg.alpha)
+    hotness = pmf * cfg.batch_keys * platform.num_gpus
+    capacity = max(1, int(cfg.cache_ratio * cfg.num_entries))
+
+    def timed_out(*_args, **_kwargs):
+        raise PolicySolveTimeout("injected: HiGHS budget exhausted")
+
+    clear_policy_cache()
+    deadline_seconds = 5.0
+    start = _time.monotonic()
+    outcome = solve_policy_with_fallback(
+        platform,
+        hotness,
+        capacity,
+        cfg.entry_bytes,
+        fallback=FallbackConfig(deadline_seconds=deadline_seconds),
+        solve_fn=timed_out,
+    )
+    elapsed = _time.monotonic() - start
+    ok = outcome.source in ("greedy", "cached") and elapsed < deadline_seconds
+    return ScenarioResult(
+        scenario="solver-timeout",
+        ok=ok,
+        values_exact=True,
+        baseline_time=outcome.est_time,
+        degraded_time=outcome.est_time,
+        recovered_time=outcome.est_time,
+        notes=(
+            f"fallback source={outcome.source} after {outcome.attempts} MILP "
+            f"attempt(s) in {elapsed:.2f}s (deadline {deadline_seconds:.0f}s)"
+        ),
+        extra={"source": outcome.source, "attempts": outcome.attempts},
+    )
+
+
+def _run_refresh_interrupt(cfg: ChaosConfig) -> ScenarioResult:
+    """Interrupt a refresh mid-flight; the cache must roll back bit-identically."""
+    (platform, table, _pmf, hotness, capacity, cache, _extractor, _inj, rng) = (
+        _build_stack(cfg)
+    )
+    target = hot_replicate_warm_partition_policy(
+        hotness, capacity, platform.num_gpus, 0.0
+    )
+    pre_map = cache.source_map.copy()
+    probe = rng.integers(0, cfg.num_entries, size=256)
+    pre_values = [cache.lookup(g, probe).values.copy() for g in range(platform.num_gpus)]
+
+    calls = {"n": 0}
+
+    def abort() -> bool:
+        calls["n"] += 1
+        return calls["n"] > 3  # let a few steps land, then pull the plug
+
+    refresher = Refresher(cache, RefreshConfig(update_batch_entries=32))
+    outcome = refresher.refresh(target, abort=abort)
+    identical = bool(np.array_equal(cache.source_map, pre_map)) and all(
+        np.array_equal(cache.lookup(g, probe).values, pre_values[g])
+        for g in range(platform.num_gpus)
+    )
+    violations = cache.verify_integrity()
+
+    # Recovery: the same refresh completes once the interruption clears.
+    final = refresher.refresh(target)
+    recovered = final.triggered and not final.interrupted
+    ok = outcome.interrupted and outcome.rolled_back and identical and not violations
+    return ScenarioResult(
+        scenario="refresh-interrupt",
+        ok=ok and recovered,
+        values_exact=identical,
+        notes=(
+            f"rolled back after {outcome.steps} step(s), "
+            f"bit-identical={identical}, integrity violations={len(violations)}, "
+            f"retry moved {final.entries_moved} entries"
+        ),
+        extra={"rollback_steps": outcome.steps, "retry_moved": final.entries_moved},
+    )
+
+
+def run_scenario(scenario: str, cfg: ChaosConfig | None = None) -> ScenarioResult:
+    """Run one scenario; raises ``ValueError`` for unknown names."""
+    cfg = cfg or ChaosConfig()
+    if scenario == "solver-timeout":
+        result = _run_solver_timeout(cfg)
+    elif scenario == "refresh-interrupt":
+        result = _run_refresh_interrupt(cfg)
+    elif scenario in SCENARIOS:
+        result = _run_batch_loop(scenario, cfg)
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}; try one of {SCENARIOS}")
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter(
+            "chaos.scenarios", scenario=scenario, ok=str(result.ok).lower()
+        ).inc()
+    logger.info(
+        "chaos %s: ok=%s (%s)", scenario, result.ok, result.notes or "no notes"
+    )
+    return result
+
+
+def run_matrix(
+    scenarios: tuple[str, ...] | list[str] | None = None,
+    cfg: ChaosConfig | None = None,
+) -> list[ScenarioResult]:
+    """Run a list of scenarios (default: all of them)."""
+    return [run_scenario(s, cfg) for s in (scenarios or SCENARIOS)]
+
+
+def render_results(results: list[ScenarioResult]) -> str:
+    """Fixed-width verdict table for the CLI."""
+    header = (
+        f"{'scenario':18s} {'ok':4s} {'batches':>7s} {'exact':>5s} "
+        f"{'degrade':>8s} {'recover':>8s} {'rerouted':>8s}  notes"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        lines.append(
+            f"{r.scenario:18s} {'PASS' if r.ok else 'FAIL':4s} "
+            f"{r.completed_batches:7d} {'yes' if r.values_exact else 'NO':>5s} "
+            f"{r.degradation:7.2f}x {r.recovery:7.2f}x "
+            f"{r.rerouted_keys:8d}  {r.notes}"
+        )
+    passed = sum(1 for r in results if r.ok)
+    lines.append(f"{passed}/{len(results)} scenarios passed")
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Deterministic fault injector: realizes a :class:`FaultPlan` against a
+live cache over (simulated) time.
+
+Standing faults (GPU down, degraded link, host stall) are pure *health*
+— :meth:`FaultInjector.advance` just flattens them into the
+:class:`~repro.faults.spec.HealthView` the extractor and simulators
+consult.  One-shot faults (corrupted location-table slots) mutate state
+exactly once at onset, with seeded randomness, so two runs of the same
+plan poison the same entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.spec import FaultKind, FaultPlan, FaultSpec, HealthView
+from repro.obs import get_registry
+from repro.utils.logging import get_logger
+from repro.utils.rng import make_rng
+
+logger = get_logger("faults.injector")
+
+#: Source ids planted by corruption: far outside any real GPU id so the
+#: degraded router (and ``LocationTable``'s bounds check) must notice.
+CORRUPT_SOURCE_BASE = 0x4000
+
+
+class FaultInjector:
+    """Drives one :class:`FaultPlan` against a cache's location state.
+
+    The injector is the only component that *writes* faults; everything
+    else reads health views.  ``cache`` may be any object exposing the
+    :class:`~repro.core.cache.MultiGpuEmbeddingCache` ``source_map`` /
+    ``num_entries`` surface (duck-typed to keep this module free of core
+    imports).
+    """
+
+    def __init__(self, plan: FaultPlan, cache=None) -> None:
+        self._plan = plan
+        self._cache = cache
+        self._applied: set[int] = set()
+        self._now = 0.0
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def attach(self, cache) -> None:
+        """Point the injector at the cache whose state one-shots mutate."""
+        self._cache = cache
+
+    def health(self, now: float | None = None) -> HealthView:
+        """The health view at ``now`` (defaults to the last advanced time)."""
+        return self._plan.health_at(self._now if now is None else now)
+
+    def advance(self, now: float) -> HealthView:
+        """Move time forward, realizing any one-shot faults that fired.
+
+        Returns the health view at ``now``.  Idempotent per fault: a
+        one-shot is applied the first time ``now`` passes its onset.
+        """
+        self._now = now
+        reg = get_registry()
+        for idx, fault in enumerate(self._plan.faults):
+            if idx in self._applied or now < fault.onset:
+                continue
+            if fault.kind is FaultKind.CORRUPT_SLOT:
+                self._applied.add(idx)
+                corrupted = self._corrupt_source_map(fault)
+                reg.counter(
+                    "faults.injected", kind=fault.kind.value
+                ).inc()
+                reg.counter("faults.corrupted_slots").inc(corrupted)
+                logger.warning(
+                    "fault injected at t=%.2f: corrupted %d location slots "
+                    "referencing GPU %d", now, corrupted, fault.gpu,
+                )
+            elif fault.onset <= now:
+                # Standing faults are realized through health views; count
+                # each once at onset so the timeline shows when they hit.
+                self._applied.add(idx)
+                reg.counter("faults.injected", kind=fault.kind.value).inc()
+                logger.warning(
+                    "fault active at t=%.2f: %s (severity %.2f)",
+                    now, fault.kind.value, fault.severity,
+                )
+        view = self._plan.health_at(now)
+        if reg.enabled:
+            reg.gauge("faults.active").set(len(self._plan.active_at(now)))
+        return view
+
+    def _corrupt_source_map(self, fault: FaultSpec) -> int:
+        """Poison seeded random location-table entries pointing at a GPU.
+
+        For every destination GPU, a seeded sample of the entries it
+        currently reads from ``fault.gpu`` is rewritten to an out-of-range
+        source id; severity scales how many.  Returns slots corrupted.
+        """
+        if self._cache is None:
+            return 0
+        source_map = self._cache.source_map
+        num_gpus = source_map.shape[0]
+        rng = make_rng(self._plan.seed * 1_000_003 + fault.seed * 101 + int(fault.gpu))
+        corrupted = 0
+        for dst in range(num_gpus):
+            victims = np.flatnonzero(source_map[dst] == fault.gpu)
+            if len(victims) == 0:
+                continue
+            count = max(1, int(round(fault.severity * len(victims))))
+            picks = rng.choice(victims, size=min(count, len(victims)), replace=False)
+            source_map[dst][picks] = CORRUPT_SOURCE_BASE + dst
+            corrupted += len(picks)
+        return corrupted

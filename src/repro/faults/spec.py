@@ -1,0 +1,230 @@
+"""Declarative fault model: :class:`FaultSpec`, :class:`FaultPlan`,
+and the derived :class:`HealthView` the runtime consults.
+
+A fault plan is pure data — which fault, where, when, how bad — so the
+same plan can drive the functional runtime (extractor rerouting, refresher
+interruption), the analytic simulators (degraded bandwidths), and the
+``chaos`` CLI's scenario matrix.  Plans are deterministic by construction:
+anything random (which slot to corrupt, jittered backoff) derives from the
+plan's seed, never from global state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.hardware.platform import HOST
+
+
+class FaultKind(str, Enum):
+    """The failure scenarios the injector knows how to realize."""
+
+    #: a GPU drops out: its cache store and links become unreachable and
+    #: its own local copies are lost (it keeps serving via peers/host).
+    GPU_FAILURE = "gpu-failure"
+    #: a link loses ``severity`` of its bandwidth but stays up.
+    LINK_DEGRADATION = "link-degradation"
+    #: a link goes down entirely (reads across it must reroute).
+    LINK_PARTITION = "link-partition"
+    #: host-gather stall: PCIe loses ``severity`` of its bandwidth.
+    HOST_STALL = "host-stall"
+    #: the background policy solve exceeds its wall-clock budget.
+    SOLVER_TIMEOUT = "solver-timeout"
+    #: the in-flight refresh is interrupted mid-application.
+    REFRESH_INTERRUPT = "refresh-interrupt"
+    #: location-table slots are corrupted to out-of-range ``<gpu, offset>``.
+    CORRUPT_SLOT = "corrupt-slot"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what, where, when, and how severe.
+
+    Attributes:
+        kind: the failure scenario.
+        onset: seconds (or simulated-loop time) at which the fault starts.
+        duration: how long it lasts; ``inf`` means it never clears.
+        severity: fraction in ``(0, 1]``: bandwidth lost for degradations
+            and stalls, fraction of cached entries corrupted for
+            :attr:`FaultKind.CORRUPT_SLOT`.  Ignored for binary faults.
+        gpu: target GPU for GPU-scoped faults.
+        link: ``(dst, src)`` pair for link faults (applied symmetrically).
+        seed: per-fault randomness seed (e.g. which slots to corrupt).
+    """
+
+    kind: FaultKind
+    onset: float = 0.0
+    duration: float = math.inf
+    severity: float = 1.0
+    gpu: int | None = None
+    link: tuple[int, int] | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.onset < 0:
+            raise ValueError("fault onset must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("fault duration must be positive")
+        if not 0 < self.severity <= 1:
+            raise ValueError("fault severity must be in (0, 1]")
+        if self.kind in (FaultKind.GPU_FAILURE, FaultKind.CORRUPT_SLOT):
+            if self.gpu is None or self.gpu < 0:
+                raise ValueError(f"{self.kind.value} needs a target gpu")
+        if self.kind in (FaultKind.LINK_DEGRADATION, FaultKind.LINK_PARTITION):
+            if self.link is None:
+                raise ValueError(f"{self.kind.value} needs a target link")
+            if self.link[0] == self.link[1]:
+                raise ValueError("link faults need two distinct endpoints")
+
+    @property
+    def clears_at(self) -> float:
+        return self.onset + self.duration
+
+    def active_at(self, now: float) -> bool:
+        """Whether the fault is in effect at time ``now``."""
+        return self.onset <= now < self.clears_at
+
+
+@dataclass(frozen=True)
+class HealthView:
+    """Snapshot of platform health at one instant, derived from a plan.
+
+    The runtime never reads :class:`FaultSpec` directly: the extractor,
+    simulators, solver, and refresher all consume this flattened view, so
+    real deployments can plug an actual health monitor into the same
+    interface.
+    """
+
+    down_gpus: frozenset[int] = frozenset()
+    #: multiplicative bandwidth factor per (dst, src) ordered pair;
+    #: absent pairs are healthy (factor 1.0), 0.0 means partitioned.
+    link_factors: tuple[tuple[tuple[int, int], float], ...] = ()
+    #: multiplicative factor on host (PCIe) bandwidth.
+    host_factor: float = 1.0
+    solver_timed_out: bool = False
+    refresh_interrupted: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.host_factor <= 1:
+            raise ValueError("host factor must be in [0, 1]")
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            not self.down_gpus
+            and all(f >= 1.0 for _, f in self.link_factors)
+            and self.host_factor >= 1.0
+            and not self.solver_timed_out
+            and not self.refresh_interrupted
+        )
+
+    def gpu_ok(self, gpu: int) -> bool:
+        return gpu not in self.down_gpus
+
+    def link_factor(self, dst: int, src: int) -> float:
+        """Usable bandwidth fraction for ``dst`` reading ``src``.
+
+        A downed endpoint zeroes the link; host reads are scaled by
+        :attr:`host_factor` and never partitioned (DRAM is the fallback
+        of last resort) — even for a downed GPU's batch, which its
+        replacement worker still serves from host.
+        """
+        if src == HOST:
+            return self.host_factor
+        if not self.gpu_ok(dst) or not self.gpu_ok(src):
+            return 0.0
+        if dst == src:
+            return 1.0
+        factor = 1.0
+        for (a, b), f in self.link_factors:
+            if (a, b) == (dst, src):
+                factor = min(factor, f)
+        return factor
+
+    def source_usable(self, dst: int, src: int) -> bool:
+        """Whether ``dst`` can still read from ``src`` at all."""
+        return self.link_factor(dst, src) > 0.0
+
+
+#: The all-healthy view (shared; HealthView is immutable).
+HEALTHY = HealthView()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults over one run.
+
+    The plan is time-indexed: :meth:`health_at` flattens every fault
+    active at ``now`` into one :class:`HealthView`.  Overlapping faults
+    compose (link factors multiply through ``min``, down-GPU sets union).
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    name: str = "fault-plan"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def active_at(self, now: float) -> tuple[FaultSpec, ...]:
+        return tuple(f for f in self.faults if f.active_at(now))
+
+    def of_kind(self, kind: FaultKind) -> tuple[FaultSpec, ...]:
+        return tuple(f for f in self.faults if f.kind is kind)
+
+    def last_clear_time(self) -> float:
+        """When the final fault clears (0 for an empty plan)."""
+        return max((f.clears_at for f in self.faults), default=0.0)
+
+    def health_at(self, now: float) -> HealthView:
+        """Flatten every active fault into one :class:`HealthView`."""
+        active = self.active_at(now)
+        if not active:
+            return HEALTHY
+        down: set[int] = set()
+        links: dict[tuple[int, int], float] = {}
+        host_factor = 1.0
+        solver_timed_out = False
+        refresh_interrupted = False
+
+        def degrade(pair: tuple[int, int], factor: float) -> None:
+            links[pair] = min(links.get(pair, 1.0), factor)
+
+        for f in active:
+            if f.kind is FaultKind.GPU_FAILURE:
+                down.add(int(f.gpu))  # type: ignore[arg-type]
+            elif f.kind is FaultKind.LINK_DEGRADATION:
+                a, b = f.link  # type: ignore[misc]
+                degrade((a, b), 1.0 - f.severity)
+                degrade((b, a), 1.0 - f.severity)
+            elif f.kind is FaultKind.LINK_PARTITION:
+                a, b = f.link  # type: ignore[misc]
+                degrade((a, b), 0.0)
+                degrade((b, a), 0.0)
+            elif f.kind is FaultKind.HOST_STALL:
+                host_factor = min(host_factor, 1.0 - f.severity)
+            elif f.kind is FaultKind.SOLVER_TIMEOUT:
+                solver_timed_out = True
+            elif f.kind is FaultKind.REFRESH_INTERRUPT:
+                refresh_interrupted = True
+            # CORRUPT_SLOT is a one-shot state mutation realized by the
+            # injector at onset, not a standing health condition.
+        # Host bandwidth can stall but never partitions: clamp above zero
+        # so the universal fallback stays reachable.
+        if host_factor < 1.0:
+            host_factor = max(host_factor, 1e-3)
+        return HealthView(
+            down_gpus=frozenset(down),
+            link_factors=tuple(sorted(links.items())),
+            host_factor=host_factor,
+            solver_timed_out=solver_timed_out,
+            refresh_interrupted=refresh_interrupted,
+        )

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults.degrade import degraded_platform, reroute_demand
+from repro.faults.spec import FaultPlan, HealthView
 from repro.hardware.platform import HOST, Platform
 from repro.obs import get_registry
 from repro.sim.congestion import CongestionModel
@@ -96,6 +98,9 @@ def simulate_batch(
     mechanism: Mechanism = Mechanism.FACTORED,
     congestion: CongestionModel | None = None,
     local_padding: bool = True,
+    faults: FaultPlan | None = None,
+    now: float = 0.0,
+    health: HealthView | None = None,
 ) -> BatchReport:
     """Simulate one data-parallel batch extraction.
 
@@ -106,11 +111,28 @@ def simulate_batch(
         congestion: congestion tunables for the naive peer mechanism.
         local_padding: FEM ablation switch — disable the local-group
             padding of §5.3 to quantify its contribution.
+        faults: optional fault plan; the active faults at ``now`` degrade
+            link bandwidths and reroute volume off dead sources, so
+            Figure-17-style timelines can price injected faults.
+        now: simulation time ``faults`` is evaluated at.
+        health: pre-flattened health view (wins over ``faults``).
 
     Returns:
         A :class:`BatchReport`; ``report.time`` is the batch extraction
         time in seconds.
     """
+    if health is None and faults is not None:
+        health = faults.health_at(now)
+    if health is not None and not health.healthy:
+        degraded = degraded_platform(platform, health)
+        rerouted = [reroute_demand(d, platform, health) for d in demands]
+        moved = sum(
+            r.volume(HOST) - d.volume(HOST) for d, r in zip(demands, rerouted)
+        )
+        reg = get_registry()
+        if reg.enabled and moved > 0:
+            reg.counter("faults.sim.rerouted_bytes").inc(moved)
+        platform, demands = degraded, rerouted
     for demand in demands:
         for src, vol in demand.volumes.items():
             if vol > 0 and src != HOST and not platform.is_connected(demand.dst, src):

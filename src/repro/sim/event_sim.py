@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults.degrade import degraded_platform, reroute_demand
+from repro.faults.spec import FaultPlan
 from repro.hardware.platform import HOST, Platform
 from repro.sim.congestion import CongestionModel
 from repro.sim.mechanisms import GpuDemand, core_dedication
@@ -34,6 +36,23 @@ class EventSimResult:
     total_time: float
     chunks_processed: int
     events: int
+
+
+def _apply_faults(
+    platform: Platform,
+    demand: GpuDemand,
+    faults: FaultPlan | None,
+    now: float,
+) -> tuple[Platform, GpuDemand]:
+    """Degrade the platform and reroute dead-source volume at ``now``."""
+    if faults is None:
+        return platform, demand
+    health = faults.health_at(now)
+    if health.healthy:
+        return platform, demand
+    return degraded_platform(platform, health), reroute_demand(
+        demand, platform, health
+    )
 
 
 def _link_rate(
@@ -57,6 +76,8 @@ def simulate_naive_event_driven(
     model: CongestionModel | None = None,
     readers_per_source: dict[int, int] | None = None,
     seed: int = 0,
+    faults: FaultPlan | None = None,
+    now: float = 0.0,
 ) -> EventSimResult:
     """Discretely simulate unorganized (random-dispatch) extraction.
 
@@ -73,6 +94,7 @@ def simulate_naive_event_driven(
     """
     from repro.hardware.topology import TopologyKind
 
+    platform, demand = _apply_faults(platform, demand, faults, now)
     model = model or CongestionModel()
     gpu = platform.gpu
     rng = make_rng(seed)
@@ -153,6 +175,8 @@ def simulate_factored_event_driven(
     platform: Platform,
     demand: GpuDemand,
     chunk_bytes: float = 64 * 1024,
+    faults: FaultPlan | None = None,
+    now: float = 0.0,
 ) -> EventSimResult:
     """Discretely simulate the §5.3 factored schedule.
 
@@ -160,7 +184,10 @@ def simulate_factored_event_driven(
     of non-local work switches to the local queue (the low-priority
     padding).  Converges to
     :func:`repro.sim.mechanisms.factored_extraction` as chunks shrink.
+    ``faults``/``now`` price the schedule under a fault plan: degraded
+    links slow their group, dead sources' chunks drain via host.
     """
+    platform, demand = _apply_faults(platform, demand, faults, now)
     gpu = platform.gpu
     dedication = core_dedication(platform, demand.dst, list(demand.volumes))
 

@@ -115,10 +115,17 @@ def core_dedication(
         else:
             weights = {src: platform.bandwidth(dst, src) for src in remotes}
             total_weight = sum(weights.values())
-            for src in remotes:
-                dedication[src] = max(
-                    1, int(remaining * weights[src] / total_weight)
-                )
+            if total_weight <= 0:
+                # Every remote link is dead or unknown (a degraded
+                # platform, a corrupt route): split evenly rather than
+                # divide by zero — the extractor re-normalizes anyway.
+                for src in remotes:
+                    dedication[src] = max(1, remaining // len(remotes))
+            else:
+                for src in remotes:
+                    dedication[src] = max(
+                        1, int(remaining * weights[src] / total_weight)
+                    )
     return dedication
 
 

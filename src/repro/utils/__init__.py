@@ -14,6 +14,12 @@ from repro.utils.units import (
     seconds_to_us,
 )
 from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.retry import (
+    Deadline,
+    RetriesExhausted,
+    RetryPolicy,
+    retry_call,
+)
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.stats import (
     geometric_mean,
@@ -36,6 +42,10 @@ __all__ = [
     "seconds_to_us",
     "enable_console_logging",
     "get_logger",
+    "Deadline",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "retry_call",
     "make_rng",
     "spawn_rngs",
     "geometric_mean",

@@ -1,0 +1,95 @@
+"""Chaos scenario matrix and its CLI front end (``python -m repro chaos``)."""
+
+import pytest
+
+from repro.faults.chaos import (
+    SCENARIOS,
+    ChaosConfig,
+    build_fault_plan,
+    render_results,
+    run_matrix,
+    run_scenario,
+)
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(scope="module")
+def quick_cfg():
+    return ChaosConfig.quick(seed=0)
+
+
+class TestScenarioMatrix:
+    def test_every_scenario_has_a_builder_or_driver(self, quick_cfg):
+        for scenario in SCENARIOS:
+            if scenario in ("solver-timeout", "refresh-interrupt"):
+                continue
+            plan = build_fault_plan(scenario, quick_cfg)
+            assert len(plan) == 1
+            assert plan.name == scenario
+
+    def test_unknown_scenario_rejected(self, quick_cfg):
+        with pytest.raises(ValueError):
+            run_scenario("power-outage", quick_cfg)
+
+    def test_gpu_failure_scenario_passes(self, quick_cfg):
+        result = run_scenario("gpu-failure", quick_cfg)
+        assert result.ok
+        assert result.values_exact
+        assert result.completed_batches == quick_cfg.num_batches
+        assert result.rerouted_keys > 0
+        assert result.degradation > 1.0  # host path is slower
+        assert result.recovery == pytest.approx(1.0, rel=0.1)
+
+    def test_solver_timeout_scenario_passes(self, quick_cfg):
+        result = run_scenario("solver-timeout", quick_cfg)
+        assert result.ok
+        assert result.extra["source"] in ("greedy", "cached")
+
+    def test_refresh_interrupt_scenario_passes(self, quick_cfg):
+        result = run_scenario("refresh-interrupt", quick_cfg)
+        assert result.ok
+        assert result.values_exact  # bit-identical after rollback
+        assert result.extra["rollback_steps"] > 0
+        assert result.extra["retry_moved"] > 0
+
+    def test_full_matrix_quick(self, quick_cfg):
+        results = run_matrix(cfg=quick_cfg)
+        assert len(results) == len(SCENARIOS)
+        assert all(r.ok for r in results)
+        rendered = render_results(results)
+        assert f"{len(SCENARIOS)}/{len(SCENARIOS)} scenarios passed" in rendered
+        for scenario in SCENARIOS:
+            assert scenario in rendered
+
+    def test_deterministic_across_runs(self, quick_cfg):
+        a = run_scenario("link-partition", quick_cfg)
+        b = run_scenario("link-partition", quick_cfg)
+        assert a.rerouted_keys == b.rerouted_keys
+        assert a.baseline_time == pytest.approx(b.baseline_time)
+        assert a.degraded_time == pytest.approx(b.degraded_time)
+
+
+class TestChaosCli:
+    def test_single_scenario_smoke(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--scenario", "gpu-failure", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "gpu-failure" in out
+        assert "PASS" in out
+
+    def test_metrics_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs import load_metrics
+
+        path = tmp_path / "chaos.json"
+        code = main(
+            ["chaos", "--scenario", "corrupt-slot", "--quick",
+             "--metrics-out", str(path)]
+        )
+        assert code == 0
+        doc = load_metrics(path)
+        names = {m["name"] for m in doc["metrics"]}
+        assert "chaos.scenarios" in names
+        assert "faults.injected" in names

@@ -146,11 +146,20 @@ class TestDedicationMismatch:
         ):
             plan = extractor.plan(0, np.arange(800))
         assert reg.value("extractor.plan.dedication_missing") >= 1
+        assert reg.value("extractor.plan.dedication_renormalized") >= 1
         assert any("core-dedication" in r.message for r in caplog.records)
-        # The fallback still yields a usable plan: every group >= 1 core.
-        for group in plan.nonlocal_groups:
-            if group.source != HOST:
-                assert group.dedicated_cores == 1
+        # The shares are re-normalized over the present sources, not the
+        # old one-core floor: server-a's equal links split the SM budget
+        # evenly, and the total never exceeds it.
+        remote = [
+            g for g in plan.nonlocal_groups if g.source != HOST
+        ]
+        cores = [g.dedicated_cores for g in remote]
+        budget = extractor.platform.gpu.num_cores
+        assert all(c >= 1 for c in cores)
+        assert sum(cores) <= budget
+        assert max(cores) > 1  # actually re-balanced, not floored
+        assert max(cores) - min(cores) <= 1  # equal links → equal shares
 
     def test_covered_sources_do_not_warn(self, extractor, caplog):
         import logging

@@ -205,3 +205,90 @@ class TestProbeBounds:
         assert table.get(0) is None
         for key in range(1, table.capacity - 1):
             assert table.get(key) == (0, key)
+
+
+class TestCorruptEntries:
+    """Out-of-range ``<gpu, offset>`` slots raise typed errors, never garbage."""
+
+    @staticmethod
+    def _bounded_table() -> LocationTable:
+        table = LocationTable(16, num_sources=4, max_offset=100)
+        table.insert(1, 2, 50)
+        table.insert(2, 3, 99)
+        return table
+
+    def test_valid_entries_pass_the_bounds_check(self):
+        table = self._bounded_table()
+        assert table.get(1) == (2, 50)
+        assert table.get(2) == (3, 99)
+
+    def test_out_of_range_source_raises(self):
+        from repro.core.location_table import CorruptEntryError
+
+        table = self._bounded_table()
+        table.corrupt_slot(1, 9, 50)
+        with pytest.raises(CorruptEntryError) as info:
+            table.get(1)
+        assert info.value.key == 1
+        assert info.value.source == 9
+        assert info.value.offset == 50
+
+    def test_out_of_range_offset_raises(self):
+        from repro.core.location_table import CorruptEntryError
+
+        table = self._bounded_table()
+        table.corrupt_slot(2, 3, 5000)
+        with pytest.raises(CorruptEntryError):
+            table.get(2)
+
+    def test_host_sentinel_is_never_corrupt(self):
+        table = self._bounded_table()
+        table.corrupt_slot(1, HOST, 0)
+        assert table.get(1) == (HOST, 0)
+
+    def test_corrupt_absent_key_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            self._bounded_table().corrupt_slot(999, 0, 0)
+
+    def test_unbounded_table_does_not_validate(self):
+        table = LocationTable(16)
+        table.insert(1, 2, 50)
+        table.corrupt_slot(1, 200, 2**40)
+        assert table.get(1) == (200, 2**40)
+
+    def test_lookup_batch_raise_mode(self):
+        from repro.core.location_table import CorruptEntryError
+
+        table = self._bounded_table()
+        table.corrupt_slot(1, 9, 50)
+        with pytest.raises(CorruptEntryError):
+            table.lookup_batch(np.array([1, 2]))
+
+    def test_lookup_batch_host_mode_reroutes(self):
+        table = self._bounded_table()
+        table.corrupt_slot(1, 9, 50)
+        sources, offsets = table.lookup_batch(np.array([1, 2]), on_corrupt="host")
+        assert sources[0] == HOST and offsets[0] == 1  # host is keyed by id
+        assert sources[1] == 3 and offsets[1] == 99  # untouched entry intact
+
+    def test_lookup_batch_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            self._bounded_table().lookup_batch(np.array([1]), on_corrupt="ignore")
+
+    def test_from_source_map_arms_bounds(self):
+        from repro.core.location_table import CorruptEntryError
+
+        sources = np.array([0, HOST, 1], dtype=np.int16)
+        offsets = np.array([10, 0, 20])
+        table = LocationTable.from_source_map(
+            sources, offsets, num_sources=2, max_offset=64
+        )
+        table.corrupt_slot(0, 7, 10)
+        with pytest.raises(CorruptEntryError):
+            table.get(0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            LocationTable(8, num_sources=0)
+        with pytest.raises(ValueError):
+            LocationTable(8, max_offset=-1)

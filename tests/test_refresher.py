@@ -135,3 +135,128 @@ class TestTimeline:
     def test_window_clamped_to_duration(self):
         t = simulate_refresh_timeline(1e-3, 50.0, (45.0,), 10_000_000)
         assert t.refresh_windows[0][1] == 50.0
+
+
+class TestTriggerEdgeCases:
+    """Satellite coverage: worse candidates and degenerate hotness."""
+
+    def test_worse_solve_does_not_trigger(self, cache):
+        refresher = Refresher(cache, RefreshConfig(trigger_ratio=1.05))
+        # The fresh solve came back *worse* than what is deployed.
+        assert not refresher.should_refresh(current_time=1.0, candidate_time=1.4)
+
+    def test_equal_solve_does_not_trigger(self, cache):
+        refresher = Refresher(cache, RefreshConfig(trigger_ratio=1.05))
+        assert not refresher.should_refresh(current_time=1.0, candidate_time=1.0)
+
+    def test_all_zero_hotness_refresh_is_safe(self, cache, small_table, rng):
+        from repro.core.policy import hot_replicate_warm_partition_policy
+
+        hotness = np.zeros(N)
+        new_placement = hot_replicate_warm_partition_policy(hotness, 200, 4, 0.5)
+        outcome = Refresher(cache, RefreshConfig(update_batch_entries=64)).refresh(
+            new_placement
+        )
+        assert outcome.triggered
+        keys = rng.integers(0, N, size=300)
+        for gpu in range(4):
+            assert np.array_equal(cache.lookup(gpu, keys).values, small_table[keys])
+        cache.check_integrity()
+
+
+class TestTransactionalRollback:
+    """ISSUE acceptance: an interrupted refresh leaves the cache bit-identical."""
+
+    def _snapshot(self, cache, rng):
+        probe = rng.integers(0, N, size=300)
+        return (
+            cache.source_map.copy(),
+            probe,
+            [cache.lookup(g, probe).values.copy() for g in range(4)],
+        )
+
+    def test_interrupt_rolls_back_bit_identical(
+        self, cache, skewed_hotness, rng
+    ):
+        from repro.core.refresher import RefreshInterrupted
+        from repro.obs import MetricsRegistry, use_registry
+
+        pre_map, probe, pre_values = self._snapshot(cache, rng)
+        new_placement = partition_policy(skewed_hotness, 200, 4)
+        refresher = Refresher(cache, RefreshConfig(update_batch_entries=32))
+        calls = {"n": 0}
+
+        def abort():
+            calls["n"] += 1
+            return calls["n"] > 4
+
+        reg = MetricsRegistry("t")
+        with use_registry(reg):
+            with pytest.raises(RefreshInterrupted) as info:
+                for _ in refresher.refresh_steps(new_placement, abort=abort):
+                    pass
+        assert info.value.outcome.interrupted
+        assert info.value.outcome.rolled_back
+        # The observable cache state is exactly the pre-refresh state.
+        assert np.array_equal(cache.source_map, pre_map)
+        for gpu in range(4):
+            assert np.array_equal(cache.lookup(gpu, probe).values, pre_values[gpu])
+        cache.check_integrity()
+        assert reg.value("refresher.interrupted") == 1
+        assert reg.value("refresher.rollbacks") == 1
+
+    def test_refresh_wrapper_returns_outcome_instead_of_raising(
+        self, cache, skewed_hotness, rng
+    ):
+        pre_map, probe, pre_values = self._snapshot(cache, rng)
+        refresher = Refresher(cache, RefreshConfig(update_batch_entries=32))
+        outcome = refresher.refresh(
+            partition_policy(skewed_hotness, 200, 4), abort=lambda: True
+        )
+        assert outcome.interrupted and outcome.rolled_back
+        assert outcome.entries_moved == 0
+        assert np.array_equal(cache.source_map, pre_map)
+        for gpu in range(4):
+            assert np.array_equal(cache.lookup(gpu, probe).values, pre_values[gpu])
+
+    def test_abort_that_never_fires_completes_normally(self, cache, skewed_hotness):
+        refresher = Refresher(cache, RefreshConfig(update_batch_entries=64))
+        outcome = refresher.refresh(
+            partition_policy(skewed_hotness, 200, 4), abort=lambda: False
+        )
+        assert outcome.triggered and not outcome.interrupted
+        assert outcome.entries_moved > 0
+
+    def test_midstep_exception_rolls_back_and_propagates(
+        self, cache, skewed_hotness, rng, monkeypatch
+    ):
+        import repro.core.refresher as refresher_module
+
+        pre_map, probe, pre_values = self._snapshot(cache, rng)
+        real_apply = refresher_module.apply_diff_step
+        calls = {"n": 0}
+
+        def flaky_apply(store, table, evict, insert):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise RuntimeError("simulated mid-step crash")
+            real_apply(store, table, evict, insert)
+
+        monkeypatch.setattr(refresher_module, "apply_diff_step", flaky_apply)
+        refresher = Refresher(cache, RefreshConfig(update_batch_entries=32))
+        with pytest.raises(RuntimeError, match="simulated mid-step crash"):
+            refresher.refresh(partition_policy(skewed_hotness, 200, 4))
+        monkeypatch.undo()
+        assert np.array_equal(cache.source_map, pre_map)
+        for gpu in range(4):
+            assert np.array_equal(cache.lookup(gpu, probe).values, pre_values[gpu])
+        cache.check_integrity()
+
+    def test_interrupted_refresh_can_be_retried(self, cache, skewed_hotness, rng):
+        refresher = Refresher(cache, RefreshConfig(update_batch_entries=32))
+        target = partition_policy(skewed_hotness, 200, 4)
+        first = refresher.refresh(target, abort=lambda: True)
+        assert first.rolled_back
+        second = refresher.refresh(target)
+        assert second.triggered and not second.interrupted
+        assert cache.placement.replication_factor() == pytest.approx(1.0)
