@@ -121,11 +121,14 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
     from repro.faults.chaos import (
         SCENARIOS,
         ChaosConfig,
         render_results,
         run_matrix,
+        summarize_results,
     )
     from repro.obs import MetricsRegistry, use_registry, write_json
 
@@ -138,11 +141,59 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     registry = MetricsRegistry("chaos")
     with use_registry(registry):
         results = run_matrix(scenarios, cfg)
-    print(render_results(results))
+    print(render_results(results, tolerance=args.recovery_tolerance))
+    summary = summarize_results(results, tolerance=args.recovery_tolerance)
+    if summary["unrecovered"]:
+        print(
+            "scenarios that never recovered (post-fault latency > "
+            f"{args.recovery_tolerance:.2f}x baseline): "
+            + ", ".join(summary["unrecovered"]),
+            file=sys.stderr,
+        )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"summary written to {args.json_out}")
     if args.metrics_out:
         path = write_json(registry, args.metrics_out)
         print(f"metrics written to {path}")
-    return 0 if all(r.ok for r in results) else 1
+    return 0 if summary["ok"] else 1
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import MetricsRegistry, use_registry, write_json
+    from repro.serve.queueing import QueuePolicy
+    from repro.serve.soak import SoakConfig, render_soak_report, run_soak
+
+    overrides = dict(
+        scenario=args.scenario,
+        load=args.load,
+        closed_loop=args.closed_loop,
+        clients=args.clients,
+        queue_policy=QueuePolicy(args.queue_policy),
+        seed=args.seed,
+    )
+    if args.requests is not None:
+        overrides["requests_per_gpu"] = args.requests
+    cfg = (
+        SoakConfig.quick(**overrides) if args.quick else SoakConfig(**overrides)
+    )
+    registry = MetricsRegistry("soak")
+    with use_registry(registry):
+        report = run_soak(cfg)
+    print(render_soak_report(report))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"summary written to {args.json_out}")
+    if args.metrics_out:
+        path = write_json(registry, args.metrics_out)
+        print(f"metrics written to {path}")
+    return 0 if report.ok else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -205,7 +256,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed for the workload and the fault plan")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the run's metrics as a JSON artifact")
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write a machine-readable matrix summary")
+    p.add_argument("--recovery-tolerance", type=float, default=1.25,
+                   help="fail scenarios whose post-fault latency stays "
+                        "above this multiple of baseline")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "soak", help="sustained serving-load soak with chaos and policy swaps"
+    )
+    p.add_argument("--scenario", default="dgx_a100_partial_failure",
+                   choices=["steady", "dgx_a100_partial_failure",
+                            "corrupt-slot-storm", "host-stall"])
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized soak (seconds of wall time)")
+    p.add_argument("--requests", type=int, default=None, metavar="N",
+                   help="requests per GPU (sets the run length)")
+    p.add_argument("--load", type=float, default=0.8,
+                   help="offered load per GPU as a fraction of capacity; "
+                        ">1 is sustained overload")
+    p.add_argument("--closed-loop", action="store_true",
+                   help="closed-loop clients instead of open-loop Poisson")
+    p.add_argument("--clients", type=int, default=4,
+                   help="outstanding clients per GPU (closed loop)")
+    p.add_argument("--queue-policy", default="reject",
+                   choices=["block", "reject", "shed-oldest"],
+                   help="backpressure when a GPU queue fills")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write the soak report as JSON")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the run's metrics as a JSON artifact")
+    p.set_defaults(func=_cmd_soak)
 
     p = sub.add_parser("metrics", help="summarize a metrics artifact")
     p.add_argument("path", help="artifact written by --metrics-out")

@@ -210,6 +210,16 @@ class MultiGpuEmbeddingCache:
         self._placement = Placement(num_entries=self.num_entries, per_gpu=per_gpu)
         self._source_map = resolve_sources(self._platform, self._placement)
 
+    def snapshot_location_state(self) -> tuple[Placement, np.ndarray]:
+        """Copy of the current routing state: ``(placement, source_map)``.
+
+        The counterpart of :meth:`restore_location_state`; the serving
+        layer's :class:`~repro.serve.policy_manager.PolicyManager` takes
+        one before a hot policy swap so a guardrail-triggered rollback
+        has an exact pre-swap target.
+        """
+        return self._placement, self._source_map.copy()
+
     def restore_location_state(
         self, placement: Placement, source_map: np.ndarray
     ) -> None:

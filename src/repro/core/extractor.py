@@ -73,6 +73,11 @@ class ExtractionPlan:
     groups: tuple[SourceGroup, ...]
     #: keys this plan rerouted away from their mapped source (faults)
     rerouted_keys: int = 0
+    #: sources whose mapped keys had to be rerouted because the source
+    #: itself failed (down GPU, partitioned link, stale/corrupt slots) —
+    #: the serving layer's circuit breakers consume this.  Sources the
+    #: caller *asked* to exclude are not failures and do not appear.
+    failed_sources: tuple[int, ...] = ()
 
     @property
     def local_group(self) -> SourceGroup | None:
@@ -155,6 +160,10 @@ class FactoredExtractor:
     def platform(self) -> Platform:
         return self._cache.platform
 
+    @property
+    def cache(self) -> MultiGpuEmbeddingCache:
+        return self._cache
+
     def _resolve_health(
         self, health: HealthView | None, now: float
     ) -> HealthView | None:
@@ -165,18 +174,23 @@ class FactoredExtractor:
         return None
 
     def _find_replicas(
-        self, dst: int, keys: np.ndarray, health: HealthView | None
+        self,
+        dst: int,
+        keys: np.ndarray,
+        health: HealthView | None,
+        exclude: frozenset[int] = frozenset(),
     ) -> np.ndarray:
         """Cheapest surviving holder per key; HOST when nobody has it.
 
         Degraded links inflate a candidate's cost by ``1 / link_factor``
         so a half-speed replica loses to a healthy one but still beats
-        host when it is the only copy left.
+        host when it is the only copy left.  Sources in ``exclude``
+        (e.g. breaker-open ones) are never candidates.
         """
         out = np.full(len(keys), HOST, dtype=np.int16)
         best_cost = np.full(len(keys), np.inf)
         for g in self.platform.gpu_ids:
-            if g == dst:
+            if g == dst or g in exclude:
                 continue
             if health is not None and not health.source_usable(dst, g):
                 continue
@@ -200,20 +214,32 @@ class FactoredExtractor:
         sources: np.ndarray,
         health: HealthView | None,
         reg,
-    ) -> tuple[np.ndarray, int]:
-        """Replace unusable sources in ``sources``; returns (sources, n).
+        exclude: frozenset[int] = frozenset(),
+    ) -> tuple[np.ndarray, int, tuple[int, ...]]:
+        """Replace unusable sources in ``sources``.
 
         A source is unusable when its id is corrupt (outside the GPU
-        range), the health view marks it down or unreachable, or its
-        store does not actually hold the key (a stale location).
+        range), the health view marks it down or unreachable, its store
+        does not actually hold the key (a stale location), or the caller
+        excluded it (an open circuit breaker).  Returns
+        ``(sources, rerouted, failed_sources)`` where ``failed_sources``
+        attributes reroutes to the sources that *failed* (exclusions are
+        deliberate, not failures).  Corrupt slots are blamed on whichever
+        GPU stores actually hold the affected entries — the replicas whose
+        location records went bad.
         """
         G = self.platform.num_gpus
-        bad = (sources != HOST) & ((sources < 0) | (sources >= G))
+        corrupt_mask = (sources != HOST) & ((sources < 0) | (sources >= G))
+        bad = corrupt_mask.copy()
         n_corrupt = int(bad.sum())
         n_stale = 0
+        failed: set[int] = set()
         for g in range(G):
             idx = np.flatnonzero(sources == g)
             if len(idx) == 0:
+                continue
+            if g != dst and g in exclude:
+                bad[idx] = True
                 continue
             if g != dst and not self.platform.is_connected(dst, g):
                 # A corrupt map can route over a link that does not exist;
@@ -221,18 +247,26 @@ class FactoredExtractor:
                 # reject the plan.
                 bad[idx] = True
                 n_corrupt += len(idx)
+                failed.add(g)
                 continue
             if health is not None and not health.source_usable(dst, g):
                 bad[idx] = True
+                failed.add(g)
                 continue
             stale = self._cache.store(g).offset_of[keys[idx]] < 0
             if stale.any():
                 bad[idx[stale]] = True
                 n_stale += int(stale.sum())
+                failed.add(g)
+        if corrupt_mask.any():
+            corrupt_keys = keys[corrupt_mask]
+            for g in range(G):
+                if (self._cache.store(g).offset_of[corrupt_keys] >= 0).any():
+                    failed.add(g)
         if not bad.any():
-            return sources, 0
+            return sources, 0, ()
         bad_idx = np.flatnonzero(bad)
-        replacements = self._find_replicas(dst, keys[bad_idx], health)
+        replacements = self._find_replicas(dst, keys[bad_idx], health, exclude)
         sources = sources.copy()
         sources[bad_idx] = replacements
         n = len(bad_idx)
@@ -251,7 +285,7 @@ class FactoredExtractor:
             "GPU %d: rerouted %d/%d keys (%d corrupt, %d stale) around faults",
             dst, n, len(keys), n_corrupt, n_stale,
         )
-        return sources, n
+        return sources, n, tuple(sorted(failed))
 
     def plan(
         self,
@@ -259,15 +293,24 @@ class FactoredExtractor:
         keys: np.ndarray,
         health: HealthView | None = None,
         now: float = 0.0,
+        exclude_sources: frozenset[int] | set[int] | None = None,
     ) -> ExtractionPlan:
-        """Group a batch by source location and dedicate cores (§5.3)."""
+        """Group a batch by source location and dedicate cores (§5.3).
+
+        ``exclude_sources`` names source GPUs the plan must not read from
+        even if they look healthy — the serving layer's open circuit
+        breakers.  Their keys reroute through the degraded-mode path
+        exactly like a partition would; local reads (``dst`` itself) are
+        never excluded, since the local store needs no link.
+        """
         reg = get_registry()
         health = self._resolve_health(health, now)
+        exclude = frozenset(int(s) for s in (exclude_sources or ()))
         with timer("extractor.plan.seconds", reg):
             keys = np.ascontiguousarray(keys, dtype=np.int64)
             sources = self._cache.source_map[dst][keys]
-            sources, rerouted = self._reroute_degraded(
-                dst, keys, sources, health, reg
+            sources, rerouted, failed_sources = self._reroute_degraded(
+                dst, keys, sources, health, reg, exclude
             )
             platform = self.platform
             if health is not None:
@@ -330,6 +373,7 @@ class FactoredExtractor:
             batch_size=len(keys),
             groups=tuple(groups),
             rerouted_keys=rerouted,
+            failed_sources=failed_sources,
         )
 
     def execute(self, plan: ExtractionPlan) -> tuple[np.ndarray, GpuDemand]:

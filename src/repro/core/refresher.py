@@ -137,13 +137,28 @@ class Refresher:
         source_map: np.ndarray,
     ) -> None:
         """Reverse every applied step, restore the snapshotted routing, and
-        prove the cache is bit-identical to its pre-refresh state."""
+        prove the cache is bit-identical to its pre-refresh state.
+
+        Survives a *double fault* — a failure raised while the rollback
+        itself replays the undo log: the host table is the ground truth,
+        so when the incremental replay dies we abandon it and rebuild the
+        stores wholesale from the snapshotted placement.  Either way the
+        location state is restored and integrity re-verified.
+        """
         table = self._cache.host_table
-        for gpu, evicted, inserted in reversed(undo):
-            # Inverse of apply_diff_step: drop what it inserted, re-insert
-            # what it evicted (values come back from the host table, which
-            # is the ground truth the stores mirror).
-            apply_diff_step(self._cache.store(gpu), table, inserted, evicted)
+        try:
+            for gpu, evicted, inserted in reversed(undo):
+                # Inverse of apply_diff_step: drop what it inserted,
+                # re-insert what it evicted (values come back from the host
+                # table, which is the ground truth the stores mirror).
+                apply_diff_step(self._cache.store(gpu), table, inserted, evicted)
+        except Exception as exc:
+            logger.error(
+                "rollback replay failed (%s); rebuilding stores from the "
+                "host table instead", exc,
+            )
+            get_registry().counter("refresher.rollback.double_faults").inc()
+            self._cache.replace_placement(placement)
         self._cache.restore_location_state(placement, source_map)
         self._cache.check_integrity()
         reg = get_registry()

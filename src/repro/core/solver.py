@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 from scipy import sparse
@@ -515,6 +515,7 @@ def solve_policy_with_fallback(
     solve_fn: Callable[..., SolvedPolicy] = solve_policy,
     clock: Callable[[], float] = _time.monotonic,
     sleep: Callable[[float], None] = _time.sleep,
+    retry_rng: Any | None = None,
 ) -> PolicyOutcome:
     """Solve the cache policy, degrading gracefully instead of raising.
 
@@ -532,8 +533,9 @@ def solve_policy_with_fallback(
        greedy estimate or when greedy itself fails.
 
     ``solve_fn``, ``clock`` and ``sleep`` are injectable so tests can force
-    timeouts deterministically.  Raises :class:`PolicySolveError` only when
-    every rung fails.
+    timeouts deterministically, and ``retry_rng`` (a seed or numpy
+    ``Generator``) pins the retry jitter schedule for bit-reproducible
+    runs.  Raises :class:`PolicySolveError` only when every rung fails.
     """
     from repro.core.evaluate import evaluate_placement
 
@@ -567,6 +569,7 @@ def solve_policy_with_fallback(
             retry_on=(PolicySolveError,),
             sleep=sleep,
             deadline=deadline,
+            rng=retry_rng,
         )
         remember_policy(solved)
         reg.counter("solver.fallback.source", source="milp").inc()

@@ -18,7 +18,7 @@ loop.  ``python -m repro chaos`` is the CLI front end.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -51,6 +51,10 @@ SCENARIOS: tuple[str, ...] = (
     "solver-timeout",
     "refresh-interrupt",
 )
+
+#: Default ceiling on post-fault latency relative to baseline; beyond this
+#: a scenario "never recovered" and the chaos CLI exits non-zero.
+DEFAULT_RECOVERY_TOLERANCE: float = 1.25
 
 
 @dataclass(frozen=True)
@@ -109,6 +113,24 @@ class ScenarioResult:
         if self.baseline_time <= 0:
             return 1.0
         return self.recovered_time / self.baseline_time
+
+    def recovered(self, tolerance: float = DEFAULT_RECOVERY_TOLERANCE) -> bool:
+        """Whether post-fault latency returned to within ``tolerance`` ×
+        baseline.  Scenarios with no post-fault window (``recovered_time``
+        is 0) can't be judged and count as recovered."""
+        if tolerance < 1.0:
+            raise ValueError("recovery tolerance must be >= 1.0")
+        if self.baseline_time <= 0 or self.recovered_time <= 0:
+            return True
+        return self.recovery <= tolerance
+
+    def to_dict(self, tolerance: float = DEFAULT_RECOVERY_TOLERANCE) -> dict:
+        """JSON-able summary of this scenario (for ``--json-out``)."""
+        doc = asdict(self)
+        doc["degradation"] = self.degradation
+        doc["recovery"] = self.recovery
+        doc["recovered"] = self.recovered(tolerance)
+        return doc
 
 
 def build_fault_plan(scenario: str, cfg: ChaosConfig) -> FaultPlan:
@@ -318,7 +340,33 @@ def run_matrix(
     return [run_scenario(s, cfg) for s in (scenarios or SCENARIOS)]
 
 
-def render_results(results: list[ScenarioResult]) -> str:
+def summarize_results(
+    results: list[ScenarioResult],
+    tolerance: float = DEFAULT_RECOVERY_TOLERANCE,
+) -> dict:
+    """Machine-readable matrix summary (what ``--json-out`` writes).
+
+    ``ok`` is the CLI's exit gate: every scenario passed *and* recovered —
+    a run whose degraded metrics never return within ``tolerance`` of
+    baseline fails even if values stayed exact throughout.
+    """
+    unrecovered = [r.scenario for r in results if not r.recovered(tolerance)]
+    failed = [r.scenario for r in results if not r.ok]
+    return {
+        "schema": "repro.chaos/v1",
+        "recovery_tolerance": tolerance,
+        "scenarios": [r.to_dict(tolerance) for r in results],
+        "passed": len(results) - len(failed),
+        "failed": failed,
+        "unrecovered": unrecovered,
+        "ok": not failed and not unrecovered,
+    }
+
+
+def render_results(
+    results: list[ScenarioResult],
+    tolerance: float = DEFAULT_RECOVERY_TOLERANCE,
+) -> str:
     """Fixed-width verdict table for the CLI."""
     header = (
         f"{'scenario':18s} {'ok':4s} {'batches':>7s} {'exact':>5s} "
@@ -326,12 +374,15 @@ def render_results(results: list[ScenarioResult]) -> str:
     )
     lines = [header, "-" * len(header)]
     for r in results:
+        recovered = r.recovered(tolerance)
+        verdict = "PASS" if r.ok and recovered else "FAIL"
+        note = r.notes if recovered else f"NEVER RECOVERED; {r.notes}"
         lines.append(
-            f"{r.scenario:18s} {'PASS' if r.ok else 'FAIL':4s} "
+            f"{r.scenario:18s} {verdict:4s} "
             f"{r.completed_batches:7d} {'yes' if r.values_exact else 'NO':>5s} "
             f"{r.degradation:7.2f}x {r.recovery:7.2f}x "
-            f"{r.rerouted_keys:8d}  {r.notes}"
+            f"{r.rerouted_keys:8d}  {note}"
         )
-    passed = sum(1 for r in results if r.ok)
+    passed = sum(1 for r in results if r.ok and r.recovered(tolerance))
     lines.append(f"{passed}/{len(results)} scenarios passed")
     return "\n".join(lines)

@@ -159,6 +159,18 @@ class Histogram:
                 return float(min(max(bound, self.min), self.max))
         return float(self.max)
 
+    def percentiles(self, qs: tuple[float, ...] = (50.0, 99.0, 99.9)) -> dict[str, float]:
+        """Several percentiles at once, keyed ``"p50"``/``"p99"``/``"p99.9"``.
+
+        The serving layer's latency summaries (p50/p99/p999) come from
+        here, so reports and exported artifacts share one bucket view.
+        """
+        out: dict[str, float] = {}
+        for q in qs:
+            label = f"p{q:g}"
+            out[label] = self.percentile(q)
+        return out
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-able state of this series (sparse non-empty buckets)."""
         buckets = [

@@ -1,0 +1,200 @@
+"""Per-source circuit breakers over the multi-GPU cache's read paths.
+
+When a source GPU keeps failing — corrupt location slots, a degraded link
+whose group extraction time blows past its timeout — continuing to route
+reads at it wastes deadline budget on work the degraded-mode router will
+redo anyway.  A breaker per source implements the classic three-state
+machine:
+
+* **closed** — traffic flows; consecutive failures are counted;
+* **open** — after ``failure_threshold`` consecutive failures the source
+  is excluded from extraction plans (the extractor's degraded-mode router
+  sends its keys to the cheapest surviving replica or host) for
+  ``cooldown_seconds``;
+* **half-open** — after the cooldown, up to ``half_open_probes`` batches
+  are allowed through as probes; ``success_threshold`` consecutive probe
+  successes close the breaker, any probe failure re-opens it.
+
+All state transitions are observable: ``serve.breaker.transitions`` counts
+them per (source, to-state) and ``serve.breaker.state`` gauges the current
+state (0 = closed, 1 = half-open, 2 = open).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.obs import get_registry
+from repro.utils.logging import get_logger
+
+logger = get_logger("serve.breaker")
+
+__all__ = ["BreakerBoard", "BreakerConfig", "BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(str, Enum):
+    """The three positions of a per-source circuit breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+#: Gauge encoding of the state machine (exported metric value).
+_STATE_CODE = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recovery thresholds shared by every source's breaker."""
+
+    failure_threshold: int = 3
+    cooldown_seconds: float = 2.0
+    half_open_probes: int = 2
+    success_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure threshold must be at least 1")
+        if self.cooldown_seconds < 0:
+            raise ValueError("cooldown must be non-negative")
+        if self.half_open_probes < 1:
+            raise ValueError("need at least one half-open probe")
+        if self.success_threshold < 1:
+            raise ValueError("success threshold must be at least 1")
+
+
+class CircuitBreaker:
+    """Closed → open → half-open state machine for one source."""
+
+    def __init__(self, source: int, config: BreakerConfig | None = None):
+        self.source = source
+        self.config = config or BreakerConfig()
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self._probes_issued = 0
+        self._probe_successes = 0
+        #: full transition history: (time, from-state, to-state).
+        self.transitions: list[tuple[float, BreakerState, BreakerState]] = []
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def _transition(self, to: BreakerState, now: float) -> None:
+        if to is self.state:
+            return
+        reg = get_registry()
+        reg.counter(
+            "serve.breaker.transitions", source=self.source, to=to.value
+        ).inc()
+        reg.gauge("serve.breaker.state", source=self.source).set(
+            _STATE_CODE[to]
+        )
+        self.transitions.append((now, self.state, to))
+        logger.info(
+            "breaker source=%d: %s -> %s at t=%.3f",
+            self.source, self.state.value, to.value, now,
+        )
+        self.state = to
+
+    def allow(self, now: float) -> bool:
+        """Whether a batch may read from this source at ``now``.
+
+        An open breaker whose cooldown has elapsed moves to half-open and
+        starts admitting probes; a half-open breaker admits at most
+        ``half_open_probes`` outstanding probes per window.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at < self.config.cooldown_seconds:
+                return False
+            self._transition(BreakerState.HALF_OPEN, now)
+            self._probes_issued = 0
+            self._probe_successes = 0
+        # half-open: meter the probes.
+        if self._probes_issued >= self.config.half_open_probes:
+            return False
+        self._probes_issued += 1
+        return True
+
+    def record_success(self, now: float) -> None:
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.success_threshold:
+                self._transition(BreakerState.CLOSED, now)
+        elif self.state is BreakerState.OPEN:
+            # A success while open can only come from a probe admitted just
+            # before the trip; ignore — recovery goes through half-open.
+            pass
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            # any probe failure re-opens immediately (fresh cooldown).
+            self.opened_at = now
+            self._transition(BreakerState.OPEN, now)
+            return
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.config.failure_threshold
+        ):
+            self.opened_at = now
+            self._transition(BreakerState.OPEN, now)
+
+
+class BreakerBoard:
+    """One breaker per cache source, plus the plan-level exclusion view."""
+
+    def __init__(
+        self, sources: list[int], config: BreakerConfig | None = None
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self._breakers = {
+            int(s): CircuitBreaker(int(s), self.config) for s in sources
+        }
+
+    def breaker(self, source: int) -> CircuitBreaker:
+        return self._breakers[int(source)]
+
+    def __iter__(self):
+        return iter(self._breakers.values())
+
+    def excluded_sources(self, now: float) -> frozenset[int]:
+        """Sources extraction plans must avoid at ``now``.
+
+        Calling this meters half-open probes: an excluded source stays
+        excluded until its cooldown elapses, then readmits a bounded
+        number of probe batches.
+        """
+        return frozenset(
+            s for s, b in self._breakers.items() if not b.allow(now)
+        )
+
+    def record(self, source: int, ok: bool, now: float) -> None:
+        """Feed one batch outcome for ``source`` into its breaker."""
+        breaker = self._breakers.get(int(source))
+        if breaker is None:
+            return
+        if ok:
+            breaker.record_success(now)
+        else:
+            breaker.record_failure(now)
+
+    def transition_counts(self) -> dict[str, int]:
+        """Total transitions per to-state (the soak report's summary)."""
+        out: dict[str, int] = {}
+        for b in self._breakers.values():
+            for _t, _frm, to in b.transitions:
+                out[to.value] = out.get(to.value, 0) + 1
+        return out
+
+    def states(self) -> dict[int, BreakerState]:
+        return {s: b.state for s, b in self._breakers.items()}

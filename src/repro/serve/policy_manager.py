@@ -1,0 +1,269 @@
+"""Hot policy swap: versioned cache-policy generations with guarded rollover.
+
+The background solver periodically re-solves the cache policy under fresh
+hotness (PR 2's :func:`~repro.core.solver.solve_policy_with_fallback`).
+Landing that new placement on a *serving* cache is the dangerous part: the
+swap must not corrupt routing mid-flight, and a policy that looked better
+to the solver can still regress tail latency in practice (the estimate is
+a model; production traffic is the judge).  The :class:`PolicyManager`
+makes the rollover safe:
+
+1. **drain** — the runtime finishes in-flight batches against the old
+   generation (the caller-supplied ``drain`` hook);
+2. **probe (before)** — measure serving latency under the old generation;
+3. **refresh** — apply the placement diff through
+   :meth:`~repro.core.refresher.Refresher.refresh`, which is transactional:
+   an abort or mid-step failure rolls the cache back bit-identically;
+4. **verify** — :meth:`~repro.core.cache.MultiGpuEmbeddingCache.verify_integrity`
+   must come back clean, else the swap is rolled back;
+5. **probe (after) + guardrail** — if post-swap latency regresses past
+   ``guardrail.p99_regression`` × pre-swap, the previous generation is
+   restored (again through a transactional refresh).
+
+Every accepted generation is versioned and kept in history, so operators
+can answer "which policy was serving at 14:03" from the swap log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import MultiGpuEmbeddingCache
+from repro.core.policy import Placement
+from repro.core.refresher import Refresher
+from repro.core.solver import (
+    FallbackConfig,
+    PolicyOutcome,
+    SolverConfig,
+    solve_policy_with_fallback,
+)
+from repro.obs import get_registry
+from repro.utils.logging import get_logger
+
+logger = get_logger("serve.policy_manager")
+
+__all__ = ["PolicyGeneration", "PolicyManager", "SwapGuardrail", "SwapReport"]
+
+
+@dataclass(frozen=True)
+class PolicyGeneration:
+    """One accepted cache-policy version."""
+
+    version: int
+    placement: Placement
+    #: which rung produced it: "seed", "milp", "greedy", or "cached".
+    source: str
+    est_time: float
+    activated_at: float
+
+
+@dataclass(frozen=True)
+class SwapGuardrail:
+    """Post-swap acceptance gates.
+
+    Attributes:
+        p99_regression: maximum tolerated post/pre probe-latency ratio;
+            above it the swap is rolled back.
+        min_improvement: required est-time improvement ratio (old/new) for
+            a swap to even be attempted; 1.0 accepts any non-regression.
+    """
+
+    p99_regression: float = 1.5
+    min_improvement: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.p99_regression <= 0:
+            raise ValueError("guardrail ratio must be positive")
+        if self.min_improvement < 1.0:
+            raise ValueError("min improvement must be >= 1.0")
+
+
+@dataclass
+class SwapReport:
+    """What one swap attempt did, for the swap log and the soak report."""
+
+    attempted: bool
+    swapped: bool = False
+    rolled_back: bool = False
+    reason: str = ""
+    version: int = 0
+    entries_moved: int = 0
+    pre_probe: float = 0.0
+    post_probe: float = 0.0
+    integrity_violations: int = 0
+
+
+class PolicyManager:
+    """Holds versioned policy generations and lands swaps transactionally."""
+
+    def __init__(
+        self,
+        cache: MultiGpuEmbeddingCache,
+        entry_bytes: int | None = None,
+        refresher: Refresher | None = None,
+        guardrail: SwapGuardrail | None = None,
+        solver_config: SolverConfig | None = None,
+        fallback: FallbackConfig | None = None,
+    ) -> None:
+        self._cache = cache
+        self._entry_bytes = entry_bytes or cache.entry_bytes
+        self._refresher = refresher or Refresher(cache)
+        self.guardrail = guardrail or SwapGuardrail()
+        self._solver_config = solver_config
+        self._fallback = fallback
+        self._generations: list[PolicyGeneration] = [
+            PolicyGeneration(
+                version=0,
+                placement=cache.placement,
+                source="seed",
+                est_time=0.0,
+                activated_at=0.0,
+            )
+        ]
+        self.swap_log: list[SwapReport] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> PolicyGeneration:
+        return self._generations[-1]
+
+    @property
+    def version(self) -> int:
+        return self.current.version
+
+    @property
+    def generations(self) -> tuple[PolicyGeneration, ...]:
+        return tuple(self._generations)
+
+    # ------------------------------------------------------------------
+    # Solve + swap
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        hotness: np.ndarray,
+        capacity_entries: int | list[int],
+        **kwargs,
+    ) -> PolicyOutcome:
+        """Run the solver fallback chain against the cache's platform."""
+        return solve_policy_with_fallback(
+            self._cache.platform,
+            hotness,
+            capacity_entries,
+            self._entry_bytes,
+            config=self._solver_config,
+            fallback=self._fallback,
+            **kwargs,
+        )
+
+    def _rollback(self, placement: Placement, reason: str) -> int:
+        """Refresh back to ``placement``; returns integrity violations."""
+        outcome = self._refresher.refresh(placement)
+        violations = self._cache.verify_integrity()
+        reg = get_registry()
+        reg.counter("serve.policy.rollbacks", reason=reason).inc()
+        logger.warning(
+            "policy swap rolled back (%s): %d entries moved back, "
+            "%d integrity violation(s)",
+            reason, outcome.entries_moved, len(violations),
+        )
+        return len(violations)
+
+    def swap(
+        self,
+        outcome: PolicyOutcome,
+        now: float = 0.0,
+        drain=None,
+        probe=None,
+        abort=None,
+    ) -> SwapReport:
+        """Atomically land ``outcome``'s placement on the serving cache.
+
+        Args:
+            outcome: a :class:`~repro.core.solver.PolicyOutcome` from
+                :meth:`solve` (or any placement-bearing outcome).
+            now: current (simulated) time, stamped on the new generation.
+            drain: zero-arg hook; called before the refresh so the runtime
+                can finish in-flight batches against the old generation.
+            probe: zero-arg hook returning a latency measurement (seconds);
+                called before and after the refresh for the p99 guardrail.
+            abort: forwarded to :meth:`Refresher.refresh` (fault plans can
+                interrupt the swap; the refresher rolls back on its own).
+
+        Returns:
+            A :class:`SwapReport`; ``swapped`` and ``rolled_back`` tell the
+            caller what actually happened.  Never raises for guardrail or
+            integrity failures — rollback is the error handling.
+        """
+        reg = get_registry()
+        report = SwapReport(attempted=True, version=self.version)
+        self.swap_log.append(report)
+
+        current = self.current
+        if (
+            current.est_time > 0
+            and outcome.est_time > 0
+            and current.est_time / outcome.est_time < self.guardrail.min_improvement
+        ):
+            report.reason = "not-better"
+            reg.counter("serve.policy.swaps", result="skipped").inc()
+            return report
+
+        if drain is not None:
+            drain()
+        pre_placement, _pre_map = self._cache.snapshot_location_state()
+        report.pre_probe = float(probe()) if probe is not None else 0.0
+
+        refresh = self._refresher.refresh(outcome.placement, abort=abort)
+        if refresh.interrupted:
+            # the refresher already rolled the cache back bit-identically.
+            report.rolled_back = True
+            report.reason = "refresh-interrupted"
+            reg.counter("serve.policy.swaps", result="interrupted").inc()
+            return report
+        report.entries_moved = refresh.entries_moved
+
+        violations = self._cache.verify_integrity()
+        if violations:
+            report.integrity_violations = len(violations)
+            report.rolled_back = True
+            report.reason = "integrity"
+            self._rollback(pre_placement, "integrity")
+            reg.counter("serve.policy.swaps", result="integrity-rollback").inc()
+            return report
+
+        report.post_probe = float(probe()) if probe is not None else 0.0
+        if (
+            probe is not None
+            and report.pre_probe > 0
+            and report.post_probe
+            > self.guardrail.p99_regression * report.pre_probe
+        ):
+            report.rolled_back = True
+            report.reason = "p99-guardrail"
+            self._rollback(pre_placement, "p99-guardrail")
+            reg.counter("serve.policy.swaps", result="guardrail-rollback").inc()
+            return report
+
+        generation = PolicyGeneration(
+            version=self.version + 1,
+            placement=outcome.placement,
+            source=outcome.source,
+            est_time=outcome.est_time,
+            activated_at=now,
+        )
+        self._generations.append(generation)
+        report.swapped = True
+        report.version = generation.version
+        report.reason = "swapped"
+        reg.counter("serve.policy.swaps", result="swapped").inc()
+        reg.gauge("serve.policy.version").set(generation.version)
+        logger.info(
+            "policy swap landed: v%d (%s, est %.3es, %d entries moved) at t=%.2f",
+            generation.version, generation.source, generation.est_time,
+            report.entries_moved, now,
+        )
+        return report

@@ -1,0 +1,272 @@
+"""Admission control: bounded per-GPU queues, backpressure, SLO shedding.
+
+Production embedding servers bound their queues — an unbounded queue under
+sustained overload converts a throughput problem into an unbounded-latency
+problem.  Three backpressure policies are supported when a queue is full:
+
+* ``block`` — the producer stalls: the request parks in an upstream
+  buffer and is admitted when space frees (closed-loop semantics);
+* ``reject`` — fail fast with :attr:`~repro.serve.request.RequestStatus.REJECTED`;
+* ``shed-oldest`` — drop the head of the queue (it has waited longest and
+  is most likely to miss its deadline anyway) to admit the newcomer.
+
+Independent of the full-queue policy, SLO-aware load shedding drops a
+request *at admission* when the latency estimator predicts it cannot meet
+its deadline or the configured SLO — shedding early is strictly cheaper
+than doing the work and missing anyway.  The estimator is fed from (and
+feeds) the ``serve.batch.seconds`` histograms in :mod:`repro.obs`, so its
+view and the exported metrics can never disagree.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.obs import Histogram, get_registry
+from repro.serve.request import Request, RequestStatus
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionResult",
+    "BoundedRequestQueue",
+    "LatencyEstimator",
+    "QueuePolicy",
+]
+
+
+class QueuePolicy(str, Enum):
+    """What happens to a new request when its GPU's queue is full."""
+
+    BLOCK = "block"
+    REJECT = "reject"
+    SHED_OLDEST = "shed-oldest"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of the admission controller.
+
+    Attributes:
+        capacity: maximum queued requests per GPU.
+        policy: full-queue backpressure policy.
+        slo_seconds: target end-to-end latency; ``inf`` disables SLO
+            shedding (deadline-based shedding still applies).
+        shed_on_slo: predictively shed at admission when the estimated
+            completion would bust the request's deadline or the SLO.
+        estimator_alpha: EWMA smoothing factor of the latency estimator.
+    """
+
+    capacity: int = 64
+    policy: QueuePolicy = QueuePolicy.REJECT
+    slo_seconds: float = math.inf
+    shed_on_slo: bool = True
+    estimator_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if self.slo_seconds <= 0:
+            raise ValueError("SLO must be positive")
+        if not 0 < self.estimator_alpha <= 1:
+            raise ValueError("estimator alpha must be in (0, 1]")
+
+
+class LatencyEstimator:
+    """EWMA service-time estimate backed by an obs histogram.
+
+    Every observation lands in the registry histogram
+    ``serve.batch.seconds{gpu=…}`` (the export surface) *and* updates a
+    local EWMA (the fast estimate admission control reads per request).
+    :meth:`percentile` answers tail questions straight from the shared
+    histogram buckets, so the admission view is the exported view.
+    """
+
+    def __init__(self, gpu: int, alpha: float = 0.2) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.gpu = gpu
+        self.alpha = alpha
+        self._ewma: float | None = None
+
+    def _histogram(self) -> Histogram:
+        return get_registry().histogram("serve.batch.seconds", gpu=self.gpu)
+
+    def observe(self, seconds: float) -> None:
+        """Record one measured service time."""
+        seconds = float(seconds)
+        self._histogram().observe(seconds)
+        if self._ewma is None:
+            self._ewma = seconds
+        else:
+            self._ewma += self.alpha * (seconds - self._ewma)
+
+    def estimate(self) -> float:
+        """Expected service time of the next batch (0 until first sample)."""
+        return self._ewma if self._ewma is not None else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Tail latency from the shared obs histogram buckets."""
+        return self._histogram().percentile(q)
+
+
+@dataclass
+class AdmissionResult:
+    """What admission did with one request."""
+
+    admitted: bool
+    #: set iff the request was dropped at admission (shed / rejected).
+    status: RequestStatus | None = None
+    #: requests evicted to make room (shed-oldest policy).
+    displaced: list[Request] = field(default_factory=list)
+    #: request parked upstream, to be admitted when space frees (block).
+    blocked: bool = False
+
+
+class BoundedRequestQueue:
+    """One GPU's bounded FIFO with backpressure and SLO shedding."""
+
+    def __init__(
+        self,
+        gpu: int,
+        config: AdmissionConfig | None = None,
+        estimator: LatencyEstimator | None = None,
+    ) -> None:
+        self.gpu = gpu
+        self.config = config or AdmissionConfig()
+        self.estimator = estimator or LatencyEstimator(
+            gpu, alpha=self.config.estimator_alpha
+        )
+        self._queue: deque[Request] = deque()
+        #: producer-side buffer used by the ``block`` policy only.
+        self._blocked: deque[Request] = deque()
+        self.max_depth = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def blocked_depth(self) -> int:
+        return len(self._blocked)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _predicted_wait(self) -> float:
+        """Estimated queueing + service time for a request admitted now."""
+        est = self.estimator.estimate()
+        return (self.depth + 1) * est
+
+    def _should_shed(self, request: Request, now: float) -> bool:
+        if not self.config.shed_on_slo:
+            return False
+        predicted = self._predicted_wait()
+        if predicted <= 0:
+            return False  # no samples yet — admit and learn
+        if predicted > request.remaining(now):
+            return True
+        return predicted > self.config.slo_seconds
+
+    def offer(self, request: Request, now: float) -> AdmissionResult:
+        """Admit, shed, reject, or block ``request`` at time ``now``."""
+        reg = get_registry()
+        if request.expired(now) or self._should_shed(request, now):
+            reg.counter("serve.admission", gpu=self.gpu, result="shed").inc()
+            return AdmissionResult(admitted=False, status=RequestStatus.SHED)
+        if self.depth >= self.config.capacity:
+            policy = self.config.policy
+            if policy is QueuePolicy.REJECT:
+                reg.counter(
+                    "serve.admission", gpu=self.gpu, result="rejected"
+                ).inc()
+                return AdmissionResult(
+                    admitted=False, status=RequestStatus.REJECTED
+                )
+            if policy is QueuePolicy.BLOCK:
+                self._blocked.append(request)
+                reg.counter(
+                    "serve.admission", gpu=self.gpu, result="blocked"
+                ).inc()
+                return AdmissionResult(admitted=False, blocked=True)
+            # shed-oldest: the head has waited longest; drop it for the
+            # newcomer (whose deadline budget is freshest).
+            displaced = [self._queue.popleft()]
+            self._queue.append(request)
+            reg.counter(
+                "serve.admission", gpu=self.gpu, result="shed_oldest"
+            ).inc()
+            self._note_depth(reg)
+            return AdmissionResult(
+                admitted=True, displaced=displaced
+            )
+        self._queue.append(request)
+        reg.counter("serve.admission", gpu=self.gpu, result="admitted").inc()
+        self._note_depth(reg)
+        return AdmissionResult(admitted=True)
+
+    def _note_depth(self, reg) -> None:
+        depth = self.depth
+        if depth > self.max_depth:
+            self.max_depth = depth
+        reg.gauge("serve.queue.depth", gpu=self.gpu).set(depth)
+
+    def _pump_blocked(self, now: float) -> None:
+        """Admit parked (blocked) producers into freed queue space."""
+        reg = get_registry()
+        while self._blocked and self.depth < self.config.capacity:
+            request = self._blocked.popleft()
+            if request.expired(now):
+                reg.counter(
+                    "serve.admission", gpu=self.gpu, result="expired_blocked"
+                ).inc()
+                continue
+            self._queue.append(request)
+            self._note_depth(reg)
+
+    def pop(self, now: float) -> Request | None:
+        """Dequeue the next request (unblocking parked producers)."""
+        request = self._queue.popleft() if self._queue else None
+        self._pump_blocked(now)
+        get_registry().gauge("serve.queue.depth", gpu=self.gpu).set(self.depth)
+        return request
+
+
+class AdmissionController:
+    """Per-GPU bounded queues behind one submission surface."""
+
+    def __init__(self, num_gpus: int, config: AdmissionConfig | None = None):
+        if num_gpus < 1:
+            raise ValueError("need at least one GPU")
+        self.config = config or AdmissionConfig()
+        self.queues = [
+            BoundedRequestQueue(g, self.config) for g in range(num_gpus)
+        ]
+
+    def queue(self, gpu: int) -> BoundedRequestQueue:
+        return self.queues[gpu]
+
+    def estimator(self, gpu: int) -> LatencyEstimator:
+        return self.queues[gpu].estimator
+
+    def submit(self, request: Request, now: float) -> AdmissionResult:
+        if not 0 <= request.gpu < len(self.queues):
+            raise ValueError(f"request targets unknown GPU {request.gpu}")
+        return self.queues[request.gpu].offer(request, now)
+
+    @property
+    def total_depth(self) -> int:
+        return sum(q.depth for q in self.queues)
+
+    @property
+    def max_depth(self) -> int:
+        return max(q.max_depth for q in self.queues)

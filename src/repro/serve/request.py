@@ -1,0 +1,118 @@
+"""Serving request/response types and the virtual clock.
+
+The serving runtime runs entirely in *simulated* time: the clock is a
+plain float the soak harness advances by the priced extraction times, so
+a 30-second soak finishes in well under a wall-clock second and every run
+is bit-reproducible.  A real deployment would pass ``time.monotonic``
+readings instead; nothing in the runtime cares which it gets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["Request", "RequestStatus", "Response", "SimClock"]
+
+
+class SimClock:
+    """A monotonic virtual clock the serving loop advances explicitly.
+
+    Calling the instance returns the current time, so it can stand in for
+    ``time.monotonic`` anywhere a clock callable is expected (e.g.
+    :class:`~repro.utils.retry.Deadline`).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds (never backwards)."""
+        if dt < 0:
+            raise ValueError("the clock only moves forward")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Advance to absolute time ``t`` if it is in the future."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+
+class RequestStatus(str, Enum):
+    """Terminal state of one serving request."""
+
+    #: served within its deadline — the only state that counts as goodput.
+    OK = "ok"
+    #: dropped at admission by SLO-aware load shedding or shed-oldest.
+    SHED = "shed"
+    #: refused at admission because the queue was full (reject policy).
+    REJECTED = "rejected"
+    #: served (or dropped) after its deadline had already passed.
+    EXPIRED = "expired"
+    #: an unrecoverable serving error (should never happen — degraded
+    #: mode reroutes instead — but the status exists so nothing is silent).
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One embedding-gather request against a single destination GPU.
+
+    ``deadline`` is absolute (same timebase as the clock); ``math.inf``
+    means best-effort.  Keys are the entry ids to gather.
+    """
+
+    request_id: int
+    gpu: int
+    keys: np.ndarray
+    arrival: float
+    deadline: float = math.inf
+
+    def remaining(self, now: float) -> float:
+        """Seconds of deadline budget left at ``now`` (can be negative)."""
+        return self.deadline - now
+
+    def expired(self, now: float) -> bool:
+        return now >= self.deadline
+
+
+@dataclass
+class Response:
+    """The outcome of one request, with full serving provenance."""
+
+    request: Request
+    status: RequestStatus
+    completed_at: float = 0.0
+    #: simulated seconds the extraction itself took (queueing excluded).
+    service_time: float = 0.0
+    #: a host-DRAM hedge was issued because the deadline was close.
+    hedged: bool = False
+    #: the hedge finished first and its result was taken.
+    hedge_won: bool = False
+    #: keys the degraded-mode router moved off their mapped source.
+    rerouted_keys: int = 0
+    #: gathered values (None for requests dropped before execution).
+    values: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RequestStatus.OK
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion seconds (0 for admission-time drops)."""
+        if self.completed_at <= self.request.arrival:
+            return 0.0
+        return self.completed_at - self.request.arrival

@@ -1,0 +1,297 @@
+"""The online serving runtime: request loop over the multi-GPU cache.
+
+:class:`ServingRuntime` is what sits between a request stream and the
+cache machinery built in earlier PRs.  Per request it:
+
+1. admits through the bounded per-GPU queue (backpressure + SLO shed);
+2. plans extraction with the degraded-mode
+   :class:`~repro.core.extractor.FactoredExtractor`, excluding any source
+   whose circuit breaker is open;
+3. prices the plan with the factored timing model under the current
+   health view (the simulated clock advances by this price);
+4. if the deadline is close, races a **hedged host-DRAM gather** against
+   the planned extraction and takes whichever completes first;
+5. feeds per-source outcomes (reroutes, group timeouts) back into the
+   breakers, and every latency into the obs histograms the admission
+   controller's estimator reads.
+
+Everything is simulated-clock aware: no wall time is read anywhere, so
+soak runs are deterministic and fast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.extractor import FactoredExtractor
+from repro.faults.degrade import degraded_platform
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import HealthView
+from repro.hardware.platform import HOST
+from repro.obs import get_registry
+from repro.serve.breaker import BreakerBoard, BreakerConfig
+from repro.serve.queueing import AdmissionConfig, AdmissionController
+from repro.serve.request import Request, RequestStatus, Response, SimClock
+from repro.sim.mechanisms import GpuDemand, factored_extraction
+from repro.utils.logging import get_logger
+
+logger = get_logger("serve.runtime")
+
+__all__ = ["ServeConfig", "ServingRuntime"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Runtime knobs beyond admission and breaker thresholds.
+
+    Attributes:
+        admission: queue capacity / backpressure / SLO policy.
+        breaker: circuit-breaker thresholds.
+        hedge_enabled: issue a parallel host-DRAM gather when a request's
+            remaining deadline budget is under ``hedge_headroom`` × the
+            planned extraction estimate.
+        hedge_headroom: how nervous the hedger is; 1.0 hedges only when
+            the plan already looks too slow, larger values hedge earlier.
+        source_timeout_seconds: a source group whose simulated extraction
+            time exceeds this counts as a breaker failure (degraded-link
+            timeout).  ``inf`` disables timeout-based tripping.
+        breaker_protects_host: whether HOST gets a breaker too.  Off by
+            default: host DRAM is the fallback of last resort, and a
+            runtime with nowhere to route is worse than a slow one.
+    """
+
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    hedge_enabled: bool = True
+    hedge_headroom: float = 1.25
+    source_timeout_seconds: float = math.inf
+    breaker_protects_host: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hedge_headroom <= 0:
+            raise ValueError("hedge headroom must be positive")
+        if self.source_timeout_seconds <= 0:
+            raise ValueError("source timeout must be positive")
+
+
+class ServingRuntime:
+    """Admission + breakers + hedging around a degraded-mode extractor."""
+
+    def __init__(
+        self,
+        extractor: FactoredExtractor,
+        config: ServeConfig | None = None,
+        injector: FaultInjector | None = None,
+        clock: SimClock | None = None,
+    ) -> None:
+        self._extractor = extractor
+        self._cache = extractor.cache
+        self.config = config or ServeConfig()
+        self._injector = injector
+        self.clock = clock or SimClock()
+        platform = extractor.platform
+        self.admission = AdmissionController(
+            platform.num_gpus, self.config.admission
+        )
+        sources = list(platform.gpu_ids)
+        if self.config.breaker_protects_host:
+            sources.append(HOST)
+        self.breakers = BreakerBoard(sources, self.config.breaker)
+        self.responses: list[Response] = []
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    # Request construction / submission
+    # ------------------------------------------------------------------
+    def make_request(
+        self, gpu: int, keys: np.ndarray, now: float, deadline: float = math.inf
+    ) -> Request:
+        self._next_request_id += 1
+        return Request(
+            request_id=self._next_request_id,
+            gpu=gpu,
+            keys=np.ascontiguousarray(keys, dtype=np.int64),
+            arrival=now,
+            deadline=deadline,
+        )
+
+    def submit(self, request: Request, now: float) -> Response | None:
+        """Admit one request; returns a Response iff it was dropped.
+
+        A ``None`` return means the request is queued (or parked by the
+        block policy) and will produce its Response from :meth:`poll`.
+        """
+        result = self.admission.submit(request, now)
+        if result.admitted or result.blocked:
+            responses = [
+                self._finish_dropped(victim, RequestStatus.SHED, now)
+                for victim in result.displaced
+            ]
+            for r in responses:
+                self.responses.append(r)
+            return None
+        assert result.status is not None
+        response = self._finish_dropped(request, result.status, now)
+        self.responses.append(response)
+        return response
+
+    def _finish_dropped(
+        self, request: Request, status: RequestStatus, now: float
+    ) -> Response:
+        reg = get_registry()
+        reg.counter("serve.requests", status=status.value).inc()
+        return Response(request=request, status=status, completed_at=now)
+
+    # ------------------------------------------------------------------
+    # Service
+    # ------------------------------------------------------------------
+    def _health(self, now: float) -> HealthView | None:
+        if self._injector is None:
+            return None
+        return self._injector.advance(now)
+
+    def _priced_platform(self, health: HealthView | None):
+        platform = self._extractor.platform
+        if health is not None:
+            platform = degraded_platform(platform, health)
+        return platform
+
+    def serve_request(self, request: Request, now: float) -> Response:
+        """Execute one admitted request at (simulated) time ``now``."""
+        reg = get_registry()
+        if request.expired(now):
+            # Dead on arrival at the worker: don't waste extraction on it.
+            response = self._finish_dropped(request, RequestStatus.EXPIRED, now)
+            self.responses.append(response)
+            return response
+
+        health = self._health(now)
+        excluded = self.breakers.excluded_sources(now)
+        plan = self._extractor.plan(
+            request.gpu,
+            request.keys,
+            health=health,
+            now=now,
+            exclude_sources=excluded,
+        )
+        values, demand = self._extractor.execute(plan)
+        platform = self._priced_platform(health)
+        report = factored_extraction(platform, demand)
+        service_time = report.time
+
+        hedged = False
+        hedge_won = False
+        if (
+            self.config.hedge_enabled
+            and math.isfinite(request.deadline)
+            and request.remaining(now)
+            < self.config.hedge_headroom * service_time
+        ):
+            hedged = True
+            host_demand = GpuDemand(
+                dst=request.gpu,
+                volumes={
+                    HOST: float(len(request.keys) * self._cache.entry_bytes)
+                },
+            )
+            host_time = factored_extraction(platform, host_demand).time
+            reg.counter("serve.hedges", gpu=request.gpu).inc()
+            if host_time < service_time:
+                # the host gather wins the race: same (exact) values, the
+                # host path's price.
+                hedge_won = True
+                service_time = host_time
+                values = self._cache.host_gather(request.keys)
+                reg.counter("serve.hedge_wins", gpu=request.gpu).inc()
+
+        completed_at = now + service_time
+        status = (
+            RequestStatus.OK
+            if completed_at <= request.deadline
+            else RequestStatus.EXPIRED
+        )
+
+        self._feed_breakers(plan, report.time_by_source, now)
+        estimator = self.admission.estimator(request.gpu)
+        estimator.observe(service_time)
+        reg.counter("serve.requests", status=status.value).inc()
+        reg.histogram("serve.latency.seconds").observe(
+            completed_at - request.arrival
+        )
+        response = Response(
+            request=request,
+            status=status,
+            completed_at=completed_at,
+            service_time=service_time,
+            hedged=hedged,
+            hedge_won=hedge_won,
+            rerouted_keys=plan.rerouted_keys,
+            values=values,
+        )
+        self.responses.append(response)
+        return response
+
+    def _feed_breakers(
+        self, plan, time_by_source: dict[int, float], now: float
+    ) -> None:
+        """Turn one plan's outcome into per-source breaker signals."""
+        failed = set(plan.failed_sources)
+        timeout = self.config.source_timeout_seconds
+        for src, t in time_by_source.items():
+            if src == plan.dst:
+                continue
+            if t > timeout:
+                failed.add(src)
+                get_registry().counter(
+                    "serve.source_timeouts", source=src
+                ).inc()
+        for src in failed:
+            self.breakers.record(src, ok=False, now=now)
+        for group in plan.groups:
+            src = group.source
+            if src == plan.dst or src in failed:
+                continue
+            self.breakers.record(src, ok=True, now=now)
+
+    # ------------------------------------------------------------------
+    # Loop helpers (the soak harness and the policy manager use these)
+    # ------------------------------------------------------------------
+    def poll(self, gpu: int, now: float) -> Response | None:
+        """Serve the next queued request on ``gpu``, if any."""
+        request = self.admission.queue(gpu).pop(now)
+        if request is None:
+            return None
+        return self.serve_request(request, now)
+
+    def drain(self, now: float | None = None) -> list[Response]:
+        """Serve everything queued (sequentially, advancing the clock).
+
+        Used before a hot policy swap: in-flight and queued work completes
+        against the old generation before the refresh touches routing.
+        """
+        t = self.clock.now if now is None else now
+        self.clock.advance_to(t)
+        out: list[Response] = []
+        for gpu in range(len(self.admission.queues)):
+            while True:
+                response = self.poll(gpu, self.clock.now)
+                if response is None:
+                    break
+                out.append(response)
+                self.clock.advance(response.service_time)
+        return out
+
+    def probe(self, keys_per_gpu: list[np.ndarray], now: float) -> float:
+        """Measure current serving latency (max over GPUs) for the swap
+        guardrail, without touching queues, breakers, or metrics state."""
+        health = self._health(now)
+        platform = self._priced_platform(health)
+        worst = 0.0
+        for gpu, keys in enumerate(keys_per_gpu):
+            plan = self._extractor.plan(gpu, keys, health=health, now=now)
+            demand = plan.demand(self._cache.entry_bytes)
+            worst = max(worst, factored_extraction(platform, demand).time)
+        return worst

@@ -1,0 +1,486 @@
+"""Soak harness: sustained traffic + chaos through the serving runtime.
+
+``python -m repro soak`` drives open-loop Poisson (or closed-loop) traffic
+through :class:`~repro.serve.runtime.ServingRuntime` on a simulated clock,
+optionally under a chaos :class:`~repro.faults.spec.FaultPlan`, with hot
+policy swaps landed mid-run.  It reports goodput, shed rate, breaker
+state transitions, and p50/p99/p999 latency.
+
+The harness is *scale-free*: it measures the healthy baseline service
+time ``s0`` of one batch first, then derives the arrival rate
+(``load / s0``), deadlines, SLO, and breaker timeouts as multiples of
+``s0``.  That keeps every scenario meaningful whether a batch costs
+microseconds (tiny CI tables) or milliseconds (paper-sized ones), and
+keeps runs bit-reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.cache import MultiGpuEmbeddingCache
+from repro.core.extractor import FactoredExtractor
+from repro.core.policy import hot_replicate_warm_partition_policy
+from repro.core.refresher import RefreshConfig, Refresher
+from repro.core.solver import FallbackConfig, SolverConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultKind, FaultPlan, FaultSpec
+from repro.obs import get_registry
+from repro.serve.breaker import BreakerConfig
+from repro.serve.policy_manager import PolicyManager, SwapGuardrail
+from repro.serve.queueing import AdmissionConfig, QueuePolicy
+from repro.serve.request import RequestStatus
+from repro.serve.runtime import ServeConfig, ServingRuntime
+from repro.sim.mechanisms import factored_extraction
+from repro.utils.logging import get_logger
+from repro.utils.retry import RetryPolicy
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.stats import zipf_pmf
+
+logger = get_logger("serve.soak")
+
+__all__ = [
+    "SOAK_SCENARIOS",
+    "SoakConfig",
+    "SoakReport",
+    "build_soak_plan",
+    "render_soak_report",
+    "run_soak",
+]
+
+#: Scenario name → (platform, one-line description).  Fault schedules are
+#: built by :func:`build_soak_plan` once the run's duration is known.
+SOAK_SCENARIOS: dict[str, tuple[str, str]] = {
+    "steady": ("server-a", "no faults; pure overload/backpressure behaviour"),
+    "dgx_a100_partial_failure": (
+        "server-c",
+        "8xA100 box loses GPU 5, degrades a link, and corrupts slots",
+    ),
+    "corrupt-slot-storm": (
+        "server-a",
+        "repeated location-table corruption bursts on two GPUs",
+    ),
+    "host-stall": ("server-a", "PCIe loses 90% of its bandwidth mid-run"),
+}
+
+
+def build_soak_plan(
+    scenario: str, duration: float, seed: int = 0
+) -> FaultPlan | None:
+    """The fault schedule a soak scenario injects, scaled to ``duration``."""
+    if scenario not in SOAK_SCENARIOS:
+        raise ValueError(
+            f"unknown soak scenario {scenario!r}; try one of "
+            f"{sorted(SOAK_SCENARIOS)}"
+        )
+    d = duration
+    if scenario == "steady":
+        return None
+    if scenario == "dgx_a100_partial_failure":
+        faults = (
+            FaultSpec(FaultKind.GPU_FAILURE, onset=0.30 * d, duration=0.25 * d, gpu=5),
+            FaultSpec(
+                FaultKind.LINK_DEGRADATION,
+                onset=0.35 * d,
+                duration=0.30 * d,
+                severity=0.7,
+                link=(0, 1),
+            ),
+            FaultSpec(
+                FaultKind.CORRUPT_SLOT,
+                onset=0.40 * d,
+                duration=0.10 * d,
+                severity=0.05,
+                gpu=1,
+                seed=seed,
+            ),
+        )
+    elif scenario == "corrupt-slot-storm":
+        faults = (
+            FaultSpec(
+                FaultKind.CORRUPT_SLOT, onset=0.25 * d, duration=0.1 * d,
+                severity=0.08, gpu=1, seed=seed,
+            ),
+            FaultSpec(
+                FaultKind.CORRUPT_SLOT, onset=0.55 * d, duration=0.1 * d,
+                severity=0.08, gpu=2, seed=seed + 1,
+            ),
+        )
+    else:  # host-stall
+        faults = (
+            FaultSpec(
+                FaultKind.HOST_STALL, onset=0.35 * d, duration=0.3 * d,
+                severity=0.9,
+            ),
+        )
+    return FaultPlan(faults=faults, seed=seed, name=scenario)
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Workload shape and derived-knob factors (everything × ``s0``)."""
+
+    scenario: str = "steady"
+    #: requests per GPU over the whole run (sets the run's length).
+    requests_per_gpu: int = 300
+    #: offered load per GPU as a fraction of its service capacity;
+    #: > 1.0 is sustained overload.
+    load: float = 0.8
+    closed_loop: bool = False
+    #: outstanding clients per GPU in closed-loop mode.
+    clients: int = 4
+    num_entries: int = 20_000
+    alpha: float = 1.1
+    cache_ratio: float = 0.12
+    entry_bytes: int = 128
+    batch_keys: int = 1024
+    #: request deadline, in units of the healthy baseline service time.
+    deadline_factor: float = 10.0
+    #: admission SLO, in baseline units.
+    slo_factor: float = 8.0
+    #: per-source breaker timeout, in baseline units.
+    timeout_factor: float = 5.0
+    queue_capacity: int = 32
+    queue_policy: QueuePolicy = QueuePolicy.REJECT
+    #: fractions of the run at which a hot policy swap is attempted.
+    swap_at: tuple[float, ...] = (0.6,)
+    seed: int = 0
+
+    @classmethod
+    def quick(cls, seed: int = 0, **overrides) -> "SoakConfig":
+        """CI-sized soak (sub-second wall time per scenario)."""
+        defaults = dict(
+            requests_per_gpu=120,
+            num_entries=3_000,
+            batch_keys=256,
+            entry_bytes=64,
+            seed=seed,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def __post_init__(self) -> None:
+        if self.requests_per_gpu < 1:
+            raise ValueError("need at least one request per GPU")
+        if self.load <= 0:
+            raise ValueError("offered load must be positive")
+        if self.clients < 1:
+            raise ValueError("closed loop needs at least one client")
+        if not all(0 < f < 1 for f in self.swap_at):
+            raise ValueError("swap times are fractions of the run in (0, 1)")
+
+
+@dataclass
+class SoakReport:
+    """Everything a soak run measured, JSON-able for CI gating."""
+
+    scenario: str
+    requests: int = 0
+    served_ok: int = 0
+    shed: int = 0
+    rejected: int = 0
+    expired: int = 0
+    failed: int = 0
+    goodput_rps: float = 0.0
+    shed_rate: float = 0.0
+    hedges: int = 0
+    hedge_wins: int = 0
+    rerouted_keys: int = 0
+    p50_latency: float = 0.0
+    p99_latency: float = 0.0
+    p999_latency: float = 0.0
+    max_queue_depth: int = 0
+    queue_capacity: int = 0
+    breaker_transitions: dict = field(default_factory=dict)
+    swaps_attempted: int = 0
+    swaps_landed: int = 0
+    rollbacks: int = 0
+    integrity_failures: int = 0
+    duration: float = 0.0
+    arrival_rate: float = 0.0
+    baseline_service: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: progress was made, nothing corrupted, queues bounded."""
+        return (
+            self.served_ok > 0
+            and self.integrity_failures == 0
+            and self.max_queue_depth <= self.queue_capacity
+        )
+
+    def to_dict(self) -> dict:
+        doc = asdict(self)
+        doc["ok"] = self.ok
+        return doc
+
+
+def _build_stack(cfg: SoakConfig, platform_name: str):
+    """Platform + Zipf workload + filled cache (chaos-matrix style)."""
+    from repro.bench.contexts import platform_by_name
+
+    platform = platform_by_name(platform_name)
+    rng = make_rng(cfg.seed)
+    dim = max(1, cfg.entry_bytes // 4)
+    table = rng.standard_normal((cfg.num_entries, dim)).astype(np.float32)
+    pmf = zipf_pmf(cfg.num_entries, cfg.alpha)
+    hotness = pmf * cfg.batch_keys * platform.num_gpus
+    capacity = max(1, int(cfg.cache_ratio * cfg.num_entries))
+    placement = hot_replicate_warm_partition_policy(
+        hotness, capacity, platform.num_gpus, 0.5
+    )
+    cache = MultiGpuEmbeddingCache(platform, table, placement)
+    return platform, table, pmf, hotness, capacity, cache
+
+
+def _baseline_service(
+    extractor: FactoredExtractor, pmf: np.ndarray, cfg: SoakConfig, rng
+) -> float:
+    """Healthy single-batch service time ``s0`` (the harness's time unit)."""
+    keys = rng.choice(len(pmf), size=cfg.batch_keys, p=pmf)
+    plan = extractor.plan(0, keys)
+    demand = plan.demand(extractor.cache.entry_bytes)
+    return factored_extraction(extractor.platform, demand).time
+
+
+def _drifted_hotness(hotness: np.ndarray, rng) -> np.ndarray:
+    """Perturb hotness enough that a re-solve actually moves entries."""
+    shuffled = hotness.copy()
+    n = len(shuffled)
+    # swap the second-hottest decile with a cold slice: realistic drift
+    # (items heat up and cool down) that forces a non-empty placement diff.
+    hot = slice(n // 10, 2 * n // 10)
+    cold = slice(7 * n // 10, 8 * n // 10)
+    shuffled[hot], shuffled[cold] = (
+        shuffled[cold].copy(),
+        shuffled[hot].copy(),
+    )
+    noise = rng.uniform(0.9, 1.1, size=n)
+    return 0.5 * hotness + 0.5 * shuffled * noise
+
+
+def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
+    """Run one soak scenario end to end; never raises for serving faults."""
+    cfg = cfg or SoakConfig()
+    platform_name, _desc = SOAK_SCENARIOS[cfg.scenario]
+    platform, _table, pmf, hotness, capacity, cache = _build_stack(
+        cfg, platform_name
+    )
+    arrival_rng, key_rng, probe_rng, drift_rng = spawn_rngs(cfg.seed + 17, 4)
+
+    warm_extractor = FactoredExtractor(cache)
+    s0 = _baseline_service(warm_extractor, pmf, cfg, make_rng(cfg.seed + 3))
+    rate = cfg.load / s0
+    duration = cfg.requests_per_gpu / rate
+
+    plan = build_soak_plan(cfg.scenario, duration, cfg.seed)
+    injector = FaultInjector(plan, cache=cache) if plan is not None else None
+    extractor = FactoredExtractor(cache, injector=injector)
+    serve_cfg = ServeConfig(
+        admission=AdmissionConfig(
+            capacity=cfg.queue_capacity,
+            policy=cfg.queue_policy,
+            slo_seconds=cfg.slo_factor * s0,
+        ),
+        breaker=BreakerConfig(
+            failure_threshold=3,
+            cooldown_seconds=25.0 * s0,
+            half_open_probes=2,
+            success_threshold=2,
+        ),
+        hedge_enabled=True,
+        source_timeout_seconds=cfg.timeout_factor * s0,
+    )
+    runtime = ServingRuntime(extractor, config=serve_cfg, injector=injector)
+    manager = PolicyManager(
+        cache,
+        refresher=Refresher(cache, RefreshConfig(update_batch_entries=1024)),
+        guardrail=SwapGuardrail(p99_regression=2.0),
+        solver_config=SolverConfig(time_limit=10.0, coarse_block_frac=0.02),
+        fallback=FallbackConfig(
+            deadline_seconds=10.0,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, seed=cfg.seed),
+        ),
+    )
+
+    G = platform.num_gpus
+    deadline = cfg.deadline_factor * s0
+    busy = [0.0] * G
+    swap_times = sorted(f * duration for f in cfg.swap_at)
+    integrity_failures = 0
+
+    def make_keys() -> np.ndarray:
+        return key_rng.choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
+
+    probe_keys = [
+        probe_rng.choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
+        for _ in range(G)
+    ]
+
+    def catch_up(gpu: int, until: float) -> None:
+        """Serve gpu's queue while it can start before ``until``."""
+        while busy[gpu] <= until:
+            start = busy[gpu]
+            response = runtime.poll(gpu, start)
+            if response is None:
+                break
+            busy[gpu] = max(start, response.completed_at)
+
+    def drain_all(at: float) -> None:
+        for g in range(G):
+            catch_up(g, math.inf)
+            busy[g] = max(busy[g], at)
+
+    def attempt_swap(at: float) -> None:
+        nonlocal integrity_failures
+        drifted = _drifted_hotness(hotness, drift_rng)
+        outcome = manager.solve(drifted, capacity)
+        report = manager.swap(
+            outcome,
+            now=at,
+            drain=lambda: drain_all(at),
+            probe=lambda: runtime.probe(probe_keys, at),
+        )
+        integrity_failures += report.integrity_violations
+        logger.info(
+            "soak swap at t=%.3f: %s (v%d)", at, report.reason, report.version
+        )
+
+    # ------------------------------------------------------------------
+    # Traffic loop (one heap of arrival events, open or closed loop)
+    # ------------------------------------------------------------------
+    events: list[tuple[float, int, int]] = []  # (time, seq, gpu)
+    seq = 0
+    client_of: dict[int, tuple[int, int]] = {}  # request_id -> (gpu, client)
+    client_ready: dict[tuple[int, int], float] = {}
+    if cfg.closed_loop:
+        for g in range(G):
+            for c in range(cfg.clients):
+                heapq.heappush(events, (0.0, seq, g))
+                seq += 1
+    else:
+        for g in range(G):
+            t = 0.0
+            for _ in range(cfg.requests_per_gpu):
+                t += float(arrival_rng.exponential(1.0 / rate))
+                heapq.heappush(events, (t, seq, g))
+                seq += 1
+
+    served_via_poll = 0
+    while events:
+        t, _s, g = heapq.heappop(events)
+        if cfg.closed_loop and t >= duration:
+            continue
+        while swap_times and swap_times[0] <= t:
+            attempt_swap(swap_times.pop(0))
+        for gpu in range(G):
+            catch_up(gpu, t)
+        request = runtime.make_request(g, make_keys(), t, deadline=t + deadline)
+        dropped = runtime.submit(request, t)
+        if cfg.closed_loop:
+            if dropped is not None:
+                # the client backs off one baseline unit and resubmits.
+                heapq.heappush(events, (t + s0, seq, g))
+                seq += 1
+                continue
+            start = max(busy[g], t)
+            response = runtime.poll(g, start)
+            if response is not None:
+                served_via_poll += 1
+                busy[g] = max(start, response.completed_at)
+                heapq.heappush(events, (response.completed_at, seq, g))
+                seq += 1
+    for t_swap in swap_times:
+        attempt_swap(t_swap)
+    drain_all(duration)
+
+    # ------------------------------------------------------------------
+    # Report
+    # ------------------------------------------------------------------
+    reg = get_registry()
+    responses = runtime.responses
+    by_status = {status: 0 for status in RequestStatus}
+    for r in responses:
+        by_status[r.status] += 1
+    served = [r for r in responses if r.status is RequestStatus.OK]
+    latencies = np.array([r.latency for r in served]) if served else np.array([0.0])
+    sim_end = max((r.completed_at for r in responses), default=duration)
+    sim_end = max(sim_end, duration)
+    violations = cache.verify_integrity()
+    integrity_failures += len(violations)
+
+    report = SoakReport(
+        scenario=cfg.scenario,
+        requests=len(responses),
+        served_ok=by_status[RequestStatus.OK],
+        shed=by_status[RequestStatus.SHED],
+        rejected=by_status[RequestStatus.REJECTED],
+        expired=by_status[RequestStatus.EXPIRED],
+        failed=by_status[RequestStatus.FAILED],
+        goodput_rps=by_status[RequestStatus.OK] / sim_end if sim_end > 0 else 0.0,
+        shed_rate=(
+            (by_status[RequestStatus.SHED] + by_status[RequestStatus.REJECTED])
+            / len(responses)
+            if responses
+            else 0.0
+        ),
+        hedges=sum(1 for r in responses if r.hedged),
+        hedge_wins=sum(1 for r in responses if r.hedge_won),
+        rerouted_keys=sum(r.rerouted_keys for r in responses),
+        p50_latency=float(np.percentile(latencies, 50)),
+        p99_latency=float(np.percentile(latencies, 99)),
+        p999_latency=float(np.percentile(latencies, 99.9)),
+        max_queue_depth=runtime.admission.max_depth,
+        queue_capacity=cfg.queue_capacity,
+        breaker_transitions=runtime.breakers.transition_counts(),
+        swaps_attempted=len(manager.swap_log),
+        swaps_landed=sum(1 for s in manager.swap_log if s.swapped),
+        rollbacks=sum(1 for s in manager.swap_log if s.rolled_back),
+        integrity_failures=integrity_failures,
+        duration=sim_end,
+        arrival_rate=rate,
+        baseline_service=s0,
+    )
+    if reg.enabled:
+        reg.gauge("soak.goodput_rps").set(report.goodput_rps)
+        reg.gauge("soak.shed_rate").set(report.shed_rate)
+        reg.gauge("soak.max_queue_depth").set(report.max_queue_depth)
+        reg.counter("soak.runs", scenario=cfg.scenario).inc()
+    logger.info(
+        "soak %s: %d requests, %.1f ok/s goodput, shed %.1f%%, p99 %.3es",
+        cfg.scenario, report.requests, report.goodput_rps,
+        100 * report.shed_rate, report.p99_latency,
+    )
+    return report
+
+
+def render_soak_report(report: SoakReport) -> str:
+    """Human-readable soak summary for the CLI."""
+    s0 = report.baseline_service or 1.0
+    lines = [
+        f"soak scenario: {report.scenario} "
+        f"({'PASS' if report.ok else 'FAIL'})",
+        f"  requests      {report.requests:8d}   "
+        f"ok {report.served_ok}  shed {report.shed}  "
+        f"rejected {report.rejected}  expired {report.expired}",
+        f"  goodput       {report.goodput_rps:10.1f} req/s  "
+        f"(offered {report.arrival_rate:.1f}/s/GPU, "
+        f"shed rate {report.shed_rate:.1%})",
+        f"  latency       p50 {report.p50_latency / s0:6.2f}x  "
+        f"p99 {report.p99_latency / s0:6.2f}x  "
+        f"p99.9 {report.p999_latency / s0:6.2f}x  "
+        f"(x baseline {s0:.3e}s)",
+        f"  queues        max depth {report.max_queue_depth}/"
+        f"{report.queue_capacity}",
+        f"  hedging       {report.hedges} issued, {report.hedge_wins} won",
+        f"  rerouting     {report.rerouted_keys} keys moved off faulty sources",
+        f"  breakers      {report.breaker_transitions or 'no transitions'}",
+        f"  policy swaps  {report.swaps_landed}/{report.swaps_attempted} "
+        f"landed, {report.rollbacks} rolled back",
+        f"  integrity     {report.integrity_failures} failure(s)",
+    ]
+    return "\n".join(lines)

@@ -38,6 +38,24 @@ class EventSimResult:
     events: int
 
 
+@dataclass(frozen=True)
+class HedgedSimResult:
+    """Outcome of racing a primary extraction against a host-DRAM hedge."""
+
+    #: when the request completes: min(primary, hedge) in batch-relative
+    #: seconds.
+    total_time: float
+    primary_time: float
+    #: absolute completion time of the hedge (issue delay included).
+    hedge_time: float
+    #: ``"primary"`` or ``"hedge"`` — whichever finished first.
+    winner: str
+
+    @property
+    def hedge_won(self) -> bool:
+        return self.winner == "hedge"
+
+
 def _apply_faults(
     platform: Platform,
     demand: GpuDemand,
@@ -278,3 +296,53 @@ def simulate_factored_event_driven(
             else:
                 core[1] = None
     return EventSimResult(total_time=clock, chunks_processed=processed, events=events)
+
+
+def simulate_hedged_extraction(
+    platform: Platform,
+    demand: GpuDemand,
+    hedge_issue_at: float = 0.0,
+    chunk_bytes: float = 64 * 1024,
+    faults: FaultPlan | None = None,
+    now: float = 0.0,
+) -> HedgedSimResult:
+    """Price a deadline hedge: primary plan vs a host-DRAM gather, discretely.
+
+    The serving runtime's hedged host-fallback issues a host-only gather
+    of the whole batch ``hedge_issue_at`` seconds after the primary plan
+    launches, and the request takes whichever completes first.  Both arms
+    are priced with the factored event-driven simulator under the same
+    fault plan, so a degraded link that slows the primary is exactly what
+    makes the hedge win.
+
+    The hedge's host gather contends for PCIe like any host group would;
+    modelling it as an independent event-driven run (rather than adding
+    its volume to the primary's host group) matches the runtime's
+    semantics: the hedge is a *separate* racing request whose result is
+    taken instead of, not merged with, the primary's.
+    """
+    if hedge_issue_at < 0:
+        raise ValueError("hedge issue time must be non-negative")
+    primary = simulate_factored_event_driven(
+        platform, demand, chunk_bytes=chunk_bytes, faults=faults, now=now
+    )
+    host_demand = GpuDemand(
+        dst=demand.dst, volumes={HOST: demand.total_bytes}
+    )
+    hedge = simulate_factored_event_driven(
+        platform, host_demand, chunk_bytes=chunk_bytes, faults=faults, now=now
+    )
+    hedge_done = hedge_issue_at + hedge.total_time
+    if hedge_done < primary.total_time:
+        return HedgedSimResult(
+            total_time=hedge_done,
+            primary_time=primary.total_time,
+            hedge_time=hedge_done,
+            winner="hedge",
+        )
+    return HedgedSimResult(
+        total_time=primary.total_time,
+        primary_time=primary.total_time,
+        hedge_time=hedge_done,
+        winner="primary",
+    )

@@ -27,6 +27,8 @@ class RetryPolicy:
         jitter: fractional (seeded) jitter applied to each delay, in
             ``[0, 1]``; ``0.2`` means ±20%.
         seed: RNG seed for the jitter, so schedules are reproducible.
+            :meth:`delays` also accepts an explicit ``rng`` when a caller
+            wants to share one generator across several schedules.
     """
 
     max_attempts: int = 3
@@ -46,9 +48,14 @@ class RetryPolicy:
         if not 0 <= self.jitter <= 1:
             raise ValueError("jitter must be in [0, 1]")
 
-    def delays(self) -> Iterator[float]:
-        """Delays slept between attempts (``max_attempts - 1`` of them)."""
-        rng = make_rng(self.seed)
+    def delays(self, rng: Any | None = None) -> Iterator[float]:
+        """Delays slept between attempts (``max_attempts - 1`` of them).
+
+        ``rng`` may be a ``numpy.random.Generator``, an integer seed, or
+        ``None`` (use the policy's own :attr:`seed`).  Passing the same
+        rng/seed always reproduces the same jittered schedule.
+        """
+        rng = make_rng(self.seed if rng is None else rng)
         delay = self.base_delay
         for _ in range(self.max_attempts - 1):
             jittered = delay
@@ -97,6 +104,7 @@ def retry_call(
     sleep: Callable[[float], None] = _time.sleep,
     on_retry: Callable[[int, BaseException], None] | None = None,
     deadline: Deadline | None = None,
+    rng: Any | None = None,
 ) -> Any:
     """Call ``fn`` until it succeeds, backing off between failures.
 
@@ -110,13 +118,15 @@ def retry_call(
             failed attempt that will be retried.
         deadline: optional budget; once expired, no further attempts are
             made and the last failure is re-raised.
+        rng: explicit jitter rng or seed handed to
+            :meth:`RetryPolicy.delays` (default: the policy's own seed).
 
     Raises:
         RetriesExhausted: when every attempt failed (chained to the last
             failure), or the deadline expired between attempts.
     """
     policy = policy or RetryPolicy()
-    delays = policy.delays()
+    delays = policy.delays(rng)
     last: BaseException | None = None
     for attempt in range(1, policy.max_attempts + 1):
         if deadline is not None and deadline.expired and last is not None:

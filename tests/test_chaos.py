@@ -93,3 +93,92 @@ class TestChaosCli:
         names = {m["name"] for m in doc["metrics"]}
         assert "chaos.scenarios" in names
         assert "faults.injected" in names
+
+
+class TestRecoveryGating:
+    def test_recovered_within_tolerance(self):
+        from repro.faults.chaos import ScenarioResult
+
+        r = ScenarioResult(
+            scenario="x", ok=True,
+            baseline_time=1.0, degraded_time=5.0, recovered_time=1.1,
+        )
+        assert r.recovered(1.25)
+        assert not r.recovered(1.05)
+        with pytest.raises(ValueError):
+            r.recovered(0.5)
+
+    def test_unjudgeable_recovery_counts_as_recovered(self):
+        from repro.faults.chaos import ScenarioResult
+
+        # no post-fault window (e.g. solver-timeout): can't be judged
+        assert ScenarioResult(scenario="x", ok=True).recovered(1.0)
+
+    def test_summarize_results_flags_unrecovered(self):
+        from repro.faults.chaos import ScenarioResult, summarize_results
+
+        good = ScenarioResult(
+            scenario="good", ok=True,
+            baseline_time=1.0, degraded_time=3.0, recovered_time=1.0,
+        )
+        stuck = ScenarioResult(
+            scenario="stuck", ok=True,
+            baseline_time=1.0, degraded_time=3.0, recovered_time=3.0,
+        )
+        summary = summarize_results([good, stuck], tolerance=1.25)
+        assert summary["schema"] == "repro.chaos/v1"
+        assert summary["unrecovered"] == ["stuck"]
+        assert summary["failed"] == []
+        assert not summary["ok"]
+        by_name = {s["scenario"]: s for s in summary["scenarios"]}
+        assert by_name["good"]["recovered"] is True
+        assert by_name["stuck"]["recovered"] is False
+        assert by_name["stuck"]["recovery"] == pytest.approx(3.0)
+
+    def test_render_marks_never_recovered(self):
+        from repro.faults.chaos import ScenarioResult, render_results
+
+        stuck = ScenarioResult(
+            scenario="stuck", ok=True,
+            baseline_time=1.0, degraded_time=3.0, recovered_time=3.0,
+        )
+        text = render_results([stuck], tolerance=1.25)
+        assert "NEVER RECOVERED" in text
+        assert "FAIL" in text
+        assert "0/1 scenarios passed" in text
+
+    def test_cli_exits_nonzero_when_recovery_fails(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "summary.json"
+        # an impossible tolerance: even healthy jitter counts as stuck,
+        # so the run must exit non-zero and say which scenarios are stuck.
+        code = main(
+            ["chaos", "--scenario", "gpu-failure", "--quick",
+             "--recovery-tolerance", "1.0",
+             "--json-out", str(path)]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "never recovered" in captured.err
+        doc = json.loads(path.read_text())
+        assert doc["unrecovered"] == ["gpu-failure"]
+        assert doc["ok"] is False
+
+    def test_cli_json_out_on_passing_run(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "summary.json"
+        code = main(
+            ["chaos", "--scenario", "gpu-failure", "--quick",
+             "--json-out", str(path)]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["ok"] is True
+        assert doc["passed"] == 1
+        assert doc["scenarios"][0]["scenario"] == "gpu-failure"

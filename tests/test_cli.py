@@ -111,3 +111,45 @@ class TestMetrics:
     def test_metrics_command_missing_file(self, capsys, tmp_path):
         assert main(["metrics", str(tmp_path / "nope.json")]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+@pytest.mark.serve
+class TestSoakCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.scenario == "dgx_a100_partial_failure"
+        assert args.load == 0.8
+        assert not args.closed_loop
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["soak", "--scenario", "nope"])
+
+    def test_quick_soak_passes_and_writes_artifacts(self, tmp_path, capsys):
+        import json
+
+        summary = tmp_path / "soak.json"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["soak", "--quick", "--requests", "60", "--seed", "0",
+             "--json-out", str(summary), "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "policy swaps" in out
+        doc = json.loads(summary.read_text())
+        assert doc["ok"] is True
+        assert doc["integrity_failures"] == 0
+        assert doc["served_ok"] > 0
+        from repro.obs import load_metrics
+
+        names = {m["name"] for m in load_metrics(metrics)["metrics"]}
+        assert "serve.latency.seconds" in names
+        assert "soak.goodput_rps" in names
+
+    def test_queue_policy_flag_round_trips(self, capsys):
+        code = main(
+            ["soak", "--quick", "--requests", "40", "--scenario", "steady",
+             "--queue-policy", "shed-oldest"]
+        )
+        assert code == 0

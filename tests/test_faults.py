@@ -280,3 +280,48 @@ class TestDegradedExtractionAcceptance:
             for got, want in zip(values, keys):
                 assert np.array_equal(got, table[want])
             assert reg.value("faults.corrupt_reads") > 0
+
+
+class TestDegradedPlatformPassthrough:
+    """Every public attribute of the wrapped platform stays reachable."""
+
+    #: behaviour DegradedPlatform intentionally overrides (fault-scaled).
+    OVERRIDDEN = {
+        "bandwidth",
+        "peak_pair_bandwidth",
+        "tolerance",
+        "cost_per_byte",
+        "is_connected",
+        "sources_for",
+    }
+
+    @pytest.mark.parametrize("factory", [server_a, server_b])
+    def test_every_public_attribute_resolves(self, factory):
+        base = factory()
+        degraded = DegradedPlatform(base, HealthView(down_gpus=frozenset({1})))
+        public = [n for n in dir(base) if not n.startswith("_")]
+        assert public, "platform should expose a public surface"
+        for name in public:
+            got = getattr(degraded, name)  # must never raise
+            if name in self.OVERRIDDEN:
+                continue
+            want = getattr(base, name)
+            if callable(want):
+                # delegated bound methods are the base's own
+                assert got == want, name
+            else:
+                assert got is want or got == want, name
+
+    def test_wrapper_extras_do_not_shadow(self):
+        base = server_a()
+        degraded = DegradedPlatform(base, HealthView(host_factor=0.5))
+        assert degraded.base is base
+        assert degraded.health.host_factor == 0.5
+        # a delegated method is actually usable, not just resolvable
+        assert degraded.sources_for(0)
+        assert degraded.gpu_ids == base.gpu_ids
+
+    def test_unknown_attribute_still_raises(self):
+        degraded = DegradedPlatform(server_a(), HealthView(host_factor=0.5))
+        with pytest.raises(AttributeError):
+            degraded.no_such_attribute

@@ -17,6 +17,8 @@ SUBPACKAGES = [
     "repro.framework",
     "repro.bench",
     "repro.obs",
+    "repro.faults",
+    "repro.serve",
     "repro.utils",
 ]
 

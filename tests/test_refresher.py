@@ -260,3 +260,89 @@ class TestTransactionalRollback:
         second = refresher.refresh(target)
         assert second.triggered and not second.interrupted
         assert cache.placement.replication_factor() == pytest.approx(1.0)
+
+
+class TestDoubleFaultRollback:
+    """A failure raised *during rollback* must still restore the cache.
+
+    The undo-log replay is itself made of ``apply_diff_step`` calls; if
+    one of those dies (the double fault), the refresher abandons the
+    replay and rebuilds the stores wholesale from the host table — the
+    location state is restored and integrity verified either way.
+    """
+
+    def test_abort_then_rollback_crash_still_restores(
+        self, cache, skewed_hotness, rng, monkeypatch
+    ):
+        import repro.core.refresher as refresher_module
+        from repro.obs import MetricsRegistry, use_registry
+
+        pre_map = cache.source_map.copy()
+        probe = rng.integers(0, N, size=300)
+        pre_values = [cache.lookup(g, probe).values.copy() for g in range(4)]
+
+        real_apply = refresher_module.apply_diff_step
+        state = {"rolling_back": False}
+
+        def abort():
+            # fires after a few forward steps; every apply_diff_step call
+            # from here on is the rollback replaying its undo log.
+            fire = state.get("steps", 0) >= 3
+            state["steps"] = state.get("steps", 0) + 1
+            if fire:
+                state["rolling_back"] = True
+            return fire
+
+        def crashing_apply(store, table, evict, insert):
+            if state["rolling_back"]:
+                raise RuntimeError("simulated crash during rollback replay")
+            real_apply(store, table, evict, insert)
+
+        monkeypatch.setattr(refresher_module, "apply_diff_step", crashing_apply)
+        refresher = Refresher(cache, RefreshConfig(update_batch_entries=32))
+        reg = MetricsRegistry("t")
+        with use_registry(reg):
+            outcome = refresher.refresh(
+                partition_policy(skewed_hotness, 200, 4), abort=abort
+            )
+        monkeypatch.undo()
+
+        assert outcome.interrupted and outcome.rolled_back
+        # despite the rollback replay dying, location state is restored...
+        assert np.array_equal(cache.source_map, pre_map)
+        # ...every lookup is bit-identical to the pre-refresh state...
+        for gpu in range(4):
+            assert np.array_equal(cache.lookup(gpu, probe).values, pre_values[gpu])
+        # ...and integrity verification passes.
+        assert cache.verify_integrity() == []
+        assert reg.value("refresher.rollback.double_faults") == 1
+
+    def test_midstep_crash_with_poisoned_rollback(
+        self, cache, skewed_hotness, rng, monkeypatch
+    ):
+        """Same double fault, reached through the mid-step exception path."""
+        import repro.core.refresher as refresher_module
+
+        pre_map = cache.source_map.copy()
+        probe = rng.integers(0, N, size=300)
+        pre_values = [cache.lookup(g, probe).values.copy() for g in range(4)]
+
+        real_apply = refresher_module.apply_diff_step
+        calls = {"n": 0}
+
+        def dying_apply(store, table, evict, insert):
+            calls["n"] += 1
+            if calls["n"] >= 3:  # 3rd forward step and every replay after
+                raise RuntimeError("simulated cascading crash")
+            real_apply(store, table, evict, insert)
+
+        monkeypatch.setattr(refresher_module, "apply_diff_step", dying_apply)
+        refresher = Refresher(cache, RefreshConfig(update_batch_entries=32))
+        with pytest.raises(RuntimeError, match="cascading"):
+            refresher.refresh(partition_policy(skewed_hotness, 200, 4))
+        monkeypatch.undo()
+
+        assert np.array_equal(cache.source_map, pre_map)
+        for gpu in range(4):
+            assert np.array_equal(cache.lookup(gpu, probe).values, pre_values[gpu])
+        assert cache.verify_integrity() == []

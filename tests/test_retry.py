@@ -149,3 +149,42 @@ class TestRetryCall:
                 on_retry=lambda attempt, exc: seen.append(attempt),
             )
         assert seen == [1, 2, 3]
+
+
+class TestExplicitJitterRng:
+    def test_explicit_seed_reproduces_schedule(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5, seed=7)
+        assert list(policy.delays(rng=123)) == list(policy.delays(rng=123))
+        # an explicit rng overrides the policy's own seed
+        assert list(policy.delays(rng=123)) != list(policy.delays())
+
+    def test_shared_generator_advances_across_schedules(self):
+        from repro.utils.rng import make_rng
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.5)
+        rng = make_rng(9)
+        first = list(policy.delays(rng=rng))
+        second = list(policy.delays(rng=rng))  # same generator, consumed on
+        assert first != second
+        replay = make_rng(9)
+        assert list(policy.delays(rng=replay)) == first
+
+    def test_none_falls_back_to_policy_seed(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5, seed=7)
+        assert list(policy.delays(rng=None)) == list(policy.delays())
+
+    def test_retry_call_threads_rng_to_backoff(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.8, seed=0)
+        runs = []
+        for _ in range(2):
+            slept = []
+            with pytest.raises(RetriesExhausted):
+                retry_call(
+                    lambda: (_ for _ in ()).throw(ValueError("boom")),
+                    policy=policy,
+                    sleep=slept.append,
+                    rng=42,
+                )
+            runs.append(tuple(slept))
+        assert runs[0] == runs[1]
+        assert runs[0] == tuple(policy.delays(rng=42))
