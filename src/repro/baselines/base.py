@@ -9,7 +9,12 @@ Every system — UGache and the six baselines — is a triple of
 
 :func:`evaluate_system` scores one system on one workload context and
 returns the numbers behind Figures 10/11: extraction time, overheads, and
-the end-to-end iteration time.
+the end-to-end iteration time.  Extraction is priced by
+:func:`~repro.core.evaluate.evaluate_placement` through the batch engine,
+whose factored branch is the extraction pipeline's shared price stage
+(:func:`repro.core.pipeline.price_demand`) — so a baseline's factored
+number is directly comparable to the extractor's and the serving
+runtime's.
 """
 
 from __future__ import annotations

@@ -20,6 +20,15 @@ from repro.core.evaluate import (
     resolve_sources,
 )
 from repro.core.extractor import ExtractionPlan, FactoredExtractor, SourceGroup
+from repro.core.pipeline import (
+    apply_health,
+    execute_plan,
+    host_fallback_demand,
+    plan_extraction,
+    price_demand,
+    renormalize_dedication,
+    verify_resolution,
+)
 from repro.core.filler import (
     GpuCacheStore,
     PlacementDiff,
@@ -113,6 +122,13 @@ __all__ = [
     "ExtractionPlan",
     "FactoredExtractor",
     "SourceGroup",
+    "apply_health",
+    "execute_plan",
+    "host_fallback_demand",
+    "plan_extraction",
+    "price_demand",
+    "renormalize_dedication",
+    "verify_resolution",
     "GpuCacheStore",
     "PlacementDiff",
     "apply_diff_step",

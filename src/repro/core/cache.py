@@ -11,7 +11,12 @@ wraps.  It owns:
 
 Lookups are functionally exact (values are gathered from the actual stores,
 never recomputed), and every lookup also yields the byte volumes the
-simulator needs to price the extraction.
+simulator needs to price the extraction.  The location lookup itself is
+the extraction pipeline's *resolve* stage
+(:func:`repro.core.pipeline.resolve`), shared with the Extractor's
+planner, and the integrity check reconciles the dense routing arrays
+against the §4 hashtable via
+:func:`~repro.core.pipeline.verify_resolution`.
 """
 
 from __future__ import annotations
@@ -136,10 +141,12 @@ class MultiGpuEmbeddingCache:
         slot, or the host table), so tests can verify byte-exactness
         against ``table[keys]``.
         """
+        from repro.core.pipeline import resolve
+
         keys = np.ascontiguousarray(keys, dtype=np.int64)
         if keys.size and (keys.min() < 0 or keys.max() >= self.num_entries):
             raise KeyError("lookup key out of range")
-        sources = self._source_map[dst][keys]
+        keys, sources = resolve(self, dst, keys)
         values = np.empty((len(keys), self.dim), dtype=self._table.dtype)
         host_mask = sources == HOST
         if host_mask.any():
@@ -246,8 +253,12 @@ class MultiGpuEmbeddingCache:
         occupancy matches the entry count, and cached values are
         bit-identical to the host table.  Across the location table:
         every source id is a real GPU (or HOST), and every routed read
-        points at a GPU that actually holds the entry.
+        points at a GPU that actually holds the entry.  Finally the dense
+        routing arrays are reconciled against the §4 hashtable form via
+        the pipeline's :func:`~repro.core.pipeline.verify_resolution`.
         """
+        from repro.core.pipeline import verify_resolution
+
         problems: list[str] = []
         G = self._platform.num_gpus
         for gpu, store in enumerate(self._stores):
@@ -281,6 +292,7 @@ class MultiGpuEmbeddingCache:
                         f"GPU {dst}: {len(missing)} entries routed to GPU {g} "
                         "which does not hold them"
                     )
+            problems.extend(verify_resolution(self, dst))
         return problems
 
     def check_integrity(self) -> None:

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.policy import Placement
-from repro.hardware.platform import HOST, Platform
+from repro.hardware.platform import HOST, SOURCE_DTYPE, Platform
 from repro.obs import get_registry
 from repro.sim.congestion import CongestionModel
 from repro.sim.engine import BatchReport, simulate_batch
@@ -52,7 +52,7 @@ def resolve_sources(
     n = placement.num_entries
     mat = placement.storage_matrix()
     ids = np.arange(n)
-    out = np.full((platform.num_gpus, n), HOST, dtype=np.int16)
+    out = np.full((platform.num_gpus, n), HOST, dtype=SOURCE_DTYPE)
     for i in platform.gpu_ids:
         # Score matrix: per candidate source j, the per-byte cost with a
         # tiny per-entry rotation for tie-breaking; inf when unusable.

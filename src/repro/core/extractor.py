@@ -1,143 +1,56 @@
-"""Runtime factored Extractor (§5.3, Figure 8) with degraded-mode routing.
+"""Runtime factored Extractor (§5.3, Figure 8) — the conventional facade
+over the unified extraction pipeline.
 
 The Extractor turns one GPU's key batch into an *extraction plan*: keys
 grouped by source location, cores dedicated per non-local group within link
 tolerance, and the local group scheduled last at low priority to pad ragged
-finishing times.  Executing a plan gathers the actual values (through the
-cache stores) and prices it with the factored timing model, so functional
-correctness and simulated performance come from one code path.
+finishing times.  Every step is a stage of :mod:`repro.core.pipeline`
+(resolve → reroute → group → dedicate → price → execute); this class adds
+health resolution from an optional :class:`~repro.faults.injector.FaultInjector`
+and the legacy ``extractor.*`` metrics, nothing else.  Because the batch
+simulator, the event simulators and the serving runtime price through the
+same :func:`~repro.core.pipeline.price_demand` stage, functional
+correctness and simulated performance come from one shared pipeline — not
+merely one class.
 
 Fault tolerance: when a :class:`~repro.faults.spec.HealthView` marks a
 source GPU down or a link partitioned — or the location table hands back a
-corrupt/stale ``<GPU, Offset>`` — the planner reroutes exactly those keys
-to the cheapest surviving replica (host as the last resort), re-normalizes
-the core-dedication map over the sources that remain, and emits
-``faults.rerouted_keys`` so degradation is visible, never silent.  A batch
-always completes; only its price changes.
+corrupt/stale ``<GPU, Offset>`` — the pipeline's reroute stage moves exactly
+those keys to the cheapest surviving replica (host as the last resort),
+re-normalizes the core-dedication map over the sources that remain, and
+emits ``faults.rerouted_keys`` so degradation is visible, never silent.  A
+batch always completes; only its price changes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.core.cache import MultiGpuEmbeddingCache
-from repro.faults.degrade import degraded_platform
+from repro.core.pipeline import (
+    ExtractionPlan,
+    SourceGroup,
+    execute_plan,
+    plan_extraction,
+    price_demand,
+    renormalize_dedication,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import HealthView
-from repro.hardware.platform import HOST, Platform
+from repro.hardware.platform import Platform
 from repro.obs import get_registry, timer
 from repro.sim.engine import BatchReport, simulate_batch
-from repro.sim.mechanisms import (
-    GpuDemand,
-    Mechanism,
-    core_dedication,
-    factored_extraction,
-)
+from repro.sim.mechanisms import GpuDemand, Mechanism, core_dedication
 from repro.utils.logging import get_logger
 
+__all__ = [
+    "ExtractionPlan",
+    "FactoredExtractor",
+    "SourceGroup",
+    "renormalize_dedication",
+]
+
 logger = get_logger("core.extractor")
-
-
-def _source_class(source: int, dst: int) -> str:
-    if source == dst:
-        return "local"
-    if source == HOST:
-        return "host"
-    return "remote"
-
-
-@dataclass(frozen=True)
-class SourceGroup:
-    """One source's share of a batch: which keys, read from where."""
-
-    source: int
-    #: positions of these keys within the original batch
-    batch_positions: np.ndarray
-    #: the entry ids to read
-    keys: np.ndarray
-    #: slot offsets on the source GPU (empty for HOST, where keys index
-    #: the host table directly)
-    offsets: np.ndarray
-    dedicated_cores: int
-
-
-@dataclass(frozen=True)
-class ExtractionPlan:
-    """A factored plan for one GPU's batch (Figure 8's grouped layout)."""
-
-    dst: int
-    batch_size: int
-    #: non-local groups first (launch order), local group last (low priority)
-    groups: tuple[SourceGroup, ...]
-    #: keys this plan rerouted away from their mapped source (faults)
-    rerouted_keys: int = 0
-    #: sources whose mapped keys had to be rerouted because the source
-    #: itself failed (down GPU, partitioned link, stale/corrupt slots) —
-    #: the serving layer's circuit breakers consume this.  Sources the
-    #: caller *asked* to exclude are not failures and do not appear.
-    failed_sources: tuple[int, ...] = ()
-
-    @property
-    def local_group(self) -> SourceGroup | None:
-        for g in self.groups:
-            if g.source == self.dst:
-                return g
-        return None
-
-    @property
-    def nonlocal_groups(self) -> tuple[SourceGroup, ...]:
-        return tuple(g for g in self.groups if g.source != self.dst)
-
-    def demand(self, entry_bytes: int) -> GpuDemand:
-        return GpuDemand(
-            dst=self.dst,
-            volumes={
-                g.source: float(len(g.keys) * entry_bytes) for g in self.groups
-            },
-        )
-
-
-def renormalize_dedication(
-    platform: Platform,
-    dst: int,
-    present: list[int],
-    dedication: dict[int, int],
-) -> tuple[dict[int, int], list[int]]:
-    """Re-normalize core shares when the map misses a present source.
-
-    The topology model and the location table can disagree (a stale map
-    after a fault, a route the solver never priced): instead of the old
-    one-core floor, recompute the non-host split over *every* present
-    remote source, weighting by link bandwidth (unreachable sources drain
-    through the host path, so they weigh in at PCIe speed), and shrink
-    proportionally so the total never exceeds the SM budget.
-
-    Returns ``(dedication, missing)``; when nothing was missing the input
-    map is returned unchanged.
-    """
-    remotes = [s for s in present if s not in (dst, HOST)]
-    missing = [s for s in remotes if s not in dedication]
-    if not missing:
-        return dedication, []
-    total = platform.gpu.num_cores
-    host_cores = dedication.get(HOST, 0)
-    budget = max(total - host_cores, len(remotes))
-    weights: dict[int, float] = {}
-    for s in remotes:
-        bw = platform.bandwidth(dst, s)
-        weights[s] = bw if bw > 0 else platform.pcie_bandwidth
-    wsum = sum(weights.values())
-    out: dict[int, int] = {HOST: host_cores} if HOST in dedication else {}
-    for s in remotes:
-        out[s] = max(1, int(budget * weights[s] / wsum))
-    while sum(v for k, v in out.items() if k != HOST) > budget:
-        biggest = max((k for k in out if k != HOST), key=lambda k: out[k])
-        if out[biggest] <= 1:
-            break
-        out[biggest] -= 1
-    return out, missing
 
 
 class FactoredExtractor:
@@ -173,120 +86,6 @@ class FactoredExtractor:
             return self._injector.health(now)
         return None
 
-    def _find_replicas(
-        self,
-        dst: int,
-        keys: np.ndarray,
-        health: HealthView | None,
-        exclude: frozenset[int] = frozenset(),
-    ) -> np.ndarray:
-        """Cheapest surviving holder per key; HOST when nobody has it.
-
-        Degraded links inflate a candidate's cost by ``1 / link_factor``
-        so a half-speed replica loses to a healthy one but still beats
-        host when it is the only copy left.  Sources in ``exclude``
-        (e.g. breaker-open ones) are never candidates.
-        """
-        out = np.full(len(keys), HOST, dtype=np.int16)
-        best_cost = np.full(len(keys), np.inf)
-        for g in self.platform.gpu_ids:
-            if g == dst or g in exclude:
-                continue
-            if health is not None and not health.source_usable(dst, g):
-                continue
-            if not self.platform.is_connected(dst, g):
-                continue
-            cost = self.platform.cost_per_byte(dst, g)
-            if health is not None:
-                cost /= health.link_factor(dst, g)
-            if not np.isfinite(cost):
-                continue
-            held = self._cache.store(g).offset_of[keys] >= 0
-            better = held & (cost < best_cost)
-            out[better] = g
-            best_cost[better] = cost
-        return out
-
-    def _reroute_degraded(
-        self,
-        dst: int,
-        keys: np.ndarray,
-        sources: np.ndarray,
-        health: HealthView | None,
-        reg,
-        exclude: frozenset[int] = frozenset(),
-    ) -> tuple[np.ndarray, int, tuple[int, ...]]:
-        """Replace unusable sources in ``sources``.
-
-        A source is unusable when its id is corrupt (outside the GPU
-        range), the health view marks it down or unreachable, its store
-        does not actually hold the key (a stale location), or the caller
-        excluded it (an open circuit breaker).  Returns
-        ``(sources, rerouted, failed_sources)`` where ``failed_sources``
-        attributes reroutes to the sources that *failed* (exclusions are
-        deliberate, not failures).  Corrupt slots are blamed on whichever
-        GPU stores actually hold the affected entries — the replicas whose
-        location records went bad.
-        """
-        G = self.platform.num_gpus
-        corrupt_mask = (sources != HOST) & ((sources < 0) | (sources >= G))
-        bad = corrupt_mask.copy()
-        n_corrupt = int(bad.sum())
-        n_stale = 0
-        failed: set[int] = set()
-        for g in range(G):
-            idx = np.flatnonzero(sources == g)
-            if len(idx) == 0:
-                continue
-            if g != dst and g in exclude:
-                bad[idx] = True
-                continue
-            if g != dst and not self.platform.is_connected(dst, g):
-                # A corrupt map can route over a link that does not exist;
-                # treat it like a partition rather than let the simulator
-                # reject the plan.
-                bad[idx] = True
-                n_corrupt += len(idx)
-                failed.add(g)
-                continue
-            if health is not None and not health.source_usable(dst, g):
-                bad[idx] = True
-                failed.add(g)
-                continue
-            stale = self._cache.store(g).offset_of[keys[idx]] < 0
-            if stale.any():
-                bad[idx[stale]] = True
-                n_stale += int(stale.sum())
-                failed.add(g)
-        if corrupt_mask.any():
-            corrupt_keys = keys[corrupt_mask]
-            for g in range(G):
-                if (self._cache.store(g).offset_of[corrupt_keys] >= 0).any():
-                    failed.add(g)
-        if not bad.any():
-            return sources, 0, ()
-        bad_idx = np.flatnonzero(bad)
-        replacements = self._find_replicas(dst, keys[bad_idx], health, exclude)
-        sources = sources.copy()
-        sources[bad_idx] = replacements
-        n = len(bad_idx)
-        reg.counter("faults.rerouted_keys", dst=dst).inc(n)
-        reg.counter(
-            "faults.rerouted_keys_to", target="host"
-        ).inc(int((replacements == HOST).sum()))
-        reg.counter(
-            "faults.rerouted_keys_to", target="replica"
-        ).inc(int((replacements != HOST).sum()))
-        if n_corrupt:
-            reg.counter("faults.corrupt_reads").inc(n_corrupt)
-        if n_stale:
-            reg.counter("faults.stale_reads").inc(n_stale)
-        logger.debug(
-            "GPU %d: rerouted %d/%d keys (%d corrupt, %d stale) around faults",
-            dst, n, len(keys), n_corrupt, n_stale,
-        )
-        return sources, n, tuple(sorted(failed))
-
     def plan(
         self,
         dst: int,
@@ -297,6 +96,7 @@ class FactoredExtractor:
     ) -> ExtractionPlan:
         """Group a batch by source location and dedicate cores (§5.3).
 
+        Runs the pipeline's resolve → reroute → dedicate → group stages.
         ``exclude_sources`` names source GPUs the plan must not read from
         even if they look healthy — the serving layer's open circuit
         breakers.  Their keys reroute through the degraded-mode path
@@ -307,98 +107,27 @@ class FactoredExtractor:
         health = self._resolve_health(health, now)
         exclude = frozenset(int(s) for s in (exclude_sources or ()))
         with timer("extractor.plan.seconds", reg):
-            keys = np.ascontiguousarray(keys, dtype=np.int64)
-            sources = self._cache.source_map[dst][keys]
-            sources, rerouted, failed_sources = self._reroute_degraded(
-                dst, keys, sources, health, reg, exclude
+            # ``core_dedication`` is resolved from this module's globals at
+            # call time so tests (and operators) can swap the split policy.
+            plan = plan_extraction(
+                self._cache,
+                dst,
+                keys,
+                health=health,
+                exclude=exclude,
+                dedication_fn=core_dedication,
+                log=logger,
             )
-            platform = self.platform
-            if health is not None:
-                platform = degraded_platform(platform, health)
-            present = [int(s) for s in np.unique(sources)]
-            dedication = core_dedication(platform, dst, present)
-            dedication, missing = renormalize_dedication(
-                platform, dst, present, dedication
-            )
-            if missing:
-                # A present source the core-dedication map does not cover
-                # means the topology model and the location table disagree
-                # — survivable, and the shares above were re-normalized
-                # over what is actually present, but never silent.
-                reg.counter("extractor.plan.dedication_missing").inc(len(missing))
-                reg.counter("extractor.plan.dedication_renormalized").inc()
-                logger.warning(
-                    "GPU %d batch reads from source(s) %s absent from the "
-                    "core-dedication map; re-normalized shares across %d "
-                    "remote source(s)",
-                    dst, missing, len([s for s in present if s not in (dst, HOST)]),
-                )
-            groups: list[SourceGroup] = []
-            local_group: SourceGroup | None = None
-            for src in present:
-                positions = np.flatnonzero(sources == src)
-                group_keys = keys[positions]
-                if src == HOST:
-                    offsets = np.empty(0, dtype=np.int64)
-                else:
-                    offsets = self._cache.store(src).offset_of[group_keys]
-                group = SourceGroup(
-                    source=src,
-                    batch_positions=positions,
-                    keys=group_keys,
-                    offsets=offsets,
-                    dedicated_cores=(
-                        self.platform.gpu.num_cores
-                        if src == dst
-                        else dedication.get(src, 1)
-                    ),
-                )
-                reg.counter(
-                    "extractor.plan.keys", source=_source_class(src, dst)
-                ).inc(len(group_keys))
-                reg.histogram(
-                    "extractor.plan.dedicated_cores",
-                    source=_source_class(src, dst),
-                ).observe(group.dedicated_cores)
-                if src == dst:
-                    local_group = group
-                else:
-                    groups.append(group)
-            # Local extraction is launched last, on a low-priority stream.
-            if local_group is not None:
-                groups.append(local_group)
         reg.counter("extractor.plan.calls").inc()
-        return ExtractionPlan(
-            dst=dst,
-            batch_size=len(keys),
-            groups=tuple(groups),
-            rerouted_keys=rerouted,
-            failed_sources=failed_sources,
-        )
+        return plan
 
     def execute(self, plan: ExtractionPlan) -> tuple[np.ndarray, GpuDemand]:
         """Gather values per the plan; returns (values, priced demand)."""
         reg = get_registry()
-        entry_bytes = self._cache.entry_bytes
         with timer("extractor.execute.seconds", reg):
-            values = np.empty(
-                (plan.batch_size, self._cache.dim),
-                dtype=self._cache.store(0).data.dtype,
-            )
-            for group in plan.groups:
-                if group.source == HOST:
-                    values[group.batch_positions] = self._cache.host_gather(
-                        group.keys
-                    )
-                else:
-                    store = self._cache.store(group.source)
-                    values[group.batch_positions] = store.data[group.offsets]
-                reg.counter(
-                    "extractor.execute.bytes",
-                    source=_source_class(group.source, plan.dst),
-                ).inc(len(group.keys) * entry_bytes)
+            out = execute_plan(self._cache, plan)
         reg.counter("extractor.execute.calls").inc()
-        return values, plan.demand(entry_bytes)
+        return out
 
     def extract(
         self,
@@ -430,14 +159,16 @@ class FactoredExtractor:
         health: HealthView | None = None,
         now: float = 0.0,
     ):
-        """Timing-only path for one GPU (no value gathering)."""
+        """Timing-only path for one GPU (no value gathering).
+
+        Prices through the pipeline's shared :func:`price_demand` stage —
+        the same call the batch simulator and the serving runtime make.
+        """
         health = self._resolve_health(health, now)
         plan = self.plan(dst, keys, health=health)
-        platform = self.platform
-        if health is not None:
-            platform = degraded_platform(platform, health)
-        return factored_extraction(
-            platform,
+        return price_demand(
+            self.platform,
             plan.demand(self._cache.entry_bytes),
+            health=health,
             local_padding=local_padding,
         )

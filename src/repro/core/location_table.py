@@ -10,18 +10,29 @@ limits) can be tested and its memory/probe trade-offs measured.
 
 Packing: ``[16 bits source | 48 bits offset]`` with source biased by 1 so
 that host (:data:`~repro.hardware.platform.HOST` = -1) packs to 0.
-Vectorized batch lookups keep it usable at workload scale.
+
+The batch operations (:meth:`LocationTable.lookup_batch`,
+:meth:`LocationTable.insert_batch`) are truly vectorized: each runs a
+bounded number of numpy *probing rounds* over the whole batch at once
+(every key advances one probe step per round, and keys drop out as they
+settle), mirroring how a warp-per-key GPU kernel would walk the table.
+The scalar :meth:`LocationTable.get` / :meth:`LocationTable.insert` are
+thin wrappers over the same machinery, so there is exactly one probe
+implementation to test.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.hardware.platform import HOST
+from repro.hardware.platform import HOST, SOURCE_DTYPE
 
 _EMPTY_KEY = np.int64(-1)
 _OFFSET_BITS = 48
 _OFFSET_MASK = (np.int64(1) << _OFFSET_BITS) - 1
+#: Fibonacci hashing multiplier (2^64 / φ, as an unsigned 64-bit constant).
+_HASH_MULTIPLIER = np.uint64(11400714819323198485)
+_MAX_SOURCE = 2**15 - 2
 
 
 class ProbeLimitError(RuntimeError):
@@ -56,7 +67,7 @@ class CorruptEntryError(RuntimeError):
 
 def pack_location(source: int, offset: int) -> np.int64:
     """Pack ``(source, offset)`` into one int64 slot value."""
-    if source < HOST or source > 2**15 - 2:
+    if source < HOST or source > _MAX_SOURCE:
         raise ValueError(f"source {source} out of packable range")
     if not 0 <= offset < 2**_OFFSET_BITS:
         raise ValueError(f"offset {offset} out of packable range")
@@ -66,6 +77,23 @@ def pack_location(source: int, offset: int) -> np.int64:
 def unpack_location(packed: np.int64) -> tuple[int, int]:
     """Inverse of :func:`pack_location`."""
     return int(packed >> _OFFSET_BITS) - 1, int(packed & _OFFSET_MASK)
+
+
+def pack_locations(sources: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`pack_location` with the same range validation."""
+    sources = np.asarray(sources, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    bad = (sources < HOST) | (sources > _MAX_SOURCE)
+    if bad.any():
+        raise ValueError(
+            f"source {int(sources[bad][0])} out of packable range"
+        )
+    bad = (offsets < 0) | (offsets >= 2**_OFFSET_BITS)
+    if bad.any():
+        raise ValueError(
+            f"offset {int(offsets[bad][0])} out of packable range"
+        )
+    return ((sources + 1) << _OFFSET_BITS) | offsets
 
 
 class LocationTable:
@@ -128,30 +156,117 @@ class LocationTable:
         hashed = (key * 11400714819323198485) & 0xFFFFFFFFFFFFFFFF
         return (hashed >> (64 - self._capacity.bit_length() + 1)) & self._mask
 
+    def _slots_of(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_slot`: initial probe slot per key."""
+        hashed = keys.astype(np.uint64) * _HASH_MULTIPLIER  # wraps mod 2^64
+        shift = np.uint64(64 - self._capacity.bit_length() + 1)
+        return ((hashed >> shift) & np.uint64(self._mask)).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # The bulk probe engine
+    # ------------------------------------------------------------------
+    def _probe_batch(
+        self, keys: np.ndarray, op: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk-probe ``keys``: returns ``(found_mask, slot_per_key)``.
+
+        One numpy round advances every still-unsettled key a single probe
+        step; a key settles when its chain hits itself (found) or an empty
+        slot (absent — the returned slot is that first empty slot, which
+        is where an insert would place it).  Raises
+        :class:`ProbeLimitError` if any chain visits every slot without
+        settling (full or corrupt table), matching the scalar semantics.
+        """
+        n = len(keys)
+        slots = self._slots_of(keys)
+        found = np.zeros(n, dtype=bool)
+        active = np.arange(n)
+        for _ in range(self._capacity):
+            existing = self._keys[slots[active]]
+            hit = existing == keys[active]
+            found[active[hit]] = True
+            settled = hit | (existing == _EMPTY_KEY)
+            active = active[~settled]
+            if active.size == 0:
+                return found, slots
+            slots[active] = (slots[active] + 1) & self._mask
+        raise ProbeLimitError(
+            f"{op} probed all {self._capacity} slots: table full or corrupt"
+        )
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def insert(self, key: int, source: int, offset: int) -> None:
-        """Insert or overwrite one key's location."""
-        if key < 0:
+        """Insert or overwrite one key's location (thin batch wrapper)."""
+        self.insert_batch(
+            np.asarray([key], dtype=np.int64),
+            np.asarray([source], dtype=np.int64),
+            np.asarray([offset], dtype=np.int64),
+        )
+
+    def insert_batch(
+        self, keys: np.ndarray, sources: np.ndarray, offsets: np.ndarray
+    ) -> None:
+        """Bulk insert-or-overwrite: one probe pass for the whole batch.
+
+        Equivalent to scalar inserts in batch order (duplicate keys: last
+        value wins), except that capacity is reserved up front for the
+        genuinely *new* keys only — overwrites never trigger a grow — and
+        the final slot layout may be a different (equally valid) linear
+        probe ordering than sequential insertion would produce.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        if len(keys) == 0:
+            return
+        if keys.min() < 0:
             raise ValueError("keys must be non-negative")
-        if (self._size + 1) / self._capacity > self._max_load:
-            self._grow()
-        packed = pack_location(source, offset)
-        slot = self._slot(key)
+        packed = pack_locations(sources, offsets)
+        if len(packed) != len(keys):
+            raise ValueError("keys, sources and offsets must align")
+        # Last-wins dedup: np.unique over the reversed batch finds, per
+        # unique key, its final occurrence.
+        uniq, rev_first = np.unique(keys[::-1], return_index=True)
+        last = len(keys) - 1 - rev_first
+        keys, packed = keys[last], packed[last]
+        # Grow only for keys not already present (overwrites are free).
+        found, _ = self._probe_batch(keys, "insert")
+        self._reserve(self._size + int((~found).sum()))
+        self._store_unique(keys, packed)
+
+    def _store_unique(self, keys: np.ndarray, packed: np.ndarray) -> None:
+        """Place unique ``keys`` via parallel probing rounds.
+
+        Every pending key advances one probe step per round; keys whose
+        slot holds themselves overwrite in place, and keys that reach an
+        empty slot claim it (first pending key wins a contended slot, the
+        rest probe on).  Any slot a key skips is occupied by the time it
+        is skipped, so the linear-probe reachability invariant holds for
+        the final layout.
+        """
+        slots = self._slots_of(keys)
+        pending = np.arange(len(keys))
         for _ in range(self._capacity):
-            existing = self._keys[slot]
-            if existing == _EMPTY_KEY:
-                self._keys[slot] = key
-                self._values[slot] = packed
-                self._size += 1
+            existing = self._keys[slots[pending]]
+            overwrite = existing == keys[pending]
+            if overwrite.any():
+                hit = pending[overwrite]
+                self._values[slots[hit]] = packed[hit]
+            claim = pending[existing == _EMPTY_KEY]
+            settled = overwrite
+            if claim.size:
+                _, first = np.unique(slots[claim], return_index=True)
+                winners = claim[first]
+                self._keys[slots[winners]] = keys[winners]
+                self._values[slots[winners]] = packed[winners]
+                self._size += len(winners)
+                settled = settled | np.isin(pending, winners, assume_unique=True)
+            pending = pending[~settled]
+            if pending.size == 0:
                 return
-            if existing == key:
-                self._values[slot] = packed
-                return
-            slot = (slot + 1) & self._mask
+            slots[pending] = (slots[pending] + 1) & self._mask
         raise ProbeLimitError(
-            f"insert({key}) probed all {self._capacity} slots: table full or corrupt"
+            f"insert probed all {self._capacity} slots: table full or corrupt"
         )
 
     def remove(self, key: int) -> bool:
@@ -196,18 +311,47 @@ class LocationTable:
         self._size -= 1
         return True
 
+    def remove_batch(self, keys: np.ndarray) -> int:
+        """Delete many keys; returns how many were present.
+
+        Deletion order is batch order; backward-shift compaction keeps
+        every surviving probe chain tombstone-free, exactly as repeated
+        scalar :meth:`remove` calls would.
+        """
+        removed = 0
+        for key in np.asarray(keys, dtype=np.int64):
+            if self.remove(int(key)):
+                removed += 1
+        return removed
+
+    def _reserve(self, target_entries: int) -> None:
+        """Ensure ``target_entries`` fit the load limit (0+ doublings)."""
+        capacity = self._capacity
+        while target_entries / capacity > self._max_load:
+            capacity *= 2
+        if capacity != self._capacity:
+            self._rebuild(capacity)
+
     def _grow(self) -> None:
-        old_keys = self._keys
-        old_values = self._values
-        self._capacity *= 2
-        self._mask = self._capacity - 1
-        self._keys = np.full(self._capacity, _EMPTY_KEY, dtype=np.int64)
-        self._values = np.zeros(self._capacity, dtype=np.int64)
+        self._rebuild(self._capacity * 2)
+
+    def _rebuild(self, new_capacity: int) -> None:
+        """Re-home every live entry into a fresh arena of ``new_capacity``.
+
+        One bulk re-insert of the packed slot arrays — no per-key Python
+        loop, so a grow costs a handful of numpy rounds regardless of
+        table size.
+        """
+        live = self._keys != _EMPTY_KEY
+        keys = self._keys[live]
+        values = self._values[live]
+        self._capacity = new_capacity
+        self._mask = new_capacity - 1
+        self._keys = np.full(new_capacity, _EMPTY_KEY, dtype=np.int64)
+        self._values = np.zeros(new_capacity, dtype=np.int64)
         self._size = 0
-        for key, value in zip(old_keys, old_values):
-            if key != _EMPTY_KEY:
-                source, offset = unpack_location(value)
-                self.insert(int(key), source, offset)
+        if len(keys):
+            self._store_unique(keys, values)
 
     def corrupt_slot(self, key: int, source: int, offset: int) -> None:
         """Fault-injection hook: overwrite ``key``'s stored location.
@@ -247,65 +391,76 @@ class LocationTable:
         return source, offset
 
     def get(self, key: int) -> tuple[int, int] | None:
-        """Location of one key, or None if absent.
+        """Location of one key, or None if absent (thin batch wrapper).
 
         Raises:
             CorruptEntryError: the stored location is outside the table's
                 ``num_sources`` / ``max_offset`` bounds.
         """
-        slot = self._slot(key)
-        for _ in range(self._capacity):
-            existing = self._keys[slot]
-            if existing == _EMPTY_KEY:
-                return None
-            if existing == key:
-                return self._checked_location(key, self._values[slot])
-            slot = (slot + 1) & self._mask
-        raise ProbeLimitError(
-            f"get({key}) probed all {self._capacity} slots: table full or corrupt"
+        found, slots = self._probe_batch(
+            np.asarray([key], dtype=np.int64), f"get({key})"
         )
+        if not found[0]:
+            return None
+        return self._checked_location(key, self._values[slots[0]])
 
     def lookup_batch(
         self, keys: np.ndarray, on_corrupt: str = "raise"
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorized-ish batch lookup.
+        """Vectorized batch lookup: bulk probing rounds, no per-key loop.
 
         Returns ``(sources, offsets)``; absent keys get source
         :data:`HOST` and offset = key (host storage is addressed by key).
         ``on_corrupt`` picks the degraded behaviour for poisoned slots:
-        ``"raise"`` propagates :class:`CorruptEntryError`, ``"host"``
-        routes the corrupt key to host like a miss (the fault-tolerant
-        extraction path — host always has the truth).
+        ``"raise"`` propagates :class:`CorruptEntryError` for the first
+        poisoned key in batch order, ``"host"`` routes the corrupt keys to
+        host like misses (the fault-tolerant extraction path — host always
+        has the truth).
         """
         if on_corrupt not in ("raise", "host"):
             raise ValueError("on_corrupt must be 'raise' or 'host'")
         keys = np.asarray(keys, dtype=np.int64)
-        sources = np.empty(len(keys), dtype=np.int16)
-        offsets = np.empty(len(keys), dtype=np.int64)
-        for i, key in enumerate(keys):
-            try:
-                hit = self.get(int(key))
-            except CorruptEntryError:
-                if on_corrupt == "raise":
-                    raise
-                hit = None
-            if hit is None:
-                sources[i] = HOST
-                offsets[i] = key
-            else:
-                sources[i], offsets[i] = hit
+        sources = np.full(len(keys), HOST, dtype=SOURCE_DTYPE)
+        offsets = keys.copy()  # miss ⇒ host storage addressed by key
+        if len(keys) == 0:
+            return sources, offsets
+        found, slots = self._probe_batch(keys, "lookup_batch")
+        hit = np.flatnonzero(found)
+        if hit.size == 0:
+            return sources, offsets
+        packed = self._values[slots[hit]]
+        src = (packed >> _OFFSET_BITS) - 1
+        off = packed & _OFFSET_MASK
+        corrupt = self._corrupt_mask(src, off)
+        if corrupt.any():
+            if on_corrupt == "raise":
+                first = int(np.flatnonzero(corrupt)[0])
+                raise CorruptEntryError(
+                    int(keys[hit[first]]), int(src[first]), int(off[first])
+                )
+            # "host": poisoned keys keep the HOST/key miss routing.
+            hit, src, off = hit[~corrupt], src[~corrupt], off[~corrupt]
+        sources[hit] = src.astype(SOURCE_DTYPE)
+        offsets[hit] = off
         return sources, offsets
+
+    def _corrupt_mask(self, sources: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        """Vectorized form of :meth:`_checked_location`'s bounds check."""
+        nonhost = sources != HOST
+        bad = nonhost & (sources < 0)
+        if self._num_sources is not None:
+            bad |= nonhost & (sources >= self._num_sources)
+        if self._max_offset is not None:
+            bad |= nonhost & (offsets > self._max_offset)
+        return bad
 
     def max_probe_length(self) -> int:
         """Longest probe chain currently in the table (a health metric)."""
-        worst = 0
-        for slot in range(self._capacity):
-            key = self._keys[slot]
-            if key == _EMPTY_KEY:
-                continue
-            ideal = self._slot(int(key))
-            worst = max(worst, (slot - ideal) & self._mask)
-        return worst
+        live = np.flatnonzero(self._keys != _EMPTY_KEY)
+        if live.size == 0:
+            return 0
+        ideal = self._slots_of(self._keys[live])
+        return int(((live - ideal) & self._mask).max())
 
     @staticmethod
     def from_source_map(
@@ -322,12 +477,13 @@ class LocationTable:
         arm the corruption bounds check on the read path.
         """
         sources = np.asarray(sources)
+        offsets = np.asarray(offsets)
         cached = np.flatnonzero(sources != HOST)
         table = LocationTable(
             expected_entries=len(cached),
             num_sources=num_sources,
             max_offset=max_offset,
         )
-        for key in cached:
-            table.insert(int(key), int(sources[key]), int(offsets[key]))
+        if len(cached):
+            table.insert_batch(cached, sources[cached], offsets[cached])
         return table

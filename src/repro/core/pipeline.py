@@ -1,0 +1,564 @@
+"""The unified extraction pipeline: resolve → reroute → group → dedicate
+→ price → execute.
+
+UGache's premise (§5) is that extraction is *the* hot path, so this module
+gives it one explicit shape.  A batch flows through six stages, each a
+free function that any layer can call on its own:
+
+1. **resolve** — bulk location lookup: keys → source per key (the §4
+   hashtable semantics, served from the cache's dense ``source_map``);
+2. **reroute** — fault/exclusion handling: replace unusable sources
+   (down GPUs, partitioned links, stale/corrupt slots, breaker-opened
+   sources) with the cheapest surviving replica, host last;
+3. **group** — per-source batching: positions, keys and slot offsets of
+   each source's share (Figure 8's grouped layout);
+4. **dedicate** — the §5.3 core split over the sources actually present,
+   re-normalized when the topology model and the location table disagree;
+5. **price** — the factored timing model under the current health view —
+   the *only* pricing point: the extractor, the batch engine, the event
+   simulators and the serving runtime all price a demand through
+   :func:`price_demand`, so a plan costs the same no matter who asks;
+6. **execute** — gather the actual values through the cache stores.
+
+Each stage times itself into ``pipeline.<stage>.seconds``
+(:func:`repro.obs.stage_timer`), so a regression in any one stage is
+visible regardless of which consumer triggered it.
+
+:class:`~repro.core.extractor.FactoredExtractor` is the conventional
+facade over stages 1–4 + 6; :func:`repro.sim.engine.simulate_batch`
+consumes stage 5 for whole batches; :mod:`repro.sim.event_sim` and
+:class:`~repro.serve.runtime.ServingRuntime` share the health-application
+and hedge-demand helpers so their inputs match the analytic path exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.core.location_table import LocationTable
+from repro.faults.degrade import degraded_platform, reroute_demand
+from repro.faults.spec import HealthView
+from repro.hardware.platform import HOST, SOURCE_DTYPE, Platform
+from repro.obs import get_registry, stage_timer
+from repro.sim.mechanisms import (
+    GpuDemand,
+    GpuExtractionReport,
+    core_dedication,
+    factored_extraction,
+)
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # cache imports this module; type-only the other way
+    from repro.core.cache import MultiGpuEmbeddingCache
+
+logger = get_logger("core.pipeline")
+
+__all__ = [
+    "ExtractionPlan",
+    "SourceGroup",
+    "apply_health",
+    "dedicate",
+    "execute_plan",
+    "find_replicas",
+    "group_by_source",
+    "host_fallback_demand",
+    "plan_extraction",
+    "price_demand",
+    "renormalize_dedication",
+    "reroute",
+    "resolve",
+    "source_class",
+    "verify_resolution",
+]
+
+
+def source_class(source: int, dst: int) -> str:
+    """Label a source relative to its destination: local / host / remote."""
+    if source == dst:
+        return "local"
+    if source == HOST:
+        return "host"
+    return "remote"
+
+
+@dataclass(frozen=True)
+class SourceGroup:
+    """One source's share of a batch: which keys, read from where."""
+
+    source: int
+    #: positions of these keys within the original batch
+    batch_positions: np.ndarray
+    #: the entry ids to read
+    keys: np.ndarray
+    #: slot offsets on the source GPU (empty for HOST, where keys index
+    #: the host table directly)
+    offsets: np.ndarray
+    dedicated_cores: int
+
+
+@dataclass(frozen=True)
+class ExtractionPlan:
+    """A factored plan for one GPU's batch (Figure 8's grouped layout)."""
+
+    dst: int
+    batch_size: int
+    #: non-local groups first (launch order), local group last (low priority)
+    groups: tuple[SourceGroup, ...]
+    #: keys this plan rerouted away from their mapped source (faults)
+    rerouted_keys: int = 0
+    #: sources whose mapped keys had to be rerouted because the source
+    #: itself failed (down GPU, partitioned link, stale/corrupt slots) —
+    #: the serving layer's circuit breakers consume this.  Sources the
+    #: caller *asked* to exclude are not failures and do not appear.
+    failed_sources: tuple[int, ...] = ()
+
+    @property
+    def local_group(self) -> SourceGroup | None:
+        for g in self.groups:
+            if g.source == self.dst:
+                return g
+        return None
+
+    @property
+    def nonlocal_groups(self) -> tuple[SourceGroup, ...]:
+        return tuple(g for g in self.groups if g.source != self.dst)
+
+    def demand(self, entry_bytes: int) -> GpuDemand:
+        return GpuDemand(
+            dst=self.dst,
+            volumes={
+                g.source: float(len(g.keys) * entry_bytes) for g in self.groups
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Stage 1: resolve
+# ----------------------------------------------------------------------
+def resolve(
+    cache: "MultiGpuEmbeddingCache", dst: int, keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bulk location lookup: ``(keys, sources)`` for one GPU's batch.
+
+    Returns the keys normalized to a contiguous int64 array and the
+    per-key source (GPU id or :data:`HOST`) from ``dst``'s location map,
+    as a :data:`~repro.hardware.platform.SOURCE_DTYPE` array.
+    """
+    with stage_timer("resolve"):
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        return keys, cache.source_map[dst][keys]
+
+
+# ----------------------------------------------------------------------
+# Stage 2: reroute
+# ----------------------------------------------------------------------
+def find_replicas(
+    cache: "MultiGpuEmbeddingCache",
+    dst: int,
+    keys: np.ndarray,
+    health: HealthView | None,
+    exclude: frozenset[int] = frozenset(),
+) -> np.ndarray:
+    """Cheapest surviving holder per key; HOST when nobody has it.
+
+    Degraded links inflate a candidate's cost by ``1 / link_factor``
+    so a half-speed replica loses to a healthy one but still beats
+    host when it is the only copy left.  Sources in ``exclude``
+    (e.g. breaker-open ones) are never candidates.
+    """
+    platform = cache.platform
+    out = np.full(len(keys), HOST, dtype=SOURCE_DTYPE)
+    best_cost = np.full(len(keys), np.inf)
+    for g in platform.gpu_ids:
+        if g == dst or g in exclude:
+            continue
+        if health is not None and not health.source_usable(dst, g):
+            continue
+        if not platform.is_connected(dst, g):
+            continue
+        cost = platform.cost_per_byte(dst, g)
+        if health is not None:
+            cost /= health.link_factor(dst, g)
+        if not np.isfinite(cost):
+            continue
+        held = cache.store(g).offset_of[keys] >= 0
+        better = held & (cost < best_cost)
+        out[better] = g
+        best_cost[better] = cost
+    return out
+
+
+def reroute(
+    cache: "MultiGpuEmbeddingCache",
+    dst: int,
+    keys: np.ndarray,
+    sources: np.ndarray,
+    health: HealthView | None = None,
+    exclude: frozenset[int] = frozenset(),
+    log=logger,
+) -> tuple[np.ndarray, int, tuple[int, ...]]:
+    """Replace unusable sources in ``sources``.
+
+    A source is unusable when its id is corrupt (outside the GPU
+    range), the health view marks it down or unreachable, its store
+    does not actually hold the key (a stale location), or the caller
+    excluded it (an open circuit breaker).  Returns
+    ``(sources, rerouted, failed_sources)`` where ``failed_sources``
+    attributes reroutes to the sources that *failed* (exclusions are
+    deliberate, not failures).  Corrupt slots are blamed on whichever
+    GPU stores actually hold the affected entries — the replicas whose
+    location records went bad.
+    """
+    reg = get_registry()
+    with stage_timer("reroute"):
+        platform = cache.platform
+        G = platform.num_gpus
+        corrupt_mask = (sources != HOST) & ((sources < 0) | (sources >= G))
+        bad = corrupt_mask.copy()
+        n_corrupt = int(bad.sum())
+        n_stale = 0
+        failed: set[int] = set()
+        for g in range(G):
+            idx = np.flatnonzero(sources == g)
+            if len(idx) == 0:
+                continue
+            if g != dst and g in exclude:
+                bad[idx] = True
+                continue
+            if g != dst and not platform.is_connected(dst, g):
+                # A corrupt map can route over a link that does not exist;
+                # treat it like a partition rather than let the simulator
+                # reject the plan.
+                bad[idx] = True
+                n_corrupt += len(idx)
+                failed.add(g)
+                continue
+            if health is not None and not health.source_usable(dst, g):
+                bad[idx] = True
+                failed.add(g)
+                continue
+            stale = cache.store(g).offset_of[keys[idx]] < 0
+            if stale.any():
+                bad[idx[stale]] = True
+                n_stale += int(stale.sum())
+                failed.add(g)
+        if corrupt_mask.any():
+            corrupt_keys = keys[corrupt_mask]
+            for g in range(G):
+                if (cache.store(g).offset_of[corrupt_keys] >= 0).any():
+                    failed.add(g)
+        if not bad.any():
+            return sources, 0, ()
+        bad_idx = np.flatnonzero(bad)
+        replacements = find_replicas(cache, dst, keys[bad_idx], health, exclude)
+        sources = sources.copy()
+        sources[bad_idx] = replacements
+        n = len(bad_idx)
+    reg.counter("faults.rerouted_keys", dst=dst).inc(n)
+    reg.counter(
+        "faults.rerouted_keys_to", target="host"
+    ).inc(int((replacements == HOST).sum()))
+    reg.counter(
+        "faults.rerouted_keys_to", target="replica"
+    ).inc(int((replacements != HOST).sum()))
+    if n_corrupt:
+        reg.counter("faults.corrupt_reads").inc(n_corrupt)
+    if n_stale:
+        reg.counter("faults.stale_reads").inc(n_stale)
+    log.debug(
+        "GPU %d: rerouted %d/%d keys (%d corrupt, %d stale) around faults",
+        dst, n, len(keys), n_corrupt, n_stale,
+    )
+    return sources, n, tuple(sorted(failed))
+
+
+# ----------------------------------------------------------------------
+# Stage 4: dedicate (declared before group, which consumes its output)
+# ----------------------------------------------------------------------
+def renormalize_dedication(
+    platform: Platform,
+    dst: int,
+    present: list[int],
+    dedication: dict[int, int],
+) -> tuple[dict[int, int], list[int]]:
+    """Re-normalize core shares when the map misses a present source.
+
+    The topology model and the location table can disagree (a stale map
+    after a fault, a route the solver never priced): instead of the old
+    one-core floor, recompute the non-host split over *every* present
+    remote source, weighting by link bandwidth (unreachable sources drain
+    through the host path, so they weigh in at PCIe speed), and shrink
+    proportionally so the total never exceeds the SM budget.
+
+    Returns ``(dedication, missing)``; when nothing was missing the input
+    map is returned unchanged.
+    """
+    remotes = [s for s in present if s not in (dst, HOST)]
+    missing = [s for s in remotes if s not in dedication]
+    if not missing:
+        return dedication, []
+    total = platform.gpu.num_cores
+    host_cores = dedication.get(HOST, 0)
+    budget = max(total - host_cores, len(remotes))
+    weights: dict[int, float] = {}
+    for s in remotes:
+        bw = platform.bandwidth(dst, s)
+        weights[s] = bw if bw > 0 else platform.pcie_bandwidth
+    wsum = sum(weights.values())
+    out: dict[int, int] = {HOST: host_cores} if HOST in dedication else {}
+    for s in remotes:
+        out[s] = max(1, int(budget * weights[s] / wsum))
+    while sum(v for k, v in out.items() if k != HOST) > budget:
+        biggest = max((k for k in out if k != HOST), key=lambda k: out[k])
+        if out[biggest] <= 1:
+            break
+        out[biggest] -= 1
+    return out, missing
+
+
+def dedicate(
+    platform: Platform,
+    dst: int,
+    present: list[int],
+    dedication_fn: Callable[..., dict[int, int]] | None = None,
+    log=logger,
+) -> dict[int, int]:
+    """The §5.3 core split over the sources actually present.
+
+    ``dedication_fn`` defaults to
+    :func:`repro.sim.mechanisms.core_dedication`; the result is
+    re-normalized (loudly) when it misses a present source, so the
+    topology model and the location table disagreeing is survivable but
+    never silent.
+    """
+    reg = get_registry()
+    with stage_timer("dedicate"):
+        fn = dedication_fn or core_dedication
+        dedication = fn(platform, dst, present)
+        dedication, missing = renormalize_dedication(
+            platform, dst, present, dedication
+        )
+    if missing:
+        reg.counter("extractor.plan.dedication_missing").inc(len(missing))
+        reg.counter("extractor.plan.dedication_renormalized").inc()
+        log.warning(
+            "GPU %d batch reads from source(s) %s absent from the "
+            "core-dedication map; re-normalized shares across %d "
+            "remote source(s)",
+            dst, missing, len([s for s in present if s not in (dst, HOST)]),
+        )
+    return dedication
+
+
+# ----------------------------------------------------------------------
+# Stage 3: group
+# ----------------------------------------------------------------------
+def group_by_source(
+    cache: "MultiGpuEmbeddingCache",
+    dst: int,
+    keys: np.ndarray,
+    sources: np.ndarray,
+    dedication: dict[int, int],
+) -> tuple[SourceGroup, ...]:
+    """Per-source batching: split a resolved batch into source-pure groups.
+
+    Non-local groups come first (launch order); the local group is
+    appended last, scheduled at low priority to pad the ragged non-local
+    finishing times (§5.3).
+    """
+    reg = get_registry()
+    with stage_timer("group"):
+        num_cores = cache.platform.gpu.num_cores
+        groups: list[SourceGroup] = []
+        local_group: SourceGroup | None = None
+        for src in (int(s) for s in np.unique(sources)):
+            positions = np.flatnonzero(sources == src)
+            group_keys = keys[positions]
+            if src == HOST:
+                offsets = np.empty(0, dtype=np.int64)
+            else:
+                offsets = cache.store(src).offset_of[group_keys]
+            group = SourceGroup(
+                source=src,
+                batch_positions=positions,
+                keys=group_keys,
+                offsets=offsets,
+                dedicated_cores=(
+                    num_cores if src == dst else dedication.get(src, 1)
+                ),
+            )
+            reg.counter(
+                "extractor.plan.keys", source=source_class(src, dst)
+            ).inc(len(group_keys))
+            reg.histogram(
+                "extractor.plan.dedicated_cores",
+                source=source_class(src, dst),
+            ).observe(group.dedicated_cores)
+            if src == dst:
+                local_group = group
+            else:
+                groups.append(group)
+        # Local extraction is launched last, on a low-priority stream.
+        if local_group is not None:
+            groups.append(local_group)
+    return tuple(groups)
+
+
+# ----------------------------------------------------------------------
+# Stages 1–4 composed: plan
+# ----------------------------------------------------------------------
+def plan_extraction(
+    cache: "MultiGpuEmbeddingCache",
+    dst: int,
+    keys: np.ndarray,
+    health: HealthView | None = None,
+    exclude: frozenset[int] = frozenset(),
+    dedication_fn: Callable[..., dict[int, int]] | None = None,
+    log=logger,
+) -> ExtractionPlan:
+    """Run resolve → reroute → dedicate → group for one GPU's batch."""
+    keys, sources = resolve(cache, dst, keys)
+    sources, rerouted, failed_sources = reroute(
+        cache, dst, keys, sources, health, exclude, log=log
+    )
+    platform = cache.platform
+    if health is not None:
+        platform = degraded_platform(platform, health)
+    present = [int(s) for s in np.unique(sources)]
+    dedication = dedicate(platform, dst, present, dedication_fn, log=log)
+    groups = group_by_source(cache, dst, keys, sources, dedication)
+    return ExtractionPlan(
+        dst=dst,
+        batch_size=len(keys),
+        groups=groups,
+        rerouted_keys=rerouted,
+        failed_sources=failed_sources,
+    )
+
+
+# ----------------------------------------------------------------------
+# Stage 5: price
+# ----------------------------------------------------------------------
+def price_demand(
+    platform: Platform,
+    demand: GpuDemand,
+    health: HealthView | None = None,
+    local_padding: bool = True,
+) -> GpuExtractionReport:
+    """The one pricing point for a factored extraction demand.
+
+    Degrades ``platform`` under ``health`` (no-op when healthy) and runs
+    the §5.3 factored timing model.  Every consumer — the extractor's
+    ``price``, the batch engine, the serving runtime's request pricing and
+    hedge race — calls this function, so one demand has one price.
+    """
+    with stage_timer("price"):
+        if health is not None:
+            platform = degraded_platform(platform, health)
+        return factored_extraction(platform, demand, local_padding=local_padding)
+
+
+def host_fallback_demand(demand: GpuDemand) -> GpuDemand:
+    """The hedge arm: the whole batch as one host-DRAM gather.
+
+    Shared by the serving runtime's deadline hedge and the event-driven
+    :func:`~repro.sim.event_sim.simulate_hedged_extraction`, so both race
+    the primary plan against an identically-shaped fallback.
+    """
+    return GpuDemand(dst=demand.dst, volumes={HOST: demand.total_bytes})
+
+
+def apply_health(
+    platform: Platform,
+    demands: list[GpuDemand],
+    health: HealthView | None,
+) -> tuple[Platform, list[GpuDemand], float]:
+    """Degrade a platform and reroute doomed volume for raw demands.
+
+    The demand-level twin of :func:`reroute` (which works on keys): bytes
+    still routed at a downed source or severed link move to the host path.
+    Returns ``(platform, demands, moved_bytes)``; unchanged inputs when
+    the view is healthy.  Both simulators (batch engine and event-driven)
+    share this, so they always price the same degraded inputs.
+    """
+    if health is None or health.healthy:
+        return platform, list(demands), 0.0
+    degraded = degraded_platform(platform, health)
+    rerouted = [reroute_demand(d, platform, health) for d in demands]
+    moved = sum(
+        r.volume(HOST) - d.volume(HOST) for d, r in zip(demands, rerouted)
+    )
+    return degraded, rerouted, moved
+
+
+# ----------------------------------------------------------------------
+# Stage 6: execute
+# ----------------------------------------------------------------------
+def execute_plan(
+    cache: "MultiGpuEmbeddingCache", plan: ExtractionPlan
+) -> tuple[np.ndarray, GpuDemand]:
+    """Gather values per the plan; returns (values, priced demand)."""
+    reg = get_registry()
+    entry_bytes = cache.entry_bytes
+    with stage_timer("execute"):
+        values = np.empty(
+            (plan.batch_size, cache.dim),
+            dtype=cache.store(0).data.dtype,
+        )
+        for group in plan.groups:
+            if group.source == HOST:
+                values[group.batch_positions] = cache.host_gather(group.keys)
+            else:
+                store = cache.store(group.source)
+                values[group.batch_positions] = store.data[group.offsets]
+            reg.counter(
+                "extractor.execute.bytes",
+                source=source_class(group.source, plan.dst),
+            ).inc(len(group.keys) * entry_bytes)
+    return values, plan.demand(entry_bytes)
+
+
+# ----------------------------------------------------------------------
+# Reconciliation: the hashtable vs the dense arrays
+# ----------------------------------------------------------------------
+def verify_resolution(cache: "MultiGpuEmbeddingCache", dst: int) -> list[str]:
+    """Reconcile ``dst``'s dense routing arrays with the §4 hashtable.
+
+    Builds the faithful :class:`~repro.core.location_table.LocationTable`
+    form of ``dst``'s routing (source per entry from ``source_map``, slot
+    offset from the holding store's ``offset_of``) and bulk-resolves every
+    entry through it, asserting the hashtable answers match the dense
+    arrays the hot path serves from.  This is the one reconciliation
+    point between the two representations; the cache's integrity check
+    runs it per GPU.  Entries whose dense route is already broken (a
+    source that does not hold them) are skipped here — the integrity
+    check reports those separately.
+    """
+    platform = cache.platform
+    G = platform.num_gpus
+    srcs = np.asarray(cache.source_map[dst])
+    n = len(srcs)
+    entries = np.arange(n, dtype=np.int64)
+    offsets = entries.copy()  # host convention: addressed by key
+    consistent = srcs == HOST
+    for g in range(G):
+        routed = np.flatnonzero(srcs == g)
+        if len(routed) == 0:
+            continue
+        off = cache.store(g).offset_of[routed]
+        held = off >= 0
+        offsets[routed[held]] = off[held]
+        consistent[routed[held]] = True
+    dense_srcs = np.where(consistent, srcs, HOST).astype(srcs.dtype)
+    table = LocationTable.from_source_map(dense_srcs, offsets, num_sources=G)
+    got_srcs, got_offsets = table.lookup_batch(entries)
+    mismatched = (got_srcs != dense_srcs) | (got_offsets != offsets)
+    if mismatched.any():
+        return [
+            f"GPU {dst}: hashtable resolution diverges from the dense "
+            f"source map for {int(mismatched.sum())} entries"
+        ]
+    return []

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hardware.spec import GPUSpec, a100_80gb, v100_16gb, v100_32gb
 from repro.hardware.topology import (
     Topology,
@@ -29,6 +31,13 @@ from repro.utils.units import GIB, gbps
 
 #: Sentinel source id for host DRAM (reached over PCIe).
 HOST: int = -1
+
+#: The one dtype every bulk source-location array uses (the location
+#: table's lookup results, the cache's dense ``source_map``, the
+#: extractor's replica search).  Must hold :data:`HOST` plus every GPU id
+#: the packed location format supports (15-bit sources); widen it here —
+#: and only here — if a platform ever exceeds that.
+SOURCE_DTYPE = np.int16
 
 
 @dataclass(frozen=True)

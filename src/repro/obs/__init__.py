@@ -34,10 +34,17 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
-from repro.obs.tracing import SpanRecord, span, timer
+from repro.obs.tracing import (
+    PIPELINE_STAGES,
+    SpanRecord,
+    span,
+    stage_timer,
+    timer,
+)
 
 __all__ = [
     "BUCKET_BOUNDS",
+    "PIPELINE_STAGES",
     "Counter",
     "Gauge",
     "Histogram",
@@ -47,6 +54,7 @@ __all__ = [
     "load_metrics",
     "set_registry",
     "span",
+    "stage_timer",
     "summarize",
     "timer",
     "to_prometheus_text",

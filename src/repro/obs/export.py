@@ -138,16 +138,44 @@ def _fmt(value: float) -> str:
     return f"{value:.4g}"
 
 
+def _stage_breakdown(metrics: list[dict[str, Any]]) -> list[str]:
+    """Extraction-pipeline breakdown: seconds per stage, in stage order."""
+    from repro.obs.tracing import PIPELINE_STAGES
+
+    totals = {
+        stage: sum(
+            m.get("sum", 0.0)
+            for m in metrics
+            if m.get("name") == f"pipeline.{stage}.seconds"
+        )
+        for stage in PIPELINE_STAGES
+    }
+    grand = sum(totals.values())
+    if grand <= 0:
+        return []
+    lines = ["pipeline stage breakdown:"]
+    for stage in PIPELINE_STAGES:
+        if totals[stage] > 0:
+            lines.append(
+                f"  {stage:10s} {_fmt(totals[stage])}s "
+                f"({100 * totals[stage] / grand:.1f}%)"
+            )
+    return lines
+
+
 def summarize(doc: dict[str, Any]) -> str:
     """Terse text summary of a loaded metrics document.
 
     Counters and gauges print name/labels/value; histograms print
-    count/mean/min/max.  This is what ``python -m repro metrics PATH``
-    shows.
+    count/mean/min/max; any ``pipeline.<stage>.seconds`` series are
+    additionally rolled up into a per-stage breakdown (stages in
+    :data:`~repro.obs.tracing.PIPELINE_STAGES` order).  This is what
+    ``python -m repro metrics PATH`` shows.
     """
     lines = [f"metrics artifact: registry={doc.get('registry', '?')} "
              f"({len(doc.get('metrics', []))} series, "
              f"{len(doc.get('spans', []))} spans)"]
+    lines += _stage_breakdown(doc.get("metrics", []))
     for m in doc.get("metrics", []):
         labels = m.get("labels") or {}
         label_text = (

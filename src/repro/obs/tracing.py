@@ -21,7 +21,7 @@ from typing import Any
 
 from repro.obs.metrics import MetricsRegistry, get_registry
 
-__all__ = ["SpanRecord", "span", "timer"]
+__all__ = ["PIPELINE_STAGES", "SpanRecord", "span", "stage_timer", "timer"]
 
 #: Cap on buffered spans per registry; beyond it spans are counted but
 #: dropped, so a long-running process cannot leak memory through tracing.
@@ -120,6 +120,22 @@ def timer(name: str, registry: MetricsRegistry | None = None, **labels: Any):
     if not registry.enabled:
         return _NOOP
     return _Timer(registry, name, labels)
+
+
+#: The extraction pipeline's stage names, in execution order.  Each stage
+#: times itself into ``pipeline.<stage>.seconds``; exporters and the
+#: metrics summarizer use this list to render the per-stage breakdown.
+PIPELINE_STAGES = ("resolve", "reroute", "group", "dedicate", "price", "execute")
+
+
+def stage_timer(stage: str, registry: MetricsRegistry | None = None, **labels: Any):
+    """Timer for one extraction-pipeline stage (``pipeline.<stage>.seconds``).
+
+    The single naming point for per-stage observability: every consumer of
+    :mod:`repro.core.pipeline` gets the same histogram names, so a stage's
+    cost is comparable no matter which layer invoked it.
+    """
+    return timer(f"pipeline.{stage}.seconds", registry, **labels)
 
 
 def span(name: str, registry: MetricsRegistry | None = None, **attrs: Any):

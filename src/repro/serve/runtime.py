@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.extractor import FactoredExtractor
-from repro.faults.degrade import degraded_platform
+from repro.core.pipeline import host_fallback_demand, price_demand
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import HealthView
 from repro.hardware.platform import HOST
@@ -35,7 +35,6 @@ from repro.obs import get_registry
 from repro.serve.breaker import BreakerBoard, BreakerConfig
 from repro.serve.queueing import AdmissionConfig, AdmissionController
 from repro.serve.request import Request, RequestStatus, Response, SimClock
-from repro.sim.mechanisms import GpuDemand, factored_extraction
 from repro.utils.logging import get_logger
 
 logger = get_logger("serve.runtime")
@@ -153,12 +152,6 @@ class ServingRuntime:
             return None
         return self._injector.advance(now)
 
-    def _priced_platform(self, health: HealthView | None):
-        platform = self._extractor.platform
-        if health is not None:
-            platform = degraded_platform(platform, health)
-        return platform
-
     def serve_request(self, request: Request, now: float) -> Response:
         """Execute one admitted request at (simulated) time ``now``."""
         reg = get_registry()
@@ -178,8 +171,9 @@ class ServingRuntime:
             exclude_sources=excluded,
         )
         values, demand = self._extractor.execute(plan)
-        platform = self._priced_platform(health)
-        report = factored_extraction(platform, demand)
+        # The pipeline's shared price stage — same call the simulators make.
+        platform = self._extractor.platform
+        report = price_demand(platform, demand, health=health)
         service_time = report.time
 
         hedged = False
@@ -191,13 +185,8 @@ class ServingRuntime:
             < self.config.hedge_headroom * service_time
         ):
             hedged = True
-            host_demand = GpuDemand(
-                dst=request.gpu,
-                volumes={
-                    HOST: float(len(request.keys) * self._cache.entry_bytes)
-                },
-            )
-            host_time = factored_extraction(platform, host_demand).time
+            host_demand = host_fallback_demand(demand)
+            host_time = price_demand(platform, host_demand, health=health).time
             reg.counter("serve.hedges", gpu=request.gpu).inc()
             if host_time < service_time:
                 # the host gather wins the race: same (exact) values, the
@@ -288,10 +277,10 @@ class ServingRuntime:
         """Measure current serving latency (max over GPUs) for the swap
         guardrail, without touching queues, breakers, or metrics state."""
         health = self._health(now)
-        platform = self._priced_platform(health)
+        platform = self._extractor.platform
         worst = 0.0
         for gpu, keys in enumerate(keys_per_gpu):
             plan = self._extractor.plan(gpu, keys, health=health, now=now)
             demand = plan.demand(self._cache.entry_bytes)
-            worst = max(worst, factored_extraction(platform, demand).time)
+            worst = max(worst, price_demand(platform, demand, health=health).time)
         return worst

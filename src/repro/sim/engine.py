@@ -5,13 +5,19 @@ The engine takes one :class:`~repro.sim.mechanisms.GpuDemand` per GPU
 dispatches to the selected mechanism's timing model, and aggregates a
 :class:`BatchReport`.  Data-parallel training/inference synchronizes every
 iteration, so the batch extraction time is the maximum over GPUs.
+
+Health application and factored pricing are the extraction pipeline's
+stages (:func:`repro.core.pipeline.apply_health` and
+:func:`~repro.core.pipeline.price_demand`), shared with the extractor and
+the serving runtime, so a demand priced here matches a demand priced
+anywhere else in the stack.  The imports are function-level because
+``repro.core`` imports this package back.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.faults.degrade import degraded_platform, reroute_demand
 from repro.faults.spec import FaultPlan, HealthView
 from repro.hardware.platform import HOST, Platform
 from repro.obs import get_registry
@@ -20,7 +26,6 @@ from repro.sim.mechanisms import (
     GpuDemand,
     GpuExtractionReport,
     Mechanism,
-    factored_extraction,
     message_extraction,
     naive_peer_extraction,
 )
@@ -121,18 +126,15 @@ def simulate_batch(
         A :class:`BatchReport`; ``report.time`` is the batch extraction
         time in seconds.
     """
+    from repro.core.pipeline import apply_health, price_demand
+
     if health is None and faults is not None:
         health = faults.health_at(now)
-    if health is not None and not health.healthy:
-        degraded = degraded_platform(platform, health)
-        rerouted = [reroute_demand(d, platform, health) for d in demands]
-        moved = sum(
-            r.volume(HOST) - d.volume(HOST) for d, r in zip(demands, rerouted)
-        )
+    platform, demands, moved = apply_health(platform, demands, health)
+    if moved > 0:
         reg = get_registry()
-        if reg.enabled and moved > 0:
+        if reg.enabled:
             reg.counter("faults.sim.rerouted_bytes").inc(moved)
-        platform, demands = degraded, rerouted
     for demand in demands:
         for src, vol in demand.volumes.items():
             if vol > 0 and src != HOST and not platform.is_connected(demand.dst, src):
@@ -148,8 +150,10 @@ def simulate_batch(
             naive_peer_extraction(platform, d, readers, congestion) for d in demands
         ]
     elif mechanism is Mechanism.FACTORED:
+        # The pipeline's price stage: the same call the extractor's
+        # ``price`` and the serving runtime make.
         reports = [
-            factored_extraction(platform, d, local_padding=local_padding)
+            price_demand(platform, d, local_padding=local_padding)
             for d in demands
         ]
     else:  # pragma: no cover - exhaustive enum

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.faults.degrade import degraded_platform, reroute_demand
 from repro.faults.spec import FaultPlan
 from repro.hardware.platform import HOST, Platform
 from repro.sim.congestion import CongestionModel
@@ -62,15 +61,18 @@ def _apply_faults(
     faults: FaultPlan | None,
     now: float,
 ) -> tuple[Platform, GpuDemand]:
-    """Degrade the platform and reroute dead-source volume at ``now``."""
+    """Degrade the platform and reroute dead-source volume at ``now``.
+
+    Delegates to the pipeline's :func:`~repro.core.pipeline.apply_health`
+    (function-level import: ``repro.core`` imports this package back), so
+    the discrete simulator degrades inputs exactly like the batch engine.
+    """
     if faults is None:
         return platform, demand
-    health = faults.health_at(now)
-    if health.healthy:
-        return platform, demand
-    return degraded_platform(platform, health), reroute_demand(
-        demand, platform, health
-    )
+    from repro.core.pipeline import apply_health
+
+    platform, demands, _ = apply_health(platform, [demand], faults.health_at(now))
+    return platform, demands[0]
 
 
 def _link_rate(
@@ -326,9 +328,9 @@ def simulate_hedged_extraction(
     primary = simulate_factored_event_driven(
         platform, demand, chunk_bytes=chunk_bytes, faults=faults, now=now
     )
-    host_demand = GpuDemand(
-        dst=demand.dst, volumes={HOST: demand.total_bytes}
-    )
+    from repro.core.pipeline import host_fallback_demand
+
+    host_demand = host_fallback_demand(demand)
     hedge = simulate_factored_event_driven(
         platform, host_demand, chunk_bytes=chunk_bytes, faults=faults, now=now
     )
