@@ -165,6 +165,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     import json
 
     from repro.obs import MetricsRegistry, use_registry, write_json
+    from repro.serve.coalesce import BatchingMode
     from repro.serve.queueing import QueuePolicy
     from repro.serve.soak import SoakConfig, render_soak_report, run_soak
 
@@ -174,10 +175,15 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         closed_loop=args.closed_loop,
         clients=args.clients,
         queue_policy=QueuePolicy(args.queue_policy),
+        batching=BatchingMode(args.batching),
+        max_batch=args.max_batch,
+        workers=args.workers,
         seed=args.seed,
     )
     if args.requests is not None:
         overrides["requests_per_gpu"] = args.requests
+    if args.linger_ms is not None:
+        overrides["linger_ms"] = args.linger_ms
     cfg = (
         SoakConfig.quick(**overrides) if args.quick else SoakConfig(**overrides)
     )
@@ -283,6 +289,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-policy", default="reject",
                    choices=["block", "reject", "shed-oldest"],
                    help="backpressure when a GPU queue fills")
+    p.add_argument("--batching", default="off",
+                   choices=["off", "coalesce"],
+                   help="cross-request coalescing of each GPU's queue "
+                        "(off reproduces the un-batched path exactly)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="most requests fused into one extraction")
+    p.add_argument("--linger-ms", type=float, default=None, metavar="MS",
+                   help="micro-batch linger in milliseconds (default: "
+                        "half the baseline service time)")
+    p.add_argument("--workers", type=int, default=1,
+                   help=">1 serves the GPUs on concurrent worker threads "
+                        "(open-loop only)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json-out", default=None, metavar="PATH",
                    help="write the soak report as JSON")

@@ -33,6 +33,7 @@ from repro.obs import get_registry
 from repro.sim.congestion import CongestionModel
 from repro.sim.engine import BatchReport, simulate_batch
 from repro.sim.mechanisms import GpuDemand, Mechanism
+from repro.utils.concurrency import ReadWriteLock
 
 
 class CacheIntegrityError(RuntimeError):
@@ -63,7 +64,26 @@ class LookupResult:
 
 
 class MultiGpuEmbeddingCache:
-    """Read-only embedding cache unified across the platform's GPUs."""
+    """Read-only embedding cache unified across the platform's GPUs.
+
+    **Thread-safety contract.**  The serving layer runs one worker thread
+    per GPU against this object while the background
+    :class:`~repro.core.refresher.Refresher` mutates it, so the cache owns
+    a writer-preferring :class:`~repro.utils.concurrency.ReadWriteLock`:
+
+    * *readers* — :meth:`lookup`, :meth:`host_gather`, extraction planning
+      and execution (via :meth:`reading`), :meth:`verify_integrity`,
+      :meth:`snapshot_location_state` — share the routing structures;
+    * *writers* — :meth:`replace_placement`, :meth:`refresh_source_map`,
+      :meth:`restore_location_state`, and every Refresher diff step (the
+      refresher wraps them in :meth:`writing`) — get exclusive access.
+
+    Consumers composing multi-step read sequences (e.g. the serving
+    runtime's plan → execute → price) must hold :meth:`reading` across the
+    whole sequence so a refresh cannot land between resolve and gather.
+    The lock is reentrant per thread, and a writer may take the read side
+    (integrity checks run inside refresh/rollback write sections).
+    """
 
     def __init__(
         self,
@@ -82,6 +102,23 @@ class MultiGpuEmbeddingCache:
         self._capacity = capacity_entries
         self._stores: list[GpuCacheStore] = fill_all(table, placement, capacity_entries)
         self._source_map = resolve_sources(platform, placement)
+        self._rwlock = ReadWriteLock()
+
+    # ------------------------------------------------------------------
+    # Concurrency
+    # ------------------------------------------------------------------
+    def reading(self):
+        """Shared (reader) access to the routing structures and stores.
+
+        Hold this across any multi-step read sequence (resolve → gather)
+        run off the owning thread; single reads through :meth:`lookup` /
+        :meth:`host_gather` take it themselves.
+        """
+        return self._rwlock.read_locked()
+
+    def writing(self):
+        """Exclusive (writer) access — placement swaps and refresh steps."""
+        return self._rwlock.write_locked()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -129,7 +166,8 @@ class MultiGpuEmbeddingCache:
         keys = np.ascontiguousarray(keys, dtype=np.int64)
         if keys.size and (keys.min() < 0 or keys.max() >= self.num_entries):
             raise KeyError("host gather key out of range")
-        return self._table[keys]
+        with self._rwlock.read_locked():
+            return self._table[keys]
 
     # ------------------------------------------------------------------
     # Lookup path
@@ -146,18 +184,19 @@ class MultiGpuEmbeddingCache:
         keys = np.ascontiguousarray(keys, dtype=np.int64)
         if keys.size and (keys.min() < 0 or keys.max() >= self.num_entries):
             raise KeyError("lookup key out of range")
-        keys, sources = resolve(self, dst, keys)
-        values = np.empty((len(keys), self.dim), dtype=self._table.dtype)
-        host_mask = sources == HOST
-        if host_mask.any():
-            values[host_mask] = self._table[keys[host_mask]]
-        for gpu in self._platform.gpu_ids:
-            mask = sources == gpu
-            if mask.any():
-                values[mask] = self._stores[gpu].read(keys[mask])
-        demand = demand_from_keys(
-            self._platform, self._source_map, dst, keys, self.entry_bytes
-        )
+        with self._rwlock.read_locked():
+            keys, sources = resolve(self, dst, keys)
+            values = np.empty((len(keys), self.dim), dtype=self._table.dtype)
+            host_mask = sources == HOST
+            if host_mask.any():
+                values[host_mask] = self._table[keys[host_mask]]
+            for gpu in self._platform.gpu_ids:
+                mask = sources == gpu
+                if mask.any():
+                    values[mask] = self._stores[gpu].read(keys[mask])
+            demand = demand_from_keys(
+                self._platform, self._source_map, dst, keys, self.entry_bytes
+            )
         reg = get_registry()
         if reg.enabled:
             local = int((sources == dst).sum())
@@ -207,15 +246,19 @@ class MultiGpuEmbeddingCache:
         """
         if placement.num_entries != self.num_entries:
             raise ValueError("new placement does not cover the table")
-        self._stores = fill_all(self._table, placement, self._capacity)
-        self._placement = placement
-        self._source_map = resolve_sources(self._platform, placement)
+        with self._rwlock.write_locked():
+            self._stores = fill_all(self._table, placement, self._capacity)
+            self._placement = placement
+            self._source_map = resolve_sources(self._platform, placement)
 
     def refresh_source_map(self) -> None:
         """Rebuild the location table from the stores' current contents."""
-        per_gpu = tuple(store.cached_entries() for store in self._stores)
-        self._placement = Placement(num_entries=self.num_entries, per_gpu=per_gpu)
-        self._source_map = resolve_sources(self._platform, self._placement)
+        with self._rwlock.write_locked():
+            per_gpu = tuple(store.cached_entries() for store in self._stores)
+            self._placement = Placement(
+                num_entries=self.num_entries, per_gpu=per_gpu
+            )
+            self._source_map = resolve_sources(self._platform, self._placement)
 
     def snapshot_location_state(self) -> tuple[Placement, np.ndarray]:
         """Copy of the current routing state: ``(placement, source_map)``.
@@ -225,7 +268,8 @@ class MultiGpuEmbeddingCache:
         one before a hot policy swap so a guardrail-triggered rollback
         has an exact pre-swap target.
         """
-        return self._placement, self._source_map.copy()
+        with self._rwlock.read_locked():
+            return self._placement, self._source_map.copy()
 
     def restore_location_state(
         self, placement: Placement, source_map: np.ndarray
@@ -240,8 +284,9 @@ class MultiGpuEmbeddingCache:
             raise ValueError("snapshot placement does not cover the table")
         if source_map.shape != self._source_map.shape:
             raise ValueError("snapshot source map has the wrong shape")
-        self._placement = placement
-        self._source_map = source_map.copy()
+        with self._rwlock.write_locked():
+            self._placement = placement
+            self._source_map = source_map.copy()
 
     # ------------------------------------------------------------------
     # Invariant checking
@@ -259,6 +304,10 @@ class MultiGpuEmbeddingCache:
         """
         from repro.core.pipeline import verify_resolution
 
+        with self._rwlock.read_locked():
+            return self._verify_integrity_locked(verify_resolution)
+
+    def _verify_integrity_locked(self, verify_resolution) -> list[str]:
         problems: list[str] = []
         G = self._platform.num_gpus
         for gpu, store in enumerate(self._stores):

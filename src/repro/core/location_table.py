@@ -23,6 +23,8 @@ implementation to test.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.hardware.platform import HOST, SOURCE_DTYPE
@@ -104,6 +106,17 @@ class LocationTable:
     branch-light and coalescing-friendly).  Deletion uses backward-shift
     compaction, so lookups never traverse tombstones — the property that
     keeps worst-case probe lengths bounded after many refresh cycles.
+
+    **Thread safety:** every public operation (lookups *and* mutations)
+    holds the table's reentrant lock for its whole probe pass.  A lookup
+    runs several numpy probing rounds over ``_keys``/``_values``, and a
+    concurrent insert can grow (replace) those arrays or backward-shift a
+    cluster mid-pass, so unsynchronized readers could chase a stale arena
+    or observe a half-moved cluster (a torn read).  The serving layer's
+    concurrency suite (``pytest -m concurrency``) hammers exactly this
+    interleaving.  Mutations are batched and rare next to lookups, so a
+    single mutual-exclusion lock (rather than a reader/writer pair) keeps
+    the fast path at one uncontended acquire.
     """
 
     def __init__(
@@ -135,6 +148,9 @@ class LocationTable:
         self._keys = np.full(capacity, _EMPTY_KEY, dtype=np.int64)
         self._values = np.zeros(capacity, dtype=np.int64)
         self._size = 0
+        # Reentrant: insert() wraps insert_batch(), remove_batch() wraps
+        # remove(), and from_source_map() inserts into a fresh table.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -229,10 +245,11 @@ class LocationTable:
         uniq, rev_first = np.unique(keys[::-1], return_index=True)
         last = len(keys) - 1 - rev_first
         keys, packed = keys[last], packed[last]
-        # Grow only for keys not already present (overwrites are free).
-        found, _ = self._probe_batch(keys, "insert")
-        self._reserve(self._size + int((~found).sum()))
-        self._store_unique(keys, packed)
+        with self._lock:
+            # Grow only for keys not already present (overwrites are free).
+            found, _ = self._probe_batch(keys, "insert")
+            self._reserve(self._size + int((~found).sum()))
+            self._store_unique(keys, packed)
 
     def _store_unique(self, keys: np.ndarray, packed: np.ndarray) -> None:
         """Place unique ``keys`` via parallel probing rounds.
@@ -275,6 +292,10 @@ class LocationTable:
         Uses backward-shift deletion: subsequent probe-chain entries are
         relocated so no tombstones accumulate.
         """
+        with self._lock:
+            return self._remove_locked(key)
+
+    def _remove_locked(self, key: int) -> bool:
         slot = self._slot(key)
         for _ in range(self._capacity):
             existing = self._keys[slot]
@@ -362,19 +383,20 @@ class LocationTable:
         returning garbage.  The location must still be *packable*
         (16-bit source, 48-bit offset).
         """
-        slot = self._slot(key)
-        for _ in range(self._capacity):
-            existing = self._keys[slot]
-            if existing == _EMPTY_KEY:
-                raise KeyError(f"cannot corrupt absent key {key}")
-            if existing == key:
-                self._values[slot] = pack_location(source, offset)
-                return
-            slot = (slot + 1) & self._mask
-        raise ProbeLimitError(
-            f"corrupt_slot({key}) probed all {self._capacity} slots: "
-            "table full or corrupt"
-        )
+        with self._lock:
+            slot = self._slot(key)
+            for _ in range(self._capacity):
+                existing = self._keys[slot]
+                if existing == _EMPTY_KEY:
+                    raise KeyError(f"cannot corrupt absent key {key}")
+                if existing == key:
+                    self._values[slot] = pack_location(source, offset)
+                    return
+                slot = (slot + 1) & self._mask
+            raise ProbeLimitError(
+                f"corrupt_slot({key}) probed all {self._capacity} slots: "
+                "table full or corrupt"
+            )
 
     # ------------------------------------------------------------------
     # Lookup
@@ -397,12 +419,13 @@ class LocationTable:
             CorruptEntryError: the stored location is outside the table's
                 ``num_sources`` / ``max_offset`` bounds.
         """
-        found, slots = self._probe_batch(
-            np.asarray([key], dtype=np.int64), f"get({key})"
-        )
-        if not found[0]:
-            return None
-        return self._checked_location(key, self._values[slots[0]])
+        with self._lock:
+            found, slots = self._probe_batch(
+                np.asarray([key], dtype=np.int64), f"get({key})"
+            )
+            if not found[0]:
+                return None
+            return self._checked_location(key, self._values[slots[0]])
 
     def lookup_batch(
         self, keys: np.ndarray, on_corrupt: str = "raise"
@@ -424,11 +447,12 @@ class LocationTable:
         offsets = keys.copy()  # miss ⇒ host storage addressed by key
         if len(keys) == 0:
             return sources, offsets
-        found, slots = self._probe_batch(keys, "lookup_batch")
-        hit = np.flatnonzero(found)
-        if hit.size == 0:
-            return sources, offsets
-        packed = self._values[slots[hit]]
+        with self._lock:
+            found, slots = self._probe_batch(keys, "lookup_batch")
+            hit = np.flatnonzero(found)
+            if hit.size == 0:
+                return sources, offsets
+            packed = self._values[slots[hit]]
         src = (packed >> _OFFSET_BITS) - 1
         off = packed & _OFFSET_MASK
         corrupt = self._corrupt_mask(src, off)
@@ -456,11 +480,12 @@ class LocationTable:
 
     def max_probe_length(self) -> int:
         """Longest probe chain currently in the table (a health metric)."""
-        live = np.flatnonzero(self._keys != _EMPTY_KEY)
-        if live.size == 0:
-            return 0
-        ideal = self._slots_of(self._keys[live])
-        return int(((live - ideal) & self._mask).max())
+        with self._lock:
+            live = np.flatnonzero(self._keys != _EMPTY_KEY)
+            if live.size == 0:
+                return 0
+            ideal = self._slots_of(self._keys[live])
+            return int(((live - ideal) & self._mask).max())
 
     @staticmethod
     def from_source_map(

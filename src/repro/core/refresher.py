@@ -146,21 +146,24 @@ class Refresher:
         location state is restored and integrity re-verified.
         """
         table = self._cache.host_table
-        try:
-            for gpu, evicted, inserted in reversed(undo):
-                # Inverse of apply_diff_step: drop what it inserted,
-                # re-insert what it evicted (values come back from the host
-                # table, which is the ground truth the stores mirror).
-                apply_diff_step(self._cache.store(gpu), table, inserted, evicted)
-        except Exception as exc:
-            logger.error(
-                "rollback replay failed (%s); rebuilding stores from the "
-                "host table instead", exc,
-            )
-            get_registry().counter("refresher.rollback.double_faults").inc()
-            self._cache.replace_placement(placement)
-        self._cache.restore_location_state(placement, source_map)
-        self._cache.check_integrity()
+        with self._cache.writing():
+            try:
+                for gpu, evicted, inserted in reversed(undo):
+                    # Inverse of apply_diff_step: drop what it inserted,
+                    # re-insert what it evicted (values come back from the host
+                    # table, which is the ground truth the stores mirror).
+                    apply_diff_step(
+                        self._cache.store(gpu), table, inserted, evicted
+                    )
+            except Exception as exc:
+                logger.error(
+                    "rollback replay failed (%s); rebuilding stores from the "
+                    "host table instead", exc,
+                )
+                get_registry().counter("refresher.rollback.double_faults").inc()
+                self._cache.replace_placement(placement)
+            self._cache.restore_location_state(placement, source_map)
+            self._cache.check_integrity()
         reg = get_registry()
         if reg.enabled:
             reg.counter("refresher.rollbacks").inc()
@@ -211,14 +214,15 @@ class Refresher:
         # foreground batch; the effect — no dangling read — is the same).
         from repro.hardware.platform import HOST
 
-        source_map = self._cache.source_map
-        for gpu in range(new_placement.num_gpus):
-            evicted = diff.evictions[gpu]
-            if len(evicted) == 0:
-                continue
-            for dst in range(new_placement.num_gpus):
-                stale = source_map[dst][evicted] == gpu
-                source_map[dst][evicted[stale]] = HOST
+        with self._cache.writing():
+            source_map = self._cache.source_map
+            for gpu in range(new_placement.num_gpus):
+                evicted = diff.evictions[gpu]
+                if len(evicted) == 0:
+                    continue
+                for dst in range(new_placement.num_gpus):
+                    stale = source_map[dst][evicted] == gpu
+                    source_map[dst][evicted[stale]] = HOST
 
         steps = 0
         table = self._cache.host_table
@@ -235,7 +239,14 @@ class Refresher:
                     batch_e = evict[cursor_e : cursor_e + cfg.update_batch_entries]
                     batch_i = insert[cursor_i : cursor_i + cfg.update_batch_entries]
                     # Keep occupancy within capacity: evict before insert.
-                    apply_diff_step(self._cache.store(gpu), table, batch_e, batch_i)
+                    # Each step holds the cache's write lock on its own (the
+                    # lock is *not* held across the yield below), so serving
+                    # workers' lookups interleave between steps, never inside
+                    # one.
+                    with self._cache.writing():
+                        apply_diff_step(
+                            self._cache.store(gpu), table, batch_e, batch_i
+                        )
                     undo.append((gpu, batch_e, batch_i))
                     cursor_e += len(batch_e)
                     cursor_i += len(batch_i)

@@ -11,6 +11,8 @@ plan poison the same entries.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.faults.spec import FaultKind, FaultPlan, FaultSpec, HealthView
@@ -40,6 +42,10 @@ class FaultInjector:
         self._cache = cache
         self._applied: set[int] = set()
         self._now = 0.0
+        # advance() mutates _now/_applied and (for one-shots) the cache's
+        # source map; per-GPU serving workers may all drive time forward,
+        # so realize faults under a lock.
+        self._lock = threading.Lock()
 
     @property
     def plan(self) -> FaultPlan:
@@ -63,31 +69,33 @@ class FaultInjector:
         Returns the health view at ``now``.  Idempotent per fault: a
         one-shot is applied the first time ``now`` passes its onset.
         """
-        self._now = now
         reg = get_registry()
-        for idx, fault in enumerate(self._plan.faults):
-            if idx in self._applied or now < fault.onset:
-                continue
-            if fault.kind is FaultKind.CORRUPT_SLOT:
-                self._applied.add(idx)
-                corrupted = self._corrupt_source_map(fault)
-                reg.counter(
-                    "faults.injected", kind=fault.kind.value
-                ).inc()
-                reg.counter("faults.corrupted_slots").inc(corrupted)
-                logger.warning(
-                    "fault injected at t=%.2f: corrupted %d location slots "
-                    "referencing GPU %d", now, corrupted, fault.gpu,
-                )
-            elif fault.onset <= now:
-                # Standing faults are realized through health views; count
-                # each once at onset so the timeline shows when they hit.
-                self._applied.add(idx)
-                reg.counter("faults.injected", kind=fault.kind.value).inc()
-                logger.warning(
-                    "fault active at t=%.2f: %s (severity %.2f)",
-                    now, fault.kind.value, fault.severity,
-                )
+        with self._lock:
+            self._now = max(self._now, now)
+            for idx, fault in enumerate(self._plan.faults):
+                if idx in self._applied or now < fault.onset:
+                    continue
+                if fault.kind is FaultKind.CORRUPT_SLOT:
+                    self._applied.add(idx)
+                    corrupted = self._corrupt_source_map(fault)
+                    reg.counter(
+                        "faults.injected", kind=fault.kind.value
+                    ).inc()
+                    reg.counter("faults.corrupted_slots").inc(corrupted)
+                    logger.warning(
+                        "fault injected at t=%.2f: corrupted %d location "
+                        "slots referencing GPU %d", now, corrupted, fault.gpu,
+                    )
+                elif fault.onset <= now:
+                    # Standing faults are realized through health views;
+                    # count each once at onset so the timeline shows when
+                    # they hit.
+                    self._applied.add(idx)
+                    reg.counter("faults.injected", kind=fault.kind.value).inc()
+                    logger.warning(
+                        "fault active at t=%.2f: %s (severity %.2f)",
+                        now, fault.kind.value, fault.severity,
+                    )
         view = self._plan.health_at(now)
         if reg.enabled:
             reg.gauge("faults.active").set(len(self._plan.active_at(now)))

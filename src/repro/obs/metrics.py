@@ -46,21 +46,30 @@ def _label_key(labels: dict[str, Any]) -> LabelKey:
 
 
 class Counter:
-    """Monotonically increasing counter (e.g. lookups, bytes moved)."""
+    """Monotonically increasing counter (e.g. lookups, bytes moved).
 
-    __slots__ = ("name", "labels", "value")
+    Updates are guarded by a per-instrument lock: ``self.value += x`` is a
+    read-modify-write (three bytecodes), so concurrent workers would lose
+    increments without it.  The lock is uncontended on the single-threaded
+    paths and per-series under the worker pool, so the cost stays at one
+    uncontended acquire per update.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
     kind = "counter"
 
     def __init__(self, name: str, labels: LabelKey = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-able state of this series."""
@@ -73,23 +82,31 @@ class Counter:
 
 
 class Gauge:
-    """Last-value instrument (e.g. current hit rate, LP variable count)."""
+    """Last-value instrument (e.g. current hit rate, LP variable count).
 
-    __slots__ = ("name", "labels", "value")
+    ``set`` is a single store (atomic under the GIL) but ``inc`` is a
+    read-modify-write, so both share the per-instrument lock for a
+    consistent thread-safety contract.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
     kind = "gauge"
 
     def __init__(self, name: str, labels: LabelKey = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Record the latest observed value."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Adjust the gauge by ``amount`` (may be negative)."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-able state of this series."""
@@ -107,9 +124,16 @@ class Histogram:
     Buckets are the fixed :data:`BUCKET_BOUNDS`; an extra overflow bucket
     catches anything above the last bound and observations ``<= 0`` land
     in the first bucket (they still count toward ``count``/``sum``).
+
+    ``observe`` mutates five fields; the per-instrument lock keeps them
+    mutually consistent (count matches the bucket totals) under the
+    serving worker pool.
     """
 
-    __slots__ = ("name", "labels", "count", "sum", "min", "max", "bucket_counts")
+    __slots__ = (
+        "name", "labels", "count", "sum", "min", "max", "bucket_counts",
+        "_lock",
+    )
     kind = "histogram"
 
     def __init__(self, name: str, labels: LabelKey = ()) -> None:
@@ -120,17 +144,19 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self.bucket_counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        self.bucket_counts[bisect_left(BUCKET_BOUNDS, value)] += 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self.bucket_counts[bisect_left(BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:

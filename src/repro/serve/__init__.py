@@ -14,6 +14,13 @@ from repro.serve.breaker import (
     BreakerState,
     CircuitBreaker,
 )
+from repro.serve.coalesce import (
+    BatchingMode,
+    CoalesceConfig,
+    CoalesceOutcome,
+    MicroBatcher,
+    coalesce_keys,
+)
 from repro.serve.policy_manager import (
     PolicyGeneration,
     PolicyManager,
@@ -30,6 +37,7 @@ from repro.serve.queueing import (
 )
 from repro.serve.request import Request, RequestStatus, Response, SimClock
 from repro.serve.runtime import ServeConfig, ServingRuntime
+from repro.serve.workers import GpuWorkerPool
 from repro.serve.soak import (
     SOAK_SCENARIOS,
     SoakConfig,
@@ -44,12 +52,17 @@ __all__ = [
     "AdmissionConfig",
     "AdmissionController",
     "AdmissionResult",
+    "BatchingMode",
     "BoundedRequestQueue",
     "BreakerBoard",
     "BreakerConfig",
     "BreakerState",
     "CircuitBreaker",
+    "CoalesceConfig",
+    "CoalesceOutcome",
+    "GpuWorkerPool",
     "LatencyEstimator",
+    "MicroBatcher",
     "PolicyGeneration",
     "PolicyManager",
     "QueuePolicy",
@@ -64,6 +77,7 @@ __all__ = [
     "SwapGuardrail",
     "SwapReport",
     "build_soak_plan",
+    "coalesce_keys",
     "render_soak_report",
     "run_soak",
 ]

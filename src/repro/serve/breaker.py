@@ -22,6 +22,7 @@ state (0 = closed, 1 = half-open, 2 = open).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from enum import Enum
 
@@ -70,7 +71,14 @@ class BreakerConfig:
 
 
 class CircuitBreaker:
-    """Closed → open → half-open state machine for one source."""
+    """Closed → open → half-open state machine for one source.
+
+    ``allow``/``record_success``/``record_failure`` each read and rewrite
+    several fields (failure streaks, probe budgets, the state itself), so
+    a per-breaker lock serializes them — per-GPU serving workers all feed
+    the same :class:`BreakerBoard` and a torn half-open probe count would
+    over-admit probes or wedge a breaker open.
+    """
 
     def __init__(self, source: int, config: BreakerConfig | None = None):
         self.source = source
@@ -80,6 +88,7 @@ class CircuitBreaker:
         self.opened_at = 0.0
         self._probes_issued = 0
         self._probe_successes = 0
+        self._lock = threading.Lock()
         #: full transition history: (time, from-state, to-state).
         self.transitions: list[tuple[float, BreakerState, BreakerState]] = []
 
@@ -110,44 +119,48 @@ class CircuitBreaker:
         starts admitting probes; a half-open breaker admits at most
         ``half_open_probes`` outstanding probes per window.
         """
-        if self.state is BreakerState.CLOSED:
-            return True
-        if self.state is BreakerState.OPEN:
-            if now - self.opened_at < self.config.cooldown_seconds:
+        with self._lock:
+            if self.state is BreakerState.CLOSED:
+                return True
+            if self.state is BreakerState.OPEN:
+                if now - self.opened_at < self.config.cooldown_seconds:
+                    return False
+                self._transition(BreakerState.HALF_OPEN, now)
+                self._probes_issued = 0
+                self._probe_successes = 0
+            # half-open: meter the probes.
+            if self._probes_issued >= self.config.half_open_probes:
                 return False
-            self._transition(BreakerState.HALF_OPEN, now)
-            self._probes_issued = 0
-            self._probe_successes = 0
-        # half-open: meter the probes.
-        if self._probes_issued >= self.config.half_open_probes:
-            return False
-        self._probes_issued += 1
-        return True
+            self._probes_issued += 1
+            return True
 
     def record_success(self, now: float) -> None:
-        self.consecutive_failures = 0
-        if self.state is BreakerState.HALF_OPEN:
-            self._probe_successes += 1
-            if self._probe_successes >= self.config.success_threshold:
-                self._transition(BreakerState.CLOSED, now)
-        elif self.state is BreakerState.OPEN:
-            # A success while open can only come from a probe admitted just
-            # before the trip; ignore — recovery goes through half-open.
-            pass
+        with self._lock:
+            self.consecutive_failures = 0
+            if self.state is BreakerState.HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.config.success_threshold:
+                    self._transition(BreakerState.CLOSED, now)
+            elif self.state is BreakerState.OPEN:
+                # A success while open can only come from a probe admitted
+                # just before the trip; ignore — recovery goes through
+                # half-open.
+                pass
 
     def record_failure(self, now: float) -> None:
-        self.consecutive_failures += 1
-        if self.state is BreakerState.HALF_OPEN:
-            # any probe failure re-opens immediately (fresh cooldown).
-            self.opened_at = now
-            self._transition(BreakerState.OPEN, now)
-            return
-        if (
-            self.state is BreakerState.CLOSED
-            and self.consecutive_failures >= self.config.failure_threshold
-        ):
-            self.opened_at = now
-            self._transition(BreakerState.OPEN, now)
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state is BreakerState.HALF_OPEN:
+                # any probe failure re-opens immediately (fresh cooldown).
+                self.opened_at = now
+                self._transition(BreakerState.OPEN, now)
+                return
+            if (
+                self.state is BreakerState.CLOSED
+                and self.consecutive_failures >= self.config.failure_threshold
+            ):
+                self.opened_at = now
+                self._transition(BreakerState.OPEN, now)
 
 
 class BreakerBoard:

@@ -1,0 +1,165 @@
+"""Cross-request coalescing: per-GPU micro-batching of admitted requests.
+
+Under load, consecutive requests against the same destination GPU overlap
+heavily on a skewed key distribution — the hot head of the Zipf curve is
+in every batch.  Serving them one by one re-extracts the same keys over
+and over.  A :class:`MicroBatcher` instead drains its GPU's bounded queue
+in small groups under a batching policy (batch-size cap, bounded linger,
+SLO-aware early flush), unions and deduplicates the member keys into
+*one* extraction demand, prices it once through the shared
+:func:`~repro.core.pipeline.price_demand` stage, and scatters the results
+back so every member keeps its own deadline/hedging/latency accounting.
+
+Coalescing is strictly opt-in (:attr:`BatchingMode.OFF` is the default):
+when off, the serving path is exactly the pre-coalescing one, which is
+what keeps the golden fixtures byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.serve.queueing import BoundedRequestQueue
+from repro.serve.request import Request, Response
+
+__all__ = [
+    "BatchingMode",
+    "CoalesceConfig",
+    "CoalesceOutcome",
+    "MicroBatcher",
+    "coalesce_keys",
+]
+
+
+class BatchingMode(str, Enum):
+    """Whether the serving loop coalesces queued requests."""
+
+    OFF = "off"
+    COALESCE = "coalesce"
+
+
+@dataclass(frozen=True)
+class CoalesceConfig:
+    """Batching policy of one GPU's micro-batcher.
+
+    Attributes:
+        mode: :attr:`BatchingMode.OFF` disables coalescing outright.
+        max_batch: most requests fused into one extraction; reaching it
+            flushes immediately (no linger).
+        linger_seconds: how long the oldest queued request may wait for
+            company before the batch flushes anyway.
+        slo_early_flush: flush early when the tightest member deadline
+            minus the estimated service time would otherwise pass while
+            lingering — trading dedup for deadline safety.
+    """
+
+    mode: BatchingMode = BatchingMode.OFF
+    max_batch: int = 8
+    linger_seconds: float = 0.0
+    slo_early_flush: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max batch must be at least 1")
+        if self.linger_seconds < 0:
+            raise ValueError("linger must be non-negative")
+
+
+def coalesce_keys(requests: list[Request]) -> tuple[np.ndarray, int]:
+    """Union + dedup of the member key sets.
+
+    Returns ``(union, total)`` where ``union`` is the sorted unique key
+    array extracted once for the whole batch and ``total`` counts the
+    member keys before dedup; ``total / len(union)`` is the batch's dedup
+    ratio.  Members scatter their results back with
+    ``np.searchsorted(union, request.keys)``.
+    """
+    if not requests:
+        return np.empty(0, dtype=np.int64), 0
+    parts = [np.ascontiguousarray(r.keys, dtype=np.int64) for r in requests]
+    total = sum(len(p) for p in parts)
+    union = np.unique(np.concatenate(parts)) if len(parts) > 1 else np.unique(parts[0])
+    return union, total
+
+
+@dataclass
+class CoalesceOutcome:
+    """What one coalesced service did, for the soak report and tests."""
+
+    responses: list[Response] = field(default_factory=list)
+    #: members fused (expired-on-arrival members are counted but dropped).
+    batch_size: int = 0
+    #: unique keys actually extracted.
+    union_size: int = 0
+    #: member keys before dedup.
+    total_keys: int = 0
+    #: shared extraction price every member waited for.
+    service_time: float = 0.0
+    #: when the shared extraction finishes (the GPU is busy until then).
+    completed_at: float = 0.0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Keys saved by coalescing: total member keys per unique key."""
+        return self.total_keys / self.union_size if self.union_size else 1.0
+
+
+class MicroBatcher:
+    """Drains one GPU's bounded queue in coalescable micro-batches.
+
+    The batcher owns no threads and no clock: the serving loop asks
+    :meth:`flush_at` when the next batch should form (given when the GPU
+    frees up) and calls :meth:`take` at that instant.  That keeps the
+    policy identical under the simulated-clock soak loop and the
+    wall-clock worker pool.
+    """
+
+    def __init__(
+        self,
+        gpu: int,
+        queue: BoundedRequestQueue,
+        config: CoalesceConfig | None = None,
+    ) -> None:
+        self.gpu = gpu
+        self.config = config or CoalesceConfig(mode=BatchingMode.COALESCE)
+        self._queue = queue
+
+    @property
+    def pending(self) -> int:
+        return self._queue.depth
+
+    def flush_at(self, free_at: float) -> float | None:
+        """When the next batch should be served, or None if nothing queued.
+
+        A full batch (``max_batch`` queued) flushes as soon as the GPU is
+        free; otherwise the oldest request lingers up to
+        ``linger_seconds`` waiting for company, flushing earlier when the
+        tightest member deadline (minus the estimated service time) would
+        pass while waiting.
+        """
+        head = self._queue.peek()
+        if head is None:
+            return None
+        if self._queue.depth >= self.config.max_batch:
+            return free_at
+        target = head.arrival + self.config.linger_seconds
+        if self.config.slo_early_flush:
+            tightest = min(r.deadline for r in self._queue.queued())
+            if math.isfinite(tightest):
+                estimate = self._queue.estimator.estimate()
+                target = min(target, tightest - estimate)
+        return max(free_at, target)
+
+    def take(self, now: float) -> list[Request]:
+        """Pop up to ``max_batch`` requests to fuse at time ``now``."""
+        batch: list[Request] = []
+        while len(batch) < self.config.max_batch:
+            request = self._queue.pop(now)
+            if request is None:
+                break
+            batch.append(request)
+        return batch

@@ -159,6 +159,16 @@ class BoundedRequestQueue:
     def __len__(self) -> int:
         return len(self._queue)
 
+    def peek(self) -> Request | None:
+        """The request :meth:`pop` would return next, without removing it."""
+        return self._queue[0] if self._queue else None
+
+    def queued(self) -> tuple[Request, ...]:
+        """Snapshot of the queued requests in FIFO order (excludes blocked
+        producers); the micro-batcher reads deadlines off this to decide
+        when to flush."""
+        return tuple(self._queue)
+
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------

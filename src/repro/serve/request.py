@@ -103,6 +103,9 @@ class Response:
     hedge_won: bool = False
     #: keys the degraded-mode router moved off their mapped source.
     rerouted_keys: int = 0
+    #: how many requests shared this request's extraction (1 = served
+    #: alone; >1 = coalesced into a micro-batch of that size).
+    coalesced: int = 1
     #: gathered values (None for requests dropped before execution).
     values: np.ndarray | None = field(default=None, repr=False)
 

@@ -22,6 +22,7 @@ soak runs are deterministic and fast.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,8 +34,10 @@ from repro.faults.spec import HealthView
 from repro.hardware.platform import HOST
 from repro.obs import get_registry
 from repro.serve.breaker import BreakerBoard, BreakerConfig
+from repro.serve.coalesce import CoalesceOutcome, coalesce_keys
 from repro.serve.queueing import AdmissionConfig, AdmissionController
 from repro.serve.request import Request, RequestStatus, Response, SimClock
+from repro.sim.mechanisms import GpuDemand
 from repro.utils.logging import get_logger
 
 logger = get_logger("serve.runtime")
@@ -101,6 +104,9 @@ class ServingRuntime:
         self.breakers = BreakerBoard(sources, self.config.breaker)
         self.responses: list[Response] = []
         self._next_request_id = 0
+        # make_request is called from every per-GPU worker thread; the id
+        # bump is a read-modify-write, so serialize it.
+        self._id_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Request construction / submission
@@ -108,9 +114,11 @@ class ServingRuntime:
     def make_request(
         self, gpu: int, keys: np.ndarray, now: float, deadline: float = math.inf
     ) -> Request:
-        self._next_request_id += 1
+        with self._id_lock:
+            self._next_request_id += 1
+            request_id = self._next_request_id
         return Request(
-            request_id=self._next_request_id,
+            request_id=request_id,
             gpu=gpu,
             keys=np.ascontiguousarray(keys, dtype=np.int64),
             arrival=now,
@@ -163,14 +171,18 @@ class ServingRuntime:
 
         health = self._health(now)
         excluded = self.breakers.excluded_sources(now)
-        plan = self._extractor.plan(
-            request.gpu,
-            request.keys,
-            health=health,
-            now=now,
-            exclude_sources=excluded,
-        )
-        values, demand = self._extractor.execute(plan)
+        # Plan and execute under one read lock: the plan's slot offsets
+        # must still be valid when the gather runs, so a refresher step
+        # (a writer) cannot land between the two.
+        with self._cache.reading():
+            plan = self._extractor.plan(
+                request.gpu,
+                request.keys,
+                health=health,
+                now=now,
+                exclude_sources=excluded,
+            )
+            values, demand = self._extractor.execute(plan)
         # The pipeline's shared price stage — same call the simulators make.
         platform = self._extractor.platform
         report = price_demand(platform, demand, health=health)
@@ -222,6 +234,142 @@ class ServingRuntime:
         )
         self.responses.append(response)
         return response
+
+    def serve_batch(self, requests: list[Request], now: float) -> CoalesceOutcome:
+        """Serve a coalesced micro-batch of same-GPU requests at ``now``.
+
+        The member key sets are unioned and deduplicated into one
+        extraction demand, planned and executed once, and priced once
+        through the shared :func:`~repro.core.pipeline.price_demand`
+        stage; every member then receives its own scatter of the gathered
+        values and its own deadline/hedging/latency accounting:
+
+        * every live member completes at ``now + shared_time`` (they all
+          wait for the shared extraction), except a member whose deadline
+          hedge wins — its host-DRAM gather races the shared extraction
+          exactly as in :meth:`serve_request`;
+        * the per-member latency includes its queue wait and linger
+          (``now - arrival``) plus the shared extraction time, so a
+          member's latency is never below what serving it alone at its
+          own arrival would have cost;
+        * breakers are fed once per batch (one plan, one outcome) and the
+          admission estimator observes the shared service time once.
+
+        The union plan's rerouted-key count is attributed to the first
+        live member's response (it counts unique keys moved, so spreading
+        it across members would double-count).
+        """
+        reg = get_registry()
+        responses: list[Response] = []
+        live: list[Request] = []
+        for request in requests:
+            if request.expired(now):
+                response = self._finish_dropped(
+                    request, RequestStatus.EXPIRED, now
+                )
+                self.responses.append(response)
+                responses.append(response)
+            else:
+                live.append(request)
+        if not live:
+            return CoalesceOutcome(
+                responses=responses,
+                batch_size=len(requests),
+                completed_at=now,
+            )
+        gpu = live[0].gpu
+        if any(r.gpu != gpu for r in live):
+            raise ValueError("a coalesced batch must target one GPU")
+
+        union, total_keys = coalesce_keys(live)
+        health = self._health(now)
+        excluded = self.breakers.excluded_sources(now)
+        with self._cache.reading():
+            plan = self._extractor.plan(
+                gpu,
+                union,
+                health=health,
+                now=now,
+                exclude_sources=excluded,
+            )
+            values, demand = self._extractor.execute(plan)
+        platform = self._extractor.platform
+        report = price_demand(platform, demand, health=health)
+        shared_time = report.time
+        completed_at = now + shared_time
+
+        self._feed_breakers(plan, report.time_by_source, now)
+        self.admission.estimator(gpu).observe(shared_time)
+        outcome = CoalesceOutcome(
+            responses=responses,
+            batch_size=len(requests),
+            union_size=len(union),
+            total_keys=total_keys,
+            service_time=shared_time,
+            completed_at=completed_at,
+        )
+        reg.histogram("serve.coalesce.batch_size").observe(len(live))
+        reg.histogram("serve.coalesce.dedup_ratio").observe(
+            outcome.dedup_ratio
+        )
+
+        entry_bytes = self._cache.entry_bytes
+        rerouted_credit = plan.rerouted_keys
+        for request in live:
+            service_time = shared_time
+            request_values: np.ndarray | None = None
+            hedged = False
+            hedge_won = False
+            if (
+                self.config.hedge_enabled
+                and math.isfinite(request.deadline)
+                and request.remaining(now)
+                < self.config.hedge_headroom * shared_time
+            ):
+                hedged = True
+                host_demand = GpuDemand(
+                    dst=gpu,
+                    volumes={HOST: float(len(request.keys) * entry_bytes)},
+                )
+                host_time = price_demand(
+                    platform, host_demand, health=health
+                ).time
+                reg.counter("serve.hedges", gpu=gpu).inc()
+                if host_time < shared_time:
+                    hedge_won = True
+                    service_time = host_time
+                    request_values = self._cache.host_gather(request.keys)
+                    reg.counter("serve.hedge_wins", gpu=gpu).inc()
+            if request_values is None:
+                request_values = values[np.searchsorted(union, request.keys)]
+            done = now + service_time
+            status = (
+                RequestStatus.OK
+                if done <= request.deadline
+                else RequestStatus.EXPIRED
+            )
+            reg.counter("serve.requests", status=status.value).inc()
+            reg.histogram("serve.latency.seconds").observe(
+                done - request.arrival
+            )
+            reg.histogram("serve.coalesce.linger.seconds").observe(
+                now - request.arrival
+            )
+            response = Response(
+                request=request,
+                status=status,
+                completed_at=done,
+                service_time=service_time,
+                hedged=hedged,
+                hedge_won=hedge_won,
+                rerouted_keys=rerouted_credit,
+                coalesced=len(live),
+                values=request_values,
+            )
+            rerouted_credit = 0
+            self.responses.append(response)
+            responses.append(response)
+        return outcome
 
     def _feed_breakers(
         self, plan, time_by_source: dict[int, float], now: float

@@ -31,10 +31,17 @@ from repro.faults.injector import FaultInjector
 from repro.faults.spec import FaultKind, FaultPlan, FaultSpec
 from repro.obs import get_registry
 from repro.serve.breaker import BreakerConfig
+from repro.serve.coalesce import (
+    BatchingMode,
+    CoalesceConfig,
+    CoalesceOutcome,
+    MicroBatcher,
+)
 from repro.serve.policy_manager import PolicyManager, SwapGuardrail
 from repro.serve.queueing import AdmissionConfig, QueuePolicy
 from repro.serve.request import RequestStatus
 from repro.serve.runtime import ServeConfig, ServingRuntime
+from repro.serve.workers import GpuWorkerPool
 from repro.sim.mechanisms import factored_extraction
 from repro.utils.logging import get_logger
 from repro.utils.retry import RetryPolicy
@@ -148,6 +155,18 @@ class SoakConfig:
     queue_policy: QueuePolicy = QueuePolicy.REJECT
     #: fractions of the run at which a hot policy swap is attempted.
     swap_at: tuple[float, ...] = (0.6,)
+    #: cross-request coalescing: OFF reproduces the pre-coalescing path
+    #: byte-for-byte; COALESCE micro-batches each GPU's queue.
+    batching: BatchingMode = BatchingMode.OFF
+    #: most requests fused into one extraction (coalesce mode).
+    max_batch: int = 8
+    #: micro-batch linger, in units of the baseline service time ``s0``.
+    linger_factor: float = 0.5
+    #: absolute linger override in milliseconds (wins over linger_factor).
+    linger_ms: float | None = None
+    #: per-GPU serving worker threads; >1 runs the GPUs' serving loops
+    #: wall-clock concurrently against the shared cache (open loop only).
+    workers: int = 1
     seed: int = 0
 
     @classmethod
@@ -172,6 +191,21 @@ class SoakConfig:
             raise ValueError("closed loop needs at least one client")
         if not all(0 < f < 1 for f in self.swap_at):
             raise ValueError("swap times are fractions of the run in (0, 1)")
+        if self.max_batch < 1:
+            raise ValueError("max batch must be at least 1")
+        if self.linger_factor < 0:
+            raise ValueError("linger factor must be non-negative")
+        if self.linger_ms is not None and self.linger_ms < 0:
+            raise ValueError("linger must be non-negative")
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if self.closed_loop and self.batching is not BatchingMode.OFF:
+            raise ValueError(
+                "closed-loop clients poll their own responses; coalescing "
+                "only applies to the open-loop queue-draining path"
+            )
+        if self.closed_loop and self.workers > 1:
+            raise ValueError("the worker pool only drives open-loop traffic")
 
 
 @dataclass
@@ -203,6 +237,11 @@ class SoakReport:
     duration: float = 0.0
     arrival_rate: float = 0.0
     baseline_service: float = 0.0
+    #: cross-request coalescing stats (zero / 1.0 when batching is off).
+    coalesced_batches: int = 0
+    mean_batch_size: float = 0.0
+    dedup_ratio: float = 1.0
+    workers: int = 1
 
     @property
     def ok(self) -> bool:
@@ -321,8 +360,41 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
         for _ in range(G)
     ]
 
+    coalescing = cfg.batching is BatchingMode.COALESCE
+    batchers: list[MicroBatcher] = []
+    outcomes: list[CoalesceOutcome] = []
+    if coalescing:
+        linger = (
+            cfg.linger_ms / 1000.0
+            if cfg.linger_ms is not None
+            else cfg.linger_factor * s0
+        )
+        coalesce_cfg = CoalesceConfig(
+            mode=BatchingMode.COALESCE,
+            max_batch=cfg.max_batch,
+            linger_seconds=linger,
+        )
+        batchers = [
+            MicroBatcher(g, runtime.admission.queue(g), coalesce_cfg)
+            for g in range(G)
+        ]
+
     def catch_up(gpu: int, until: float) -> None:
         """Serve gpu's queue while it can start before ``until``."""
+        if coalescing:
+            # Micro-batched drain: fuse up to max_batch queued requests
+            # whenever the batcher says the next batch should flush.
+            while True:
+                flush = batchers[gpu].flush_at(busy[gpu])
+                if flush is None or flush > until:
+                    break
+                batch = batchers[gpu].take(flush)
+                if not batch:
+                    break
+                outcome = runtime.serve_batch(batch, flush)
+                outcomes.append(outcome)
+                busy[gpu] = max(flush, outcome.completed_at)
+            return
         while busy[gpu] <= until:
             start = busy[gpu]
             response = runtime.poll(gpu, start)
@@ -351,52 +423,95 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
         )
 
     # ------------------------------------------------------------------
-    # Traffic loop (one heap of arrival events, open or closed loop)
+    # Traffic loop (one heap of arrival events, open or closed loop; or
+    # segment-parallel per-GPU workers with barriers at the swap times)
     # ------------------------------------------------------------------
-    events: list[tuple[float, int, int]] = []  # (time, seq, gpu)
-    seq = 0
-    client_of: dict[int, tuple[int, int]] = {}  # request_id -> (gpu, client)
-    client_ready: dict[tuple[int, int], float] = {}
-    if cfg.closed_loop:
-        for g in range(G):
-            for c in range(cfg.clients):
-                heapq.heappush(events, (0.0, seq, g))
-                seq += 1
-    else:
+    served_via_poll = 0
+    if cfg.workers > 1:
+        # Per-GPU worker threads drive independent arrival streams against
+        # the shared cache/breakers/metrics.  Arrivals and keys come from
+        # per-GPU streams generated up front, so results do not depend on
+        # thread interleaving (in fault-free scenarios); hot policy swaps
+        # land on the main thread at segment barriers, never racing the
+        # serving loops.
+        arrivals: list[list[float]] = []
         for g in range(G):
             t = 0.0
+            times: list[float] = []
             for _ in range(cfg.requests_per_gpu):
                 t += float(arrival_rng.exponential(1.0 / rate))
-                heapq.heappush(events, (t, seq, g))
-                seq += 1
+                times.append(t)
+            arrivals.append(times)
+        gpu_key_rngs = spawn_rngs(cfg.seed + 29, G)
+        cursors = [0] * G
 
-    served_via_poll = 0
-    while events:
-        t, _s, g = heapq.heappop(events)
-        if cfg.closed_loop and t >= duration:
-            continue
-        while swap_times and swap_times[0] <= t:
-            attempt_swap(swap_times.pop(0))
-        for gpu in range(G):
-            catch_up(gpu, t)
-        request = runtime.make_request(g, make_keys(), t, deadline=t + deadline)
-        dropped = runtime.submit(request, t)
+        def run_segment(g: int, until: float) -> None:
+            times = arrivals[g]
+            cursor = cursors[g]
+            while cursor < len(times) and times[cursor] < until:
+                t = times[cursor]
+                cursor += 1
+                catch_up(g, t)
+                keys = gpu_key_rngs[g].choice(
+                    cfg.num_entries, size=cfg.batch_keys, p=pmf
+                )
+                request = runtime.make_request(
+                    g, keys, t, deadline=t + deadline
+                )
+                runtime.submit(request, t)
+            cursors[g] = cursor
+
+        with GpuWorkerPool(min(cfg.workers, G)) as pool:
+            for boundary in [*swap_times, math.inf]:
+                pool.map_gpus(
+                    lambda g, b=boundary: run_segment(g, b),
+                    gpus=range(G),
+                )
+                if math.isfinite(boundary):
+                    attempt_swap(boundary)
+        drain_all(duration)
+    else:
+        events: list[tuple[float, int, int]] = []  # (time, seq, gpu)
+        seq = 0
         if cfg.closed_loop:
-            if dropped is not None:
-                # the client backs off one baseline unit and resubmits.
-                heapq.heappush(events, (t + s0, seq, g))
-                seq += 1
+            for g in range(G):
+                for c in range(cfg.clients):
+                    heapq.heappush(events, (0.0, seq, g))
+                    seq += 1
+        else:
+            for g in range(G):
+                t = 0.0
+                for _ in range(cfg.requests_per_gpu):
+                    t += float(arrival_rng.exponential(1.0 / rate))
+                    heapq.heappush(events, (t, seq, g))
+                    seq += 1
+
+        while events:
+            t, _s, g = heapq.heappop(events)
+            if cfg.closed_loop and t >= duration:
                 continue
-            start = max(busy[g], t)
-            response = runtime.poll(g, start)
-            if response is not None:
-                served_via_poll += 1
-                busy[g] = max(start, response.completed_at)
-                heapq.heappush(events, (response.completed_at, seq, g))
-                seq += 1
-    for t_swap in swap_times:
-        attempt_swap(t_swap)
-    drain_all(duration)
+            while swap_times and swap_times[0] <= t:
+                attempt_swap(swap_times.pop(0))
+            for gpu in range(G):
+                catch_up(gpu, t)
+            request = runtime.make_request(g, make_keys(), t, deadline=t + deadline)
+            dropped = runtime.submit(request, t)
+            if cfg.closed_loop:
+                if dropped is not None:
+                    # the client backs off one baseline unit and resubmits.
+                    heapq.heappush(events, (t + s0, seq, g))
+                    seq += 1
+                    continue
+                start = max(busy[g], t)
+                response = runtime.poll(g, start)
+                if response is not None:
+                    served_via_poll += 1
+                    busy[g] = max(start, response.completed_at)
+                    heapq.heappush(events, (response.completed_at, seq, g))
+                    seq += 1
+        for t_swap in swap_times:
+            attempt_swap(t_swap)
+        drain_all(duration)
 
     # ------------------------------------------------------------------
     # Report
@@ -444,12 +559,26 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
         duration=sim_end,
         arrival_rate=rate,
         baseline_service=s0,
+        workers=cfg.workers,
     )
+    served_batches = [o for o in outcomes if o.union_size > 0]
+    if served_batches:
+        total_member_keys = sum(o.total_keys for o in served_batches)
+        total_union_keys = sum(o.union_size for o in served_batches)
+        report.coalesced_batches = len(served_batches)
+        report.mean_batch_size = sum(
+            o.batch_size for o in served_batches
+        ) / len(served_batches)
+        report.dedup_ratio = (
+            total_member_keys / total_union_keys if total_union_keys else 1.0
+        )
     if reg.enabled:
         reg.gauge("soak.goodput_rps").set(report.goodput_rps)
         reg.gauge("soak.shed_rate").set(report.shed_rate)
         reg.gauge("soak.max_queue_depth").set(report.max_queue_depth)
         reg.counter("soak.runs", scenario=cfg.scenario).inc()
+        if served_batches:
+            reg.gauge("soak.dedup_ratio").set(report.dedup_ratio)
     logger.info(
         "soak %s: %d requests, %.1f ok/s goodput, shed %.1f%%, p99 %.3es",
         cfg.scenario, report.requests, report.goodput_rps,
@@ -483,4 +612,13 @@ def render_soak_report(report: SoakReport) -> str:
         f"landed, {report.rollbacks} rolled back",
         f"  integrity     {report.integrity_failures} failure(s)",
     ]
+    if report.coalesced_batches:
+        lines.insert(
+            5,
+            f"  coalescing    {report.coalesced_batches} batches, "
+            f"mean size {report.mean_batch_size:.2f}, "
+            f"dedup ratio {report.dedup_ratio:.2f}x",
+        )
+    if report.workers > 1:
+        lines.insert(1, f"  workers       {report.workers} per-GPU threads")
     return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Per-GPU serving workers: one thread per destination GPU.
+
+The soak harness's default loop interleaves every GPU on one thread of a
+simulated clock.  :class:`GpuWorkerPool` instead runs one worker thread
+per GPU so the per-GPU serving loops execute wall-clock concurrently
+against the *shared* cache, location tables, breaker board, and metrics
+registry — which is exactly what the thread-safety contract of those
+components (reader/writer locking on the cache, per-instrument metric
+locks, per-breaker locks) exists to support, and what the ``concurrency``
+test suite hammers.
+
+The pool is deliberately dumb: it owns no queues and no policy, it just
+fans ``fn(gpu)`` out to the per-GPU threads and joins them.  The soak
+harness uses it as a **segment barrier** — all GPUs run a traffic segment
+in parallel, join, then a hot policy swap lands on the main thread before
+the next segment starts — so swaps never race the serving loops.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from repro.obs import get_registry
+from repro.utils.logging import get_logger
+
+logger = get_logger("serve.workers")
+
+__all__ = ["GpuWorkerPool"]
+
+T = TypeVar("T")
+
+
+class GpuWorkerPool:
+    """A thread per GPU, with an ``serve.workers.active`` gauge.
+
+    Usable as a context manager; :meth:`map_gpus` blocks until every
+    worker finishes its segment and re-raises the first worker exception
+    (after all workers have stopped), so a failure in one GPU's loop
+    cannot silently half-run a segment.
+    """
+
+    def __init__(self, num_gpus: int, name: str = "serve-gpu") -> None:
+        if num_gpus < 1:
+            raise ValueError("need at least one GPU worker")
+        self.num_gpus = num_gpus
+        self._pool = ThreadPoolExecutor(
+            max_workers=num_gpus, thread_name_prefix=name
+        )
+
+    def __enter__(self) -> "GpuWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def map_gpus(
+        self,
+        fn: Callable[[int], T],
+        gpus: Sequence[int] | None = None,
+    ) -> list[T]:
+        """Run ``fn(gpu)`` on every worker; barrier until all complete."""
+        targets = list(range(self.num_gpus)) if gpus is None else list(gpus)
+        reg = get_registry()
+        gauge = reg.gauge("serve.workers.active")
+
+        def run(gpu: int) -> T:
+            gauge.inc(1)
+            try:
+                return fn(gpu)
+            finally:
+                gauge.inc(-1)
+
+        futures = [self._pool.submit(run, g) for g in targets]
+        results: list[T] = []
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
+                logger.error("GPU worker failed: %s", exc)
+        if error is not None:
+            raise error
+        return results
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)

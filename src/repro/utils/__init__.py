@@ -13,6 +13,7 @@ from repro.utils.units import (
     seconds_to_ms,
     seconds_to_us,
 )
+from repro.utils.concurrency import ReadWriteLock
 from repro.utils.logging import enable_console_logging, get_logger
 from repro.utils.retry import (
     Deadline,
@@ -29,6 +30,7 @@ from repro.utils.stats import (
 )
 
 __all__ = [
+    "ReadWriteLock",
     "GB",
     "GIB",
     "KB",

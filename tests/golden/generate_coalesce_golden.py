@@ -1,0 +1,168 @@
+"""Regenerate the golden coalescing fixture.
+
+``coalesce_golden.json`` pins what the cross-request coalescing layer
+(PR 5) produces on seeded workloads: the exact micro-batcher flush
+schedule, the per-member responses ``serve_batch`` scatters out of one
+shared extraction, and full soak reports for both batching modes.  The
+``batching=off`` soak section is the regression anchor — it was verified
+byte-identical (minus the new report fields, which are constants in off
+mode) to the pre-coalescing serving runtime when this fixture was first
+generated, so any later drift in the off path breaks the pin.
+
+Only regenerate when an *intentional* behaviour change lands:
+
+    PYTHONPATH=src python tests/golden/generate_coalesce_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.cache import MultiGpuEmbeddingCache
+from repro.core.extractor import FactoredExtractor
+from repro.core.policy import hot_replicate_warm_partition_policy
+from repro.hardware import server_a, server_c
+from repro.serve import (
+    AdmissionConfig,
+    BatchingMode,
+    BoundedRequestQueue,
+    CoalesceConfig,
+    MicroBatcher,
+    SoakConfig,
+    run_soak,
+)
+from repro.serve.runtime import ServingRuntime
+from repro.utils.stats import zipf_pmf
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "coalesce_golden.json"
+
+N, D = 2000, 8
+
+
+def _digest(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def _serve_batch_records(platform) -> list[dict]:
+    """serve_batch over seeded batches: one shared extraction per batch."""
+    rng = np.random.default_rng(99)
+    table = rng.standard_normal((N, D)).astype(np.float32)
+    hotness = zipf_pmf(N, 1.2) * 1000.0
+    placement = hot_replicate_warm_partition_policy(
+        hotness, 250, platform.num_gpus, 0.5
+    )
+    cache = MultiGpuEmbeddingCache(platform, table, placement)
+    runtime = ServingRuntime(FactoredExtractor(cache))
+
+    records = []
+    for gpu in range(platform.num_gpus):
+        requests = [
+            runtime.make_request(
+                gpu, rng.integers(0, N, size=192), now=0.0, deadline=10.0
+            )
+            for _ in range(1 + gpu)  # batch sizes 1..num_gpus
+        ]
+        outcome = runtime.serve_batch(requests, now=0.0)
+        records.append(
+            {
+                "gpu": gpu,
+                "batch_size": outcome.batch_size,
+                "union_size": outcome.union_size,
+                "total_keys": outcome.total_keys,
+                "dedup_ratio": outcome.dedup_ratio,
+                "service_time": outcome.service_time,
+                "completed_at": outcome.completed_at,
+                "responses": [
+                    {
+                        "status": r.status.value,
+                        "coalesced": r.coalesced,
+                        "service_time": r.service_time,
+                        "completed_at": r.completed_at,
+                        "hedged": r.hedged,
+                        "hedge_won": r.hedge_won,
+                        "rerouted_keys": r.rerouted_keys,
+                        "values": _digest(r.values),
+                    }
+                    for r in outcome.responses
+                ],
+            }
+        )
+    return records
+
+
+def _batcher_schedule() -> list[dict]:
+    """The flush policy's exact decisions on a scripted arrival tape."""
+    from repro.serve.request import Request
+
+    config = CoalesceConfig(
+        mode=BatchingMode.COALESCE, max_batch=3, linger_seconds=0.4
+    )
+    # shed_on_slo off: the tape pins the *batcher's* policy, so the
+    # admission controller must not eat the SLO-tight request first.
+    queue = BoundedRequestQueue(0, AdmissionConfig(capacity=16, shed_on_slo=False))
+    queue.estimator.observe(0.25)
+    batcher = MicroBatcher(0, queue, config)
+    tape = [
+        # (arrival, deadline): one loose, one SLO-tight, then a pile-up
+        (0.0, float("inf")),
+        (0.1, 0.5),
+        (0.15, float("inf")),
+        (0.2, float("inf")),
+        (0.9, float("inf")),
+    ]
+    schedule = []
+    for i, (arrival, deadline) in enumerate(tape):
+        queue.offer(
+            Request(
+                request_id=i,
+                gpu=0,
+                keys=np.arange(8, dtype=np.int64),
+                arrival=arrival,
+                deadline=deadline,
+            ),
+            arrival,
+        )
+        flush = batcher.flush_at(free_at=arrival)
+        schedule.append({"after_offer": i, "flush_at": flush})
+    taken = batcher.take(1.0)
+    schedule.append(
+        {
+            "take_ids": [r.request_id for r in taken],
+            "flush_at_after_take": batcher.flush_at(free_at=1.0),
+        }
+    )
+    return schedule
+
+
+def _soak_record(**overrides) -> dict:
+    cfg = SoakConfig.quick(
+        scenario="steady", load=1.5, requests_per_gpu=60, **overrides
+    )
+    return run_soak(cfg).to_dict()
+
+
+def build() -> dict:
+    return {
+        "version": 1,
+        "serve_batch": {
+            "server_a": _serve_batch_records(server_a()),
+            "server_c": _serve_batch_records(server_c()),
+        },
+        "batcher_schedule": _batcher_schedule(),
+        "soak_off": _soak_record(),
+        "soak_coalesce": _soak_record(batching=BatchingMode.COALESCE),
+    }
+
+
+def main() -> None:
+    doc = build()
+    GOLDEN_PATH.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({GOLDEN_PATH.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,315 @@
+"""Cross-request coalescing: micro-batcher policy, serve_batch semantics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cache import MultiGpuEmbeddingCache
+from repro.core.extractor import FactoredExtractor
+from repro.core.policy import hot_replicate_warm_partition_policy
+from repro.hardware.platform import server_a
+from repro.obs import MetricsRegistry, use_registry
+from repro.serve import (
+    BatchingMode,
+    CoalesceConfig,
+    MicroBatcher,
+    RequestStatus,
+    ServingRuntime,
+    SoakConfig,
+    coalesce_keys,
+    run_soak,
+)
+from repro.serve.queueing import BoundedRequestQueue
+from repro.sim.event_sim import simulate_coalesced_extraction
+from repro.sim.mechanisms import GpuDemand
+from repro.utils.rng import make_rng
+from repro.utils.stats import zipf_pmf
+
+pytestmark = pytest.mark.serve
+
+N, D = 1200, 8
+
+
+def _stack(replicate=0.5):
+    platform = server_a()
+    rng = make_rng(0)
+    table = rng.standard_normal((N, D)).astype(np.float32)
+    hotness = zipf_pmf(N, 1.1) * 1000
+    placement = hot_replicate_warm_partition_policy(
+        hotness, N // 8, platform.num_gpus, replicate
+    )
+    cache = MultiGpuEmbeddingCache(platform, table, placement)
+    return platform, table, cache, FactoredExtractor(cache)
+
+
+def _keys(n=256, seed=1):
+    return make_rng(seed).integers(0, N, size=n)
+
+
+class TestCoalesceConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            CoalesceConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            CoalesceConfig(linger_seconds=-1.0)
+
+    def test_off_is_default(self):
+        assert CoalesceConfig().mode is BatchingMode.OFF
+
+
+class TestCoalesceKeys:
+    def test_union_covers_every_member_key(self):
+        _platform, _table, _cache, extractor = _stack()
+        runtime = ServingRuntime(extractor)
+        requests = [
+            runtime.make_request(0, _keys(seed=s), now=0.0) for s in range(4)
+        ]
+        union, total = coalesce_keys(requests)
+        assert total == sum(len(r.keys) for r in requests)
+        assert len(np.unique(union)) == len(union)
+        for r in requests:
+            assert np.isin(r.keys, union).all()
+
+    def test_empty_batch(self):
+        union, total = coalesce_keys([])
+        assert len(union) == 0 and total == 0
+
+
+class TestMicroBatcher:
+    def _queue(self, capacity=16):
+        from repro.serve.queueing import AdmissionConfig
+
+        return BoundedRequestQueue(0, AdmissionConfig(capacity=capacity))
+
+    def _request(self, runtime_like, rid, arrival, deadline=math.inf):
+        from repro.serve.request import Request
+
+        return Request(
+            request_id=rid,
+            gpu=0,
+            keys=_keys(seed=rid),
+            arrival=arrival,
+            deadline=deadline,
+        )
+
+    def test_empty_queue_never_flushes(self):
+        batcher = MicroBatcher(0, self._queue(), CoalesceConfig(max_batch=4))
+        assert batcher.flush_at(0.0) is None
+
+    def test_full_batch_flushes_as_soon_as_gpu_is_free(self):
+        queue = self._queue()
+        batcher = MicroBatcher(
+            0, queue, CoalesceConfig(max_batch=2, linger_seconds=5.0)
+        )
+        queue.offer(self._request(None, 1, 0.0), 0.0)
+        queue.offer(self._request(None, 2, 0.1), 0.1)
+        assert batcher.flush_at(0.3) == 0.3  # no linger once full
+
+    def test_partial_batch_lingers_for_company(self):
+        queue = self._queue()
+        batcher = MicroBatcher(
+            0, queue, CoalesceConfig(max_batch=4, linger_seconds=2.0)
+        )
+        queue.offer(self._request(None, 1, 1.0), 1.0)
+        assert batcher.flush_at(0.0) == 3.0  # arrival + linger
+
+    def test_slo_early_flush_beats_linger(self):
+        queue = self._queue()
+        batcher = MicroBatcher(
+            0, queue, CoalesceConfig(max_batch=4, linger_seconds=10.0)
+        )
+        queue.offer(self._request(None, 1, 0.0, deadline=2.0), 0.0)
+        queue.estimator.observe(0.5)
+        # tightest deadline (2.0) minus estimate (0.5) < arrival + linger.
+        assert batcher.flush_at(0.0) == pytest.approx(1.5)
+
+    def test_take_respects_max_batch_and_fifo(self):
+        queue = self._queue()
+        batcher = MicroBatcher(0, queue, CoalesceConfig(max_batch=2))
+        for i in range(3):
+            queue.offer(self._request(None, i + 1, 0.0), 0.0)
+        batch = batcher.take(1.0)
+        assert [r.request_id for r in batch] == [1, 2]
+        assert queue.depth == 1
+
+
+class TestServeBatch:
+    def test_members_get_exact_scattered_values(self):
+        _platform, table, _cache, extractor = _stack()
+        runtime = ServingRuntime(extractor)
+        requests = [
+            runtime.make_request(0, _keys(seed=s), now=0.0) for s in range(3)
+        ]
+        outcome = runtime.serve_batch(requests, now=0.0)
+        assert outcome.batch_size == 3
+        assert outcome.union_size <= outcome.total_keys
+        assert len(outcome.responses) == 3
+        for response in outcome.responses:
+            assert response.ok
+            assert response.coalesced == 3
+            assert response.service_time == outcome.service_time
+            assert np.array_equal(response.values, table[response.request.keys])
+
+    def test_pricing_is_shared_once(self):
+        """Every member completes at the shared extraction's finish."""
+        _platform, _table, _cache, extractor = _stack()
+        runtime = ServingRuntime(extractor)
+        requests = [
+            runtime.make_request(1, _keys(seed=s), now=2.0) for s in range(4)
+        ]
+        outcome = runtime.serve_batch(requests, now=2.0)
+        for response in outcome.responses:
+            assert response.completed_at == pytest.approx(outcome.completed_at)
+
+    def test_dedup_ratio_reflects_overlap(self):
+        _platform, _table, _cache, extractor = _stack()
+        runtime = ServingRuntime(extractor)
+        keys = _keys(seed=7)
+        # identical key sets: the union is one request's unique keys, so
+        # the ratio is 4× the single-request duplication factor.
+        requests = [runtime.make_request(0, keys, now=0.0) for _ in range(4)]
+        outcome = runtime.serve_batch(requests, now=0.0)
+        expected = 4 * len(keys) / len(np.unique(keys))
+        assert outcome.dedup_ratio == pytest.approx(expected)
+
+    def test_expired_members_dropped_without_extraction(self):
+        _platform, _table, _cache, extractor = _stack()
+        runtime = ServingRuntime(extractor)
+        dead = runtime.make_request(0, _keys(seed=1), now=0.0, deadline=1.0)
+        live = runtime.make_request(0, _keys(seed=2), now=0.0)
+        outcome = runtime.serve_batch([dead, live], now=5.0)
+        statuses = {r.request.request_id: r.status for r in outcome.responses}
+        assert statuses[dead.request_id] is RequestStatus.EXPIRED
+        assert statuses[live.request_id] is RequestStatus.OK
+        # the survivor was served alone.
+        assert [r for r in outcome.responses if r.ok][0].coalesced == 1
+
+    def test_mixed_gpus_rejected(self):
+        _platform, _table, _cache, extractor = _stack()
+        runtime = ServingRuntime(extractor)
+        requests = [
+            runtime.make_request(0, _keys(seed=1), now=0.0),
+            runtime.make_request(1, _keys(seed=2), now=0.0),
+        ]
+        with pytest.raises(ValueError):
+            runtime.serve_batch(requests, now=0.0)
+
+    def test_all_expired_batch_is_cheap(self):
+        _platform, _table, _cache, extractor = _stack()
+        runtime = ServingRuntime(extractor)
+        requests = [
+            runtime.make_request(0, _keys(seed=s), now=0.0, deadline=1.0)
+            for s in range(3)
+        ]
+        outcome = runtime.serve_batch(requests, now=5.0)
+        assert outcome.union_size == 0
+        assert outcome.service_time == 0.0
+        assert all(
+            r.status is RequestStatus.EXPIRED for r in outcome.responses
+        )
+
+    def test_deadline_hedge_still_per_request(self):
+        """A member with a tight deadline hedges; relaxed members do not."""
+        _platform, _table, _cache, extractor = _stack()
+        runtime = ServingRuntime(extractor)
+        probe = runtime.serve_batch(
+            [runtime.make_request(0, _keys(seed=9), now=0.0)], now=0.0
+        )
+        shared = probe.service_time
+        tight = runtime.make_request(
+            0, _keys(seed=1), now=0.0, deadline=shared * 0.5
+        )
+        loose = runtime.make_request(0, _keys(seed=2), now=0.0)
+        outcome = runtime.serve_batch([tight, loose], now=0.0)
+        hedged = {r.request.request_id: r.hedged for r in outcome.responses}
+        assert hedged[tight.request_id]
+        assert not hedged[loose.request_id]
+
+    def test_batch_metrics_recorded(self):
+        _platform, _table, _cache, extractor = _stack()
+        registry = MetricsRegistry("coalesce-test")
+        with use_registry(registry):
+            runtime = ServingRuntime(extractor)
+            requests = [
+                runtime.make_request(0, _keys(seed=s), now=0.0)
+                for s in range(3)
+            ]
+            runtime.serve_batch(requests, now=0.0)
+        sizes = registry.histogram("serve.coalesce.batch_size")
+        assert sizes.count == 1 and sizes.sum == 3
+        assert registry.histogram("serve.coalesce.dedup_ratio").count == 1
+        assert registry.histogram("serve.coalesce.linger.seconds").count == 3
+
+
+class TestCoalescedEventSim:
+    def test_union_never_slower_than_sequential_members(self):
+        platform = server_a()
+        entry = 128.0
+        members = [
+            GpuDemand(dst=0, volumes={0: 50 * entry, 1: 30 * entry, -1: 20 * entry}),
+            GpuDemand(dst=0, volumes={0: 40 * entry, 2: 25 * entry}),
+        ]
+        # overlapping unions shrink the union volume below the member sum.
+        union = GpuDemand(
+            dst=0, volumes={0: 70 * entry, 1: 30 * entry, 2: 25 * entry, -1: 20 * entry}
+        )
+        result = simulate_coalesced_extraction(platform, union, members)
+        assert result.total_time == result.union_time
+        assert result.union_time <= sum(result.solo_times) + 1e-12
+        assert result.speedup >= 1.0
+
+    def test_mismatched_destination_rejected(self):
+        platform = server_a()
+        union = GpuDemand(dst=0, volumes={0: 1024.0})
+        member = GpuDemand(dst=1, volumes={1: 1024.0})
+        with pytest.raises(ValueError):
+            simulate_coalesced_extraction(platform, union, [member])
+
+
+class TestSoakCoalescing:
+    def test_quick_soak_coalesce_beats_dedup_floor(self):
+        report = run_soak(
+            SoakConfig.quick(
+                scenario="steady", load=2.0, batching=BatchingMode.COALESCE
+            )
+        )
+        assert report.ok
+        assert report.coalesced_batches > 0
+        assert report.mean_batch_size > 1.0
+        assert report.dedup_ratio > 1.5
+
+    def test_coalesced_goodput_not_worse_than_off(self):
+        off = run_soak(SoakConfig.quick(scenario="steady", load=2.0))
+        on = run_soak(
+            SoakConfig.quick(
+                scenario="steady", load=2.0, batching=BatchingMode.COALESCE
+            )
+        )
+        assert on.goodput_rps >= off.goodput_rps
+
+    def test_off_mode_reports_no_coalescing(self):
+        report = run_soak(SoakConfig.quick(scenario="steady"))
+        assert report.coalesced_batches == 0
+        assert report.dedup_ratio == 1.0
+
+    def test_closed_loop_rejects_coalescing(self):
+        with pytest.raises(ValueError):
+            SoakConfig.quick(closed_loop=True, batching=BatchingMode.COALESCE)
+
+    def test_workers_pool_matches_single_thread_report(self):
+        base = run_soak(
+            SoakConfig.quick(
+                scenario="steady", load=1.5, batching=BatchingMode.COALESCE,
+                workers=1,
+            )
+        )
+        pooled = run_soak(
+            SoakConfig.quick(
+                scenario="steady", load=1.5, batching=BatchingMode.COALESCE,
+                workers=4,
+            )
+        )
+        assert pooled.ok
+        assert pooled.requests == base.requests
+        assert pooled.integrity_failures == 0

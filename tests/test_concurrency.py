@@ -1,0 +1,323 @@
+"""Concurrency suite: shared state under real threads (`-m concurrency`).
+
+Hammers the thread-safety contracts the per-GPU serving workers rely on:
+the location table's single mutex, the cache's reader/writer lock against
+the background refresher, per-instrument metric locks, per-breaker locks,
+and the worker-pool soak's determinism.  Every test is deterministic in
+its *assertions* (exact values, exact counts) even though the thread
+interleavings are not.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.cache import MultiGpuEmbeddingCache
+from repro.core.location_table import LocationTable
+from repro.core.policy import hot_replicate_warm_partition_policy
+from repro.core.refresher import RefreshConfig, Refresher
+from repro.hardware.platform import HOST, server_a
+from repro.obs import MetricsRegistry, use_registry
+from repro.serve import (
+    BatchingMode,
+    BreakerConfig,
+    CircuitBreaker,
+    GpuWorkerPool,
+    SoakConfig,
+    run_soak,
+)
+from repro.utils.concurrency import ReadWriteLock
+from repro.utils.rng import make_rng
+from repro.utils.stats import zipf_pmf
+
+pytestmark = pytest.mark.concurrency
+
+N, D = 2000, 8
+THREADS = 8
+
+
+def _run_threads(targets):
+    """Start, join, and re-raise the first worker exception."""
+    errors: list[BaseException] = []
+
+    def wrap(fn):
+        def inner():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        return inner
+
+    threads = [threading.Thread(target=wrap(t)) for t in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestReadWriteLock:
+    def test_readers_share_writer_excludes(self):
+        lock = ReadWriteLock()
+        in_read = threading.Barrier(3, timeout=5.0)
+        wrote = threading.Event()
+
+        def reader():
+            with lock.read_locked():
+                in_read.wait()  # both readers inside simultaneously
+                time.sleep(0.05)
+                assert not wrote.is_set()  # writer still excluded
+
+        def writer():
+            in_read.wait()  # wait until both readers hold the lock
+            with lock.write_locked():
+                wrote.set()
+
+        _run_threads([reader, reader, writer])
+        assert wrote.is_set()
+
+    def test_reentrant_and_writer_may_read(self):
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            with lock.write_locked():
+                with lock.read_locked():
+                    pass
+        with lock.read_locked():
+            with lock.read_locked():
+                pass
+
+    def test_upgrade_raises(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            with pytest.raises(RuntimeError):
+                lock.acquire_write()
+
+
+class TestLocationTableConcurrency:
+    """Writers re-assert the ground truth while readers verify no torn reads.
+
+    Every key's value is a pure function of the key (source = key % 4,
+    offset = key), so any hit a reader observes must return exactly that
+    pair — a torn read (source from one write, offset from another) or a
+    probe against a mid-rebuild array would break the equality.
+    """
+
+    def test_hammer_lookup_insert_remove(self):
+        table = LocationTable(expected_entries=64)  # grows under load
+        keys = np.arange(N, dtype=np.int64)
+        sources = (keys % 4).astype(np.int64)
+        table.insert_batch(keys, sources, keys)
+        stop = threading.Event()
+
+        def writer(seed):
+            rng = make_rng(seed)
+            while not stop.is_set():
+                batch = rng.choice(N, size=128, replace=False).astype(np.int64)
+                table.insert_batch(batch, batch % 4, batch)
+
+        def churner(seed):
+            """Remove a slice and immediately re-insert it."""
+            rng = make_rng(seed)
+            while not stop.is_set():
+                batch = np.sort(
+                    rng.choice(N, size=32, replace=False).astype(np.int64)
+                )
+                table.remove_batch(batch)
+                table.insert_batch(batch, batch % 4, batch)
+
+        def reader(seed):
+            rng = make_rng(seed)
+            while not stop.is_set():
+                batch = rng.choice(N, size=256).astype(np.int64)
+                src, off = table.lookup_batch(batch)
+                hit = src != HOST
+                assert np.array_equal(src[hit], batch[hit] % 4)
+                assert np.array_equal(off[hit], batch[hit])
+                # misses keep the host-by-key convention.
+                assert np.array_equal(off[~hit], batch[~hit])
+
+        def stopper():
+            time.sleep(0.4)
+            stop.set()
+
+        _run_threads(
+            [lambda s=i: writer(s) for i in range(2)]
+            + [lambda s=i + 10: churner(s) for i in range(2)]
+            + [lambda s=i + 20: reader(s) for i in range(THREADS - 4)]
+            + [stopper]
+        )
+        # Steady state: every key present with its ground-truth value
+        # once the churners' final re-inserts land.
+        src, off = table.lookup_batch(keys)
+        present = src != HOST
+        assert np.array_equal(src[present], keys[present] % 4)
+        assert np.array_equal(off[present], keys[present])
+
+
+class TestCacheRefreshConcurrency:
+    """Foreground lookups stay exact while a refresh rewires placement."""
+
+    def _stack(self):
+        platform = server_a()
+        rng = make_rng(0)
+        table = rng.standard_normal((N, D)).astype(np.float32)
+        hotness = zipf_pmf(N, 1.2) * 1000.0
+        placement = hot_replicate_warm_partition_policy(
+            hotness, N // 8, platform.num_gpus, 0.5
+        )
+        cache = MultiGpuEmbeddingCache(platform, table, placement)
+        # A genuinely different placement, so the diff is non-empty.
+        drifted = hot_replicate_warm_partition_policy(
+            hotness[::-1].copy(), N // 8, platform.num_gpus, 0.5
+        )
+        return platform, table, cache, drifted
+
+    def test_lookups_exact_during_refresh(self):
+        platform, table, cache, drifted = self._stack()
+        refresher = Refresher(
+            cache, RefreshConfig(update_batch_entries=64)
+        )
+        done = threading.Event()
+
+        def refresh():
+            try:
+                outcome = refresher.refresh(drifted)
+                assert outcome.entries_moved > 0
+            finally:
+                done.set()
+
+        def reader(seed):
+            rng = make_rng(seed)
+            gpu = seed % platform.num_gpus
+            while not done.is_set():
+                keys = rng.integers(0, N, size=128)
+                result = cache.lookup(gpu, keys)
+                assert np.array_equal(result.values, table[keys])
+
+        _run_threads(
+            [refresh] + [lambda s=i: reader(s) for i in range(THREADS - 1)]
+        )
+        assert cache.verify_integrity() == []
+
+
+class TestMetricsConcurrency:
+    def test_counter_increments_are_exact(self):
+        registry = MetricsRegistry("conc")
+        per_thread = 20_000
+
+        def worker():
+            counter = registry.counter("hits", gpu=0)
+            for _ in range(per_thread):
+                counter.inc()
+
+        _run_threads([worker] * THREADS)
+        assert registry.counter("hits", gpu=0).value == THREADS * per_thread
+
+    def test_histogram_counts_stay_consistent(self):
+        registry = MetricsRegistry("conc")
+        per_thread = 5_000
+
+        def worker(seed):
+            rng = make_rng(seed)
+            hist = registry.histogram("lat")
+            for _ in range(per_thread):
+                hist.observe(float(rng.uniform(1e-6, 10.0)))
+
+        _run_threads([lambda s=i: worker(s) for i in range(THREADS)])
+        hist = registry.histogram("lat")
+        assert hist.count == THREADS * per_thread
+        assert sum(hist.bucket_counts) == hist.count
+        assert hist.min <= hist.mean <= hist.max
+
+    def test_gauge_inc_is_exact(self):
+        registry = MetricsRegistry("conc")
+
+        def worker():
+            gauge = registry.gauge("depth")
+            for _ in range(10_000):
+                gauge.inc(1)
+                gauge.inc(-1)
+
+        _run_threads([worker] * THREADS)
+        assert registry.gauge("depth").value == 0.0
+
+    def test_series_creation_race_yields_one_instrument(self):
+        registry = MetricsRegistry("conc")
+        instruments = []
+        barrier = threading.Barrier(THREADS, timeout=5.0)
+
+        def worker():
+            barrier.wait()
+            instruments.append(registry.counter("race", gpu=1))
+
+        _run_threads([worker] * THREADS)
+        assert all(i is instruments[0] for i in instruments)
+
+
+class TestBreakerConcurrency:
+    def test_hammered_breaker_keeps_sane_state(self):
+        breaker = CircuitBreaker(
+            0, BreakerConfig(failure_threshold=3, cooldown_seconds=0.0)
+        )
+        registry = MetricsRegistry("conc")
+
+        def worker(seed):
+            rng = make_rng(seed)
+            for i in range(2_000):
+                now = i * 1e-3
+                if breaker.allow(now):
+                    if rng.random() < 0.5:
+                        breaker.record_failure(now)
+                    else:
+                        breaker.record_success(now)
+
+        with use_registry(registry):
+            _run_threads([lambda s=i: worker(s) for i in range(THREADS)])
+        # No torn transition: every recorded hop changes state.
+        for _t, frm, to in breaker.transitions:
+            assert frm != to
+        assert breaker.consecutive_failures >= 0
+
+
+class TestWorkerPool:
+    def test_map_gpus_barriers_and_collects(self):
+        order: list[int] = []
+        lock = threading.Lock()
+
+        def fn(gpu):
+            with lock:
+                order.append(gpu)
+            return gpu * gpu
+
+        with GpuWorkerPool(4) as pool:
+            results = pool.map_gpus(fn)
+        assert sorted(order) == [0, 1, 2, 3]
+        assert results == [0, 1, 4, 9]
+
+    def test_worker_exception_propagates(self):
+        def fn(gpu):
+            if gpu == 2:
+                raise RuntimeError("boom")
+            return gpu
+
+        with GpuWorkerPool(4) as pool:
+            with pytest.raises(RuntimeError, match="boom"):
+                pool.map_gpus(fn)
+
+    def test_concurrent_soak_is_deterministic(self):
+        """The workers>1 soak gives bit-identical reports run over run."""
+        cfg = SoakConfig.quick(
+            scenario="steady",
+            load=1.5,
+            requests_per_gpu=60,
+            batching=BatchingMode.COALESCE,
+            workers=4,
+        )
+        first = run_soak(cfg).to_dict()
+        for _ in range(2):
+            assert run_soak(cfg).to_dict() == first
+        assert first["integrity_failures"] == 0

@@ -1,0 +1,86 @@
+"""Golden regression for the coalescing layer and the off-mode anchor.
+
+``tests/golden/coalesce_golden.json`` pins the micro-batcher's flush
+schedule, ``serve_batch``'s per-member scattering, and full soak reports
+in both batching modes.  The ``soak_off`` section is the equivalence
+claim of PR 5: with ``--batching off`` the serving runtime must keep
+producing byte-for-byte the report the pre-coalescing code produced
+(the new report fields are constants in off mode).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+pytestmark = pytest.mark.serve
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "generate_coalesce_golden", GOLDEN_DIR / "generate_coalesce_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads((GOLDEN_DIR / "coalesce_golden.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def replayed() -> dict:
+    # Round-trip through JSON so float representation matches the fixture.
+    return json.loads(json.dumps(_load_generator().build(), sort_keys=True))
+
+
+@pytest.mark.parametrize(
+    "section",
+    ["serve_batch", "batcher_schedule", "soak_off", "soak_coalesce"],
+)
+def test_coalescing_matches_golden(golden, replayed, section):
+    assert replayed[section] == golden[section], (
+        f"{section} diverged from the pinned coalescing fixture"
+    )
+
+
+def test_off_mode_is_the_pre_coalescing_anchor(golden):
+    """Off mode must look exactly like the runtime before this layer."""
+    off = golden["soak_off"]
+    assert off["coalesced_batches"] == 0
+    assert off["mean_batch_size"] == 0.0
+    assert off["dedup_ratio"] == 1.0
+    assert off["workers"] == 1
+    assert off["ok"]
+
+
+def test_fixture_exercises_the_interesting_paths(golden):
+    """The pin covers real coalescing, not degenerate batches."""
+    on = golden["soak_coalesce"]
+    assert on["coalesced_batches"] > 0
+    assert on["dedup_ratio"] > 1.0
+    # serve_batch sections include a genuinely shared extraction...
+    sizes = [
+        rec["batch_size"]
+        for plat in golden["serve_batch"].values()
+        for rec in plat
+    ]
+    assert max(sizes) >= 3
+    # ...and every batched member shares one completion time.
+    for plat in golden["serve_batch"].values():
+        for rec in plat:
+            for resp in rec["responses"]:
+                assert resp["completed_at"] == rec["completed_at"]
+    # The schedule pin covers a full-batch immediate flush (pile-up) and
+    # an SLO early flush tighter than the linger target.
+    schedule = golden["batcher_schedule"]
+    assert schedule[1]["flush_at"] == 0.25  # deadline 0.5 - estimate 0.25
+    assert schedule[2]["flush_at"] == 0.15  # 3 queued = max_batch: no linger
+    assert schedule[-1]["take_ids"] == [0, 1, 2]  # FIFO, capped at max_batch

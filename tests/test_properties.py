@@ -183,3 +183,115 @@ class TestStatsProperties:
         assert curve[0] == 0.0
         assert curve[-1] == pytest.approx(1.0)
         assert (np.diff(curve) >= -1e-12).all()
+
+
+# ----------------------------------------------------------------------
+# Cross-request coalescing (PR 5): shared read-only cache stack so each
+# hypothesis example only pays for planning, not cache construction.
+# ----------------------------------------------------------------------
+import functools
+from types import SimpleNamespace
+
+from repro.core.pipeline import plan_extraction, price_demand
+from repro.serve import coalesce_keys
+
+CACHE_N = 600
+ENTRY_BYTES = 4 * 8  # float32 * D=8
+
+
+@functools.lru_cache(maxsize=1)
+def _coalesce_stack():
+    from repro.core.cache import MultiGpuEmbeddingCache
+    from repro.core.policy import hot_replicate_warm_partition_policy
+
+    rng = np.random.default_rng(0)
+    table = rng.standard_normal((CACHE_N, 8)).astype(np.float32)
+    hot = zipf_pmf(CACHE_N, 1.1) * 1000.0
+    placement = hot_replicate_warm_partition_policy(
+        hot, CACHE_N // 8, PLATFORM_A.num_gpus, 0.5
+    )
+    return MultiGpuEmbeddingCache(PLATFORM_A, table, placement)
+
+
+member_key_lists = st.lists(
+    hnp.arrays(
+        dtype=np.int64,
+        shape=st.integers(min_value=1, max_value=80),
+        elements=st.integers(0, CACHE_N - 1),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestCoalesceProperties:
+    @given(members=member_key_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_dedup_never_drops_a_key(self, members):
+        requests = [SimpleNamespace(keys=m) for m in members]
+        union, total = coalesce_keys(requests)
+        assert total == sum(len(m) for m in members)
+        assert len(np.unique(union)) == len(union)
+        for m in members:
+            assert np.isin(m, union).all()
+        # ...and nothing invented: every union key came from a member.
+        assert np.isin(union, np.concatenate(members)).all()
+
+    @given(members=member_key_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_coalesced_pricing_conserves_demand(self, members):
+        """Every unique key is priced exactly once, on exactly one source."""
+        cache = _coalesce_stack()
+        union, _ = coalesce_keys([SimpleNamespace(keys=m) for m in members])
+        plan = plan_extraction(cache, 0, union)
+        group_keys = np.concatenate([g.keys for g in plan.groups])
+        # The groups partition the union: same multiset, no duplicates.
+        assert len(group_keys) == len(union)
+        assert np.array_equal(np.sort(group_keys), union)
+        demand = plan.demand(ENTRY_BYTES)
+        assert sum(demand.volumes.values()) == pytest.approx(
+            len(union) * ENTRY_BYTES
+        )
+
+    @given(members=member_key_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_member_latency_never_below_solo_lower_bound(self, members):
+        """Shared extraction time dominates each member's solo price.
+
+        A member's coalesced latency is wait + shared_time, and the
+        member's keys are a subset of the union, so per-source demand can
+        only grow — pricing is monotone in volume (see
+        TestSimulationProperties), hence coalescing never beats the
+        member's own un-coalesced extraction time.
+        """
+        cache = _coalesce_stack()
+        union, _ = coalesce_keys([SimpleNamespace(keys=m) for m in members])
+        union_plan = plan_extraction(cache, 0, union)
+        union_demand = union_plan.demand(ENTRY_BYTES)
+        shared = price_demand(PLATFORM_A, union_demand).time
+        for m in members:
+            solo_plan = plan_extraction(cache, 0, np.unique(m))
+            solo_demand = solo_plan.demand(ENTRY_BYTES)
+            for src, vol in solo_demand.volumes.items():
+                assert vol <= union_demand.volumes.get(src, 0.0) + 1e-9
+            assert shared >= price_demand(PLATFORM_A, solo_demand).time - 1e-12
+
+    @given(
+        keys=hnp.arrays(
+            dtype=np.int64,
+            shape=st.integers(min_value=1, max_value=200),
+            elements=st.integers(0, CACHE_N - 1),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_resolve_reroute_conserves_keys(self, keys):
+        """resolve → reroute → group neither drops nor duplicates keys."""
+        cache = _coalesce_stack()
+        plan = plan_extraction(cache, 1, keys)
+        assert plan.batch_size == len(keys)
+        assert plan.rerouted_keys == 0  # healthy cache: nothing moved
+        positions = np.concatenate([g.batch_positions for g in plan.groups])
+        assert np.array_equal(np.sort(positions), np.arange(len(keys)))
+        for g in plan.groups:
+            assert np.array_equal(g.keys, keys[g.batch_positions])
+            assert g.source == HOST or 0 <= g.source < PLATFORM_A.num_gpus
