@@ -178,6 +178,8 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         batching=BatchingMode(args.batching),
         max_batch=args.max_batch,
         workers=args.workers,
+        lookahead=args.lookahead,
+        prefetch_capacity=args.prefetch_capacity,
         seed=args.seed,
     )
     if args.requests is not None:
@@ -191,6 +193,24 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     with use_registry(registry):
         report = run_soak(cfg)
     print(render_soak_report(report))
+    if args.compare_lookahead and cfg.lookahead > 0:
+        # Same trace without prefetching: the goodput delta is the
+        # lookahead stage's contribution, everything else held equal.
+        from dataclasses import replace
+
+        with use_registry(MetricsRegistry("soak-baseline")):
+            baseline = run_soak(replace(cfg, lookahead=0))
+        delta = report.goodput_rps - baseline.goodput_rps
+        pct = (
+            100.0 * delta / baseline.goodput_rps
+            if baseline.goodput_rps
+            else 0.0
+        )
+        print(
+            f"  vs lookahead 0: goodput {baseline.goodput_rps:.1f} -> "
+            f"{report.goodput_rps:.1f} req/s ({delta:+.1f}, {pct:+.1f}%), "
+            f"hit rate {report.prefetch_hit_rate:.1%} vs 0.0%"
+        )
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
@@ -301,6 +321,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help=">1 serves the GPUs on concurrent worker threads "
                         "(open-loop only)")
+    p.add_argument("--lookahead", type=int, default=0, metavar="K",
+                   help="batches the oracle cacher peeks ahead in the "
+                        "trace; 0 disables prefetching (open-loop only)")
+    p.add_argument("--prefetch-capacity", type=int, default=4096,
+                   metavar="ENTRIES",
+                   help="per-GPU staging-buffer bound for the prefetcher")
+    p.add_argument("--compare-lookahead", action="store_true",
+                   help="also run the same soak with --lookahead 0 and "
+                        "print the goodput delta")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json-out", default=None, metavar="PATH",
                    help="write the soak report as JSON")

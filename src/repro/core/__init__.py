@@ -27,7 +27,15 @@ from repro.core.pipeline import (
     plan_extraction,
     price_demand,
     renormalize_dedication,
+    shift_staged_demand,
     verify_resolution,
+)
+from repro.core.prefetch import (
+    LookaheadWindow,
+    OracleCacher,
+    PrefetchConfig,
+    PrefetchOutcome,
+    StagingBuffer,
 )
 from repro.core.filler import (
     GpuCacheStore,
@@ -128,7 +136,13 @@ __all__ = [
     "plan_extraction",
     "price_demand",
     "renormalize_dedication",
+    "shift_staged_demand",
     "verify_resolution",
+    "LookaheadWindow",
+    "OracleCacher",
+    "PrefetchConfig",
+    "PrefetchOutcome",
+    "StagingBuffer",
     "GpuCacheStore",
     "PlacementDiff",
     "apply_diff_step",

@@ -20,6 +20,13 @@ free function that any layer can call on its own:
    :func:`price_demand`, so a plan costs the same no matter who asks;
 6. **execute** — gather the actual values through the cache stores.
 
+A seventh stage runs *ahead* of the batch rather than inside it:
+**prefetch** (:mod:`repro.core.prefetch`) peeks a lookahead window into
+the upcoming trace, pre-stages would-be host misses into a GPU-resident
+staging buffer during idle link time, and at serve time
+:func:`shift_staged_demand` moves the claimed bytes off the host path
+before stage 5 prices the demand.
+
 Each stage times itself into ``pipeline.<stage>.seconds``
 (:func:`repro.obs.stage_timer`), so a regression in any one stage is
 visible regardless of which consumer triggered it.
@@ -70,6 +77,7 @@ __all__ = [
     "renormalize_dedication",
     "reroute",
     "resolve",
+    "shift_staged_demand",
     "source_class",
     "verify_resolution",
 ]
@@ -459,6 +467,34 @@ def price_demand(
         if health is not None:
             platform = degraded_platform(platform, health)
         return factored_extraction(platform, demand, local_padding=local_padding)
+
+
+def shift_staged_demand(demand: GpuDemand, staged_bytes: float) -> GpuDemand:
+    """Move prefetch-staged bytes off the host path onto the local tier.
+
+    The lookahead prefetcher (:mod:`repro.core.prefetch`) pre-stages
+    upcoming host misses into a GPU-resident staging buffer; at
+    extraction time the bytes it claimed are served at local speed, not
+    over PCIe.  This re-prices a demand accordingly: up to
+    ``staged_bytes`` of the HOST volume moves to the destination's local
+    volume.  With ``staged_bytes <= 0`` (or no host volume) the input
+    demand is returned unchanged, which is what keeps the no-lookahead
+    path byte-identical.
+    """
+    if staged_bytes <= 0:
+        return demand
+    host = demand.volume(HOST)
+    moved = min(host, float(staged_bytes))
+    if moved <= 0:
+        return demand
+    volumes = dict(demand.volumes)
+    remaining = host - moved
+    if remaining > 0:
+        volumes[HOST] = remaining
+    else:
+        volumes.pop(HOST, None)
+    volumes[demand.dst] = volumes.get(demand.dst, 0.0) + moved
+    return GpuDemand(dst=demand.dst, volumes=volumes)
 
 
 def host_fallback_demand(demand: GpuDemand) -> GpuDemand:

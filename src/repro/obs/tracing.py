@@ -125,7 +125,11 @@ def timer(name: str, registry: MetricsRegistry | None = None, **labels: Any):
 #: The extraction pipeline's stage names, in execution order.  Each stage
 #: times itself into ``pipeline.<stage>.seconds``; exporters and the
 #: metrics summarizer use this list to render the per-stage breakdown.
-PIPELINE_STAGES = ("resolve", "reroute", "group", "dedicate", "price", "execute")
+#: ``prefetch`` runs ahead of the batch (the lookahead oracle staging
+#: upcoming host misses); the remaining six serve the batch itself.
+PIPELINE_STAGES = (
+    "prefetch", "resolve", "reroute", "group", "dedicate", "price", "execute"
+)
 
 
 def stage_timer(stage: str, registry: MetricsRegistry | None = None, **labels: Any):

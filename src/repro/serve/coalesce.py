@@ -91,7 +91,9 @@ class CoalesceOutcome:
     """What one coalesced service did, for the soak report and tests."""
 
     responses: list[Response] = field(default_factory=list)
-    #: members fused (expired-on-arrival members are counted but dropped).
+    #: members actually fused into the shared extraction.  Expired-on-
+    #: arrival members are dropped *before* extraction and are not
+    #: counted here (they still appear in ``responses`` as EXPIRED).
     batch_size: int = 0
     #: unique keys actually extracted.
     union_size: int = 0
@@ -101,6 +103,8 @@ class CoalesceOutcome:
     service_time: float = 0.0
     #: when the shared extraction finishes (the GPU is busy until then).
     completed_at: float = 0.0
+    #: host-resolved keys served from the lookahead staging buffer.
+    prefetch_hits: int = 0
 
     @property
     def dedup_ratio(self) -> float:

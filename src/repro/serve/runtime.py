@@ -28,7 +28,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.extractor import FactoredExtractor
-from repro.core.pipeline import host_fallback_demand, price_demand
+from repro.core.pipeline import (
+    host_fallback_demand,
+    price_demand,
+    shift_staged_demand,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import HealthView
 from repro.hardware.platform import HOST
@@ -88,11 +92,17 @@ class ServingRuntime:
         config: ServeConfig | None = None,
         injector: FaultInjector | None = None,
         clock: SimClock | None = None,
+        prefetcher=None,
     ) -> None:
         self._extractor = extractor
         self._cache = extractor.cache
         self.config = config or ServeConfig()
         self._injector = injector
+        #: optional :class:`~repro.core.prefetch.OracleCacher`; when
+        #: attached, staged host keys are re-priced as local reads.  With
+        #: no prefetcher the serving path is byte-identical to earlier
+        #: revisions.
+        self.prefetcher = prefetcher
         self.clock = clock or SimClock()
         platform = extractor.platform
         self.admission = AdmissionController(
@@ -139,10 +149,12 @@ class ServingRuntime:
             ]
             for r in responses:
                 self.responses.append(r)
+                self._retire_prefetch(r.request.gpu)
             return None
         assert result.status is not None
         response = self._finish_dropped(request, result.status, now)
         self.responses.append(response)
+        self._retire_prefetch(request.gpu)
         return response
 
     def _finish_dropped(
@@ -160,6 +172,42 @@ class ServingRuntime:
             return None
         return self._injector.advance(now)
 
+    def _retire_prefetch(self, gpu: int) -> None:
+        """Slide the prefetcher's window past one retired batch.
+
+        A batch is *retired* when its request leaves the system — served,
+        expired at the worker, or dropped at admission (shed, rejected,
+        displaced).  Retiring here rather than at submission keeps staged
+        entries resident across the request's queueing delay, so a hit is
+        recorded when the batch is finally extracted.
+        """
+        if self.prefetcher is not None:
+            self.prefetcher.advance(gpu)
+
+    def _apply_prefetch(self, gpu: int, plan, demand: GpuDemand):
+        """Shift staged host keys off the demand's host path.
+
+        Asks the attached oracle cacher which of the plan's host-resolved
+        keys are already resident in its staging buffer and re-prices
+        those bytes as local reads (the values themselves are unchanged —
+        staging is a timing effect).  A no-op without a prefetcher.
+        """
+        if self.prefetcher is None:
+            return demand, 0
+        host_keys = np.concatenate(
+            [g.keys for g in plan.groups if g.source == HOST]
+        ) if any(g.source == HOST for g in plan.groups) else np.empty(
+            0, dtype=np.int64
+        )
+        mask = self.prefetcher.stage_hits(gpu, host_keys)
+        hits = int(mask.sum())
+        if hits == 0:
+            return demand, 0
+        return (
+            shift_staged_demand(demand, hits * self._cache.entry_bytes),
+            hits,
+        )
+
     def serve_request(self, request: Request, now: float) -> Response:
         """Execute one admitted request at (simulated) time ``now``."""
         reg = get_registry()
@@ -167,6 +215,7 @@ class ServingRuntime:
             # Dead on arrival at the worker: don't waste extraction on it.
             response = self._finish_dropped(request, RequestStatus.EXPIRED, now)
             self.responses.append(response)
+            self._retire_prefetch(request.gpu)
             return response
 
         health = self._health(now)
@@ -183,6 +232,7 @@ class ServingRuntime:
                 exclude_sources=excluded,
             )
             values, demand = self._extractor.execute(plan)
+        demand, prefetch_hits = self._apply_prefetch(request.gpu, plan, demand)
         # The pipeline's shared price stage — same call the simulators make.
         platform = self._extractor.platform
         report = price_demand(platform, demand, health=health)
@@ -230,9 +280,11 @@ class ServingRuntime:
             hedged=hedged,
             hedge_won=hedge_won,
             rerouted_keys=plan.rerouted_keys,
+            prefetch_hits=prefetch_hits,
             values=values,
         )
         self.responses.append(response)
+        self._retire_prefetch(request.gpu)
         return response
 
     def serve_batch(self, requests: list[Request], now: float) -> CoalesceOutcome:
@@ -269,12 +321,16 @@ class ServingRuntime:
                 )
                 self.responses.append(response)
                 responses.append(response)
+                self._retire_prefetch(request.gpu)
             else:
                 live.append(request)
         if not live:
+            # No member reached extraction: nothing was fused, so the
+            # batch size is 0, not the offered count — otherwise soak
+            # mean_batch_size inflates over batches that did no work.
             return CoalesceOutcome(
                 responses=responses,
-                batch_size=len(requests),
+                batch_size=0,
                 completed_at=now,
             )
         gpu = live[0].gpu
@@ -293,6 +349,10 @@ class ServingRuntime:
                 exclude_sources=excluded,
             )
             values, demand = self._extractor.execute(plan)
+        demand, prefetch_hits = self._apply_prefetch(gpu, plan, demand)
+        # The fused extraction retires every live member's batch at once.
+        for _ in live:
+            self._retire_prefetch(gpu)
         platform = self._extractor.platform
         report = price_demand(platform, demand, health=health)
         shared_time = report.time
@@ -302,11 +362,12 @@ class ServingRuntime:
         self.admission.estimator(gpu).observe(shared_time)
         outcome = CoalesceOutcome(
             responses=responses,
-            batch_size=len(requests),
+            batch_size=len(live),
             union_size=len(union),
             total_keys=total_keys,
             service_time=shared_time,
             completed_at=completed_at,
+            prefetch_hits=prefetch_hits,
         )
         reg.histogram("serve.coalesce.batch_size").observe(len(live))
         reg.histogram("serve.coalesce.dedup_ratio").observe(

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.cache import MultiGpuEmbeddingCache
 from repro.core.extractor import FactoredExtractor
 from repro.core.policy import hot_replicate_warm_partition_policy
+from repro.core.prefetch import OracleCacher, PrefetchConfig
 from repro.core.refresher import RefreshConfig, Refresher
 from repro.core.solver import FallbackConfig, SolverConfig
 from repro.faults.injector import FaultInjector
@@ -167,6 +168,13 @@ class SoakConfig:
     #: per-GPU serving worker threads; >1 runs the GPUs' serving loops
     #: wall-clock concurrently against the shared cache (open loop only).
     workers: int = 1
+    #: lookahead prefetching: batches the oracle cacher may peek ahead in
+    #: the (pre-generated) trace.  0 keeps the runtime byte-identical to
+    #: the no-prefetch path; >0 pre-stages upcoming host misses into the
+    #: GPU tier during idle link time (open loop only).
+    lookahead: int = 0
+    #: per-GPU staging-buffer bound, in entries (lookahead > 0 only).
+    prefetch_capacity: int = 4096
     seed: int = 0
 
     @classmethod
@@ -206,6 +214,15 @@ class SoakConfig:
             )
         if self.closed_loop and self.workers > 1:
             raise ValueError("the worker pool only drives open-loop traffic")
+        if self.lookahead < 0:
+            raise ValueError("lookahead must be non-negative")
+        if self.prefetch_capacity < 1:
+            raise ValueError("prefetch capacity must be at least one entry")
+        if self.closed_loop and self.lookahead > 0:
+            raise ValueError(
+                "closed-loop arrivals depend on responses, so the future "
+                "is not knowable; lookahead prefetching is open-loop only"
+            )
 
 
 @dataclass
@@ -242,6 +259,14 @@ class SoakReport:
     mean_batch_size: float = 0.0
     dedup_ratio: float = 1.0
     workers: int = 1
+    #: lookahead prefetching stats (all zero when lookahead is 0).
+    lookahead: int = 0
+    prefetch_staged_keys: int = 0
+    prefetch_hits: int = 0
+    prefetch_hit_rate: float = 0.0
+    prefetch_wasted_bytes: float = 0.0
+    prefetch_overlap_seconds: float = 0.0
+    prefetch_critical_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -334,7 +359,18 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
         hedge_enabled=True,
         source_timeout_seconds=cfg.timeout_factor * s0,
     )
-    runtime = ServingRuntime(extractor, config=serve_cfg, injector=injector)
+    prefetcher = None
+    if cfg.lookahead > 0:
+        prefetcher = OracleCacher(
+            cache,
+            PrefetchConfig(
+                lookahead=cfg.lookahead,
+                capacity_entries=cfg.prefetch_capacity,
+            ),
+        )
+    runtime = ServingRuntime(
+        extractor, config=serve_cfg, injector=injector, prefetcher=prefetcher
+    )
     manager = PolicyManager(
         cache,
         refresher=Refresher(cache, RefreshConfig(update_batch_entries=1024)),
@@ -444,17 +480,42 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
             arrivals.append(times)
         gpu_key_rngs = spawn_rngs(cfg.seed + 29, G)
         cursors = [0] * G
+        # With lookahead on, the per-GPU key traces are drawn up front in
+        # the same per-stream order the loop below would draw them, so the
+        # served trace is identical and only prefetch effects differ.  The
+        # whole trace is announced; the window exposes only the next K.
+        gpu_traces: list[list[np.ndarray]] = []
+        if prefetcher is not None:
+            for g in range(G):
+                trace = [
+                    gpu_key_rngs[g].choice(
+                        cfg.num_entries, size=cfg.batch_keys, p=pmf
+                    )
+                    for _ in range(cfg.requests_per_gpu)
+                ]
+                gpu_traces.append(trace)
+                for keys in trace:
+                    prefetcher.announce(g, keys)
 
         def run_segment(g: int, until: float) -> None:
             times = arrivals[g]
             cursor = cursors[g]
             while cursor < len(times) and times[cursor] < until:
                 t = times[cursor]
-                cursor += 1
                 catch_up(g, t)
-                keys = gpu_key_rngs[g].choice(
-                    cfg.num_entries, size=cfg.batch_keys, p=pmf
-                )
+                if prefetcher is not None:
+                    idle = max(0.0, t - busy[g])
+                    outcome = prefetcher.prefetch(
+                        g, now=busy[g], idle_seconds=idle
+                    )
+                    if outcome.critical_seconds > 0.0:
+                        busy[g] = max(busy[g], t) + outcome.critical_seconds
+                    keys = gpu_traces[g][cursor]
+                else:
+                    keys = gpu_key_rngs[g].choice(
+                        cfg.num_entries, size=cfg.batch_keys, p=pmf
+                    )
+                cursor += 1
                 request = runtime.make_request(
                     g, keys, t, deadline=t + deadline
                 )
@@ -486,6 +547,17 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
                     heapq.heappush(events, (t, seq, g))
                     seq += 1
 
+        # With lookahead on, keys are drawn up front in heap-pop order
+        # (events sort identically as a list and as a heap), so the trace
+        # is byte-identical to the draw-at-pop path; the whole future is
+        # announced and the window exposes only the next K per GPU.
+        event_keys: dict[int, np.ndarray] = {}
+        if prefetcher is not None:
+            for _t, s, g in sorted(events):
+                keys = make_keys()
+                event_keys[s] = keys
+                prefetcher.announce(g, keys)
+
         while events:
             t, _s, g = heapq.heappop(events)
             if cfg.closed_loop and t >= duration:
@@ -494,7 +566,15 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
                 attempt_swap(swap_times.pop(0))
             for gpu in range(G):
                 catch_up(gpu, t)
-            request = runtime.make_request(g, make_keys(), t, deadline=t + deadline)
+            if prefetcher is not None:
+                idle = max(0.0, t - busy[g])
+                outcome = prefetcher.prefetch(g, now=busy[g], idle_seconds=idle)
+                if outcome.critical_seconds > 0.0:
+                    busy[g] = max(busy[g], t) + outcome.critical_seconds
+                keys = event_keys.pop(_s)
+            else:
+                keys = make_keys()
+            request = runtime.make_request(g, keys, t, deadline=t + deadline)
             dropped = runtime.submit(request, t)
             if cfg.closed_loop:
                 if dropped is not None:
@@ -560,7 +640,16 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
         arrival_rate=rate,
         baseline_service=s0,
         workers=cfg.workers,
+        lookahead=cfg.lookahead,
     )
+    if prefetcher is not None:
+        prefetcher.finalize()
+        report.prefetch_staged_keys = prefetcher.staged_keys_total
+        report.prefetch_hits = prefetcher.hits_total
+        report.prefetch_hit_rate = prefetcher.hit_rate
+        report.prefetch_wasted_bytes = float(prefetcher.wasted_bytes_total)
+        report.prefetch_overlap_seconds = prefetcher.overlap_seconds_total
+        report.prefetch_critical_seconds = prefetcher.critical_seconds_total
     served_batches = [o for o in outcomes if o.union_size > 0]
     if served_batches:
         total_member_keys = sum(o.total_keys for o in served_batches)
@@ -579,6 +668,8 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
         reg.counter("soak.runs", scenario=cfg.scenario).inc()
         if served_batches:
             reg.gauge("soak.dedup_ratio").set(report.dedup_ratio)
+        if prefetcher is not None:
+            reg.gauge("soak.prefetch_hit_rate").set(report.prefetch_hit_rate)
     logger.info(
         "soak %s: %d requests, %.1f ok/s goodput, shed %.1f%%, p99 %.3es",
         cfg.scenario, report.requests, report.goodput_rps,
@@ -618,6 +709,17 @@ def render_soak_report(report: SoakReport) -> str:
             f"  coalescing    {report.coalesced_batches} batches, "
             f"mean size {report.mean_batch_size:.2f}, "
             f"dedup ratio {report.dedup_ratio:.2f}x",
+        )
+    if report.lookahead:
+        lines.insert(
+            5,
+            f"  prefetch      lookahead {report.lookahead}: "
+            f"hit rate {report.prefetch_hit_rate:.1%} "
+            f"({report.prefetch_hits} hits on "
+            f"{report.prefetch_staged_keys} staged keys), "
+            f"wasted {report.prefetch_wasted_bytes:.0f}B, "
+            f"overlapped {report.prefetch_overlap_seconds:.3e}s, "
+            f"critical {report.prefetch_critical_seconds:.3e}s",
         )
     if report.workers > 1:
         lines.insert(1, f"  workers       {report.workers} per-GPU threads")

@@ -13,9 +13,15 @@ from repro.sim.congestion import (
 )
 from repro.sim.engine import BatchReport, readers_per_source, simulate_batch
 from repro.sim.event_sim import (
+    CoalescedSimResult,
     EventSimResult,
+    HedgedSimResult,
+    PrefetchedSimResult,
+    simulate_coalesced_extraction,
     simulate_factored_event_driven,
+    simulate_hedged_extraction,
     simulate_naive_event_driven,
+    simulate_prefetched_extraction,
 )
 from repro.sim.mechanisms import (
     MESSAGE_STAGE_OVERHEAD,
@@ -31,9 +37,15 @@ from repro.sim.trace import ExtractionTrace, GroupEvent, LocalSegment, trace_bat
 from repro.sim.utilization import LinkUtilization, batch_utilization
 
 __all__ = [
+    "CoalescedSimResult",
     "EventSimResult",
+    "HedgedSimResult",
+    "PrefetchedSimResult",
+    "simulate_coalesced_extraction",
     "simulate_factored_event_driven",
+    "simulate_hedged_extraction",
     "simulate_naive_event_driven",
+    "simulate_prefetched_extraction",
     "ExtractionTrace",
     "GroupEvent",
     "LocalSegment",

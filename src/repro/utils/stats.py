@@ -45,17 +45,30 @@ def geometric_mean(values) -> float:
 
 
 def weighted_percentile(values: np.ndarray, weights: np.ndarray, q: float) -> float:
-    """Percentile ``q`` (0..100) of ``values`` under ``weights``."""
+    """Percentile ``q`` (0..100) of ``values`` under ``weights``.
+
+    Raises :class:`ValueError` for empty inputs (there is no percentile
+    of nothing — the old code crashed with ``IndexError`` on
+    ``cdf[-1]``) and for weights summing to zero (the old code divided
+    by zero and silently returned NaN-driven garbage).
+    """
     if not 0 <= q <= 100:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
     values = np.asarray(values, dtype=np.float64)
     weights = np.asarray(weights, dtype=np.float64)
     if values.shape != weights.shape:
         raise ValueError("values and weights must have identical shapes")
+    if values.size == 0:
+        raise ValueError("weighted percentile of empty values")
     order = np.argsort(values)
     values = values[order]
     cdf = np.cumsum(weights[order])
-    cdf /= cdf[-1]
+    total = cdf[-1]
+    if total <= 0 or not np.isfinite(total):
+        raise ValueError(
+            f"weights must sum to a positive finite value, got {total}"
+        )
+    cdf /= total
     idx = int(np.searchsorted(cdf, q / 100.0, side="left"))
     idx = min(idx, len(values) - 1)
     return float(values[idx])
@@ -70,4 +83,8 @@ def coverage_curve(probabilities: np.ndarray) -> np.ndarray:
     """
     probabilities = np.asarray(probabilities, dtype=np.float64)
     ordered = np.sort(probabilities)[::-1]
-    return np.concatenate([[0.0], np.cumsum(ordered)])
+    curve = np.concatenate([[0.0], np.cumsum(ordered)])
+    # Floating-point drift in the running sum can push the tail above
+    # 1.0 on large catalogs (~1e7 items), which downstream hit-rate math
+    # would read as >100% hit rate; coverage is a probability, clamp it.
+    return np.minimum(curve, 1.0)

@@ -138,6 +138,32 @@ def _batcher_schedule() -> list[dict]:
     return schedule
 
 
+def _expiry_accounting_record() -> dict:
+    """A batch with an expired-on-arrival member, pinning the corrected
+    accounting: only members that reach extraction count in batch_size."""
+    rng = np.random.default_rng(7)
+    platform = server_a()
+    table = rng.standard_normal((N, D)).astype(np.float32)
+    hotness = zipf_pmf(N, 1.2) * 1000.0
+    placement = hot_replicate_warm_partition_policy(
+        hotness, 250, platform.num_gpus, 0.5
+    )
+    cache = MultiGpuEmbeddingCache(platform, table, placement)
+    runtime = ServingRuntime(FactoredExtractor(cache))
+    dead = runtime.make_request(
+        0, rng.integers(0, N, size=192), now=0.0, deadline=1.0
+    )
+    live = runtime.make_request(0, rng.integers(0, N, size=192), now=0.0)
+    outcome = runtime.serve_batch([dead, live], now=5.0)
+    return {
+        "batch_size": outcome.batch_size,
+        "union_size": outcome.union_size,
+        "total_keys": outcome.total_keys,
+        "dedup_ratio": outcome.dedup_ratio,
+        "statuses": sorted(r.status.value for r in outcome.responses),
+    }
+
+
 def _soak_record(**overrides) -> dict:
     cfg = SoakConfig.quick(
         scenario="steady", load=1.5, requests_per_gpu=60, **overrides
@@ -153,6 +179,7 @@ def build() -> dict:
             "server_c": _serve_batch_records(server_c()),
         },
         "batcher_schedule": _batcher_schedule(),
+        "expiry_accounting": _expiry_accounting_record(),
         "soak_off": _soak_record(),
         "soak_coalesce": _soak_record(batching=BatchingMode.COALESCE),
     }

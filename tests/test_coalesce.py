@@ -185,6 +185,29 @@ class TestServeBatch:
         # the survivor was served alone.
         assert [r for r in outcome.responses if r.ok][0].coalesced == 1
 
+    def test_batch_size_counts_only_extracted_members(self):
+        # Regression: expired-on-arrival members were counted in
+        # batch_size despite being dropped before extraction, inflating
+        # the soak report's mean_batch_size over batches that did less
+        # work than advertised.
+        _platform, _table, _cache, extractor = _stack()
+        runtime = ServingRuntime(extractor)
+        dead = runtime.make_request(0, _keys(seed=1), now=0.0, deadline=1.0)
+        live = runtime.make_request(0, _keys(seed=2), now=0.0)
+        outcome = runtime.serve_batch([dead, live], now=5.0)
+        assert outcome.batch_size == 1
+        assert outcome.union_size == len(np.unique(live.keys))
+
+    def test_all_expired_batch_has_zero_size(self):
+        _platform, _table, _cache, extractor = _stack()
+        runtime = ServingRuntime(extractor)
+        requests = [
+            runtime.make_request(0, _keys(seed=s), now=0.0, deadline=1.0)
+            for s in range(3)
+        ]
+        outcome = runtime.serve_batch(requests, now=5.0)
+        assert outcome.batch_size == 0
+
     def test_mixed_gpus_rejected(self):
         _platform, _table, _cache, extractor = _stack()
         runtime = ServingRuntime(extractor)

@@ -43,7 +43,13 @@ def replayed() -> dict:
 
 @pytest.mark.parametrize(
     "section",
-    ["serve_batch", "batcher_schedule", "soak_off", "soak_coalesce"],
+    [
+        "serve_batch",
+        "batcher_schedule",
+        "expiry_accounting",
+        "soak_off",
+        "soak_coalesce",
+    ],
 )
 def test_coalescing_matches_golden(golden, replayed, section):
     assert replayed[section] == golden[section], (
@@ -84,3 +90,12 @@ def test_fixture_exercises_the_interesting_paths(golden):
     assert schedule[1]["flush_at"] == 0.25  # deadline 0.5 - estimate 0.25
     assert schedule[2]["flush_at"] == 0.15  # 3 queued = max_batch: no linger
     assert schedule[-1]["take_ids"] == [0, 1, 2]  # FIFO, capped at max_batch
+
+
+def test_expired_members_not_counted_in_batch_size(golden):
+    """Pin of the corrected accounting: an expired-on-arrival member is
+    dropped before extraction and must not inflate batch_size (and hence
+    soak mean_batch_size / dedup_ratio)."""
+    rec = golden["expiry_accounting"]
+    assert rec["statuses"] == ["expired", "ok"]
+    assert rec["batch_size"] == 1

@@ -86,6 +86,36 @@ class TestLatencyEstimator:
             assert hist.count == 2
             assert est.percentile(99) == hist.percentile(99)
 
+    def test_prior_answers_before_first_sample(self):
+        # Regression: estimate() answered 0.0 cold, so SLO-margin
+        # consumers (the micro-batcher's early flush) had zero
+        # service-time margin for a run's first batches.
+        est = LatencyEstimator(gpu=0, prior=0.25)
+        assert est.estimate() == 0.25
+
+    def test_first_observation_overrides_prior(self):
+        registry = MetricsRegistry("t")
+        with use_registry(registry):
+            est = LatencyEstimator(gpu=0, alpha=0.5, prior=100.0)
+            est.observe(1.0)
+            # seeded directly from the sample, not averaged with the prior
+            assert est.estimate() == 1.0
+
+    def test_no_prior_keeps_learn_from_zero(self):
+        est = LatencyEstimator(gpu=0)
+        assert est.estimate() == 0.0
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ValueError):
+            LatencyEstimator(gpu=0, prior=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(estimator_prior=-1.0)
+
+    def test_queue_passes_config_prior_to_estimator(self):
+        cfg = AdmissionConfig(estimator_prior=0.5)
+        q = BoundedRequestQueue(0, cfg)
+        assert q.estimator.estimate() == 0.5
+
 
 class TestBoundedQueue:
     def _full_queue(self, policy, capacity=2):

@@ -89,6 +89,28 @@ class TestWeightedPercentile:
         with pytest.raises(ValueError):
             weighted_percentile(np.ones(2), np.ones(2), 150)
 
+    def test_rejects_empty_inputs(self):
+        # Regression: the old code indexed cdf[-1] and crashed with
+        # IndexError instead of explaining what was wrong.
+        with pytest.raises(ValueError, match="empty"):
+            weighted_percentile(np.array([]), np.array([]), 50)
+
+    def test_rejects_zero_weight_sum(self):
+        # Regression: all-zero weights used to divide the cdf by zero and
+        # return NaN-driven garbage instead of raising.
+        with pytest.raises(ValueError, match="positive finite"):
+            weighted_percentile(np.array([1.0, 2.0]), np.zeros(2), 50)
+
+    def test_rejects_non_finite_weight_sum(self):
+        with pytest.raises(ValueError, match="positive finite"):
+            weighted_percentile(
+                np.array([1.0, 2.0]), np.array([1.0, np.inf]), 50
+            )
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_percentile(np.ones(3), np.ones(2), 50)
+
 
 class TestCoverageCurve:
     def test_starts_at_zero_ends_at_one(self):
@@ -104,3 +126,12 @@ class TestCoverageCurve:
         curve = coverage_curve(zipf_pmf(100, 1.2))
         # The first cached entry contributes more than the last.
         assert curve[1] - curve[0] > curve[-1] - curve[-2]
+
+    @pytest.mark.slow
+    def test_never_exceeds_one_on_large_catalog(self):
+        # Regression: at 1e7 items the running np.cumsum drifts past 1.0
+        # (zipf_pmf(1e7, 0.5) overshoots by ~2e-15 pre-fix), which
+        # downstream hit-rate math would read as >100% hit rate.
+        curve = coverage_curve(zipf_pmf(10**7, 0.5))
+        assert curve.max() <= 1.0
+        assert curve[-1] == pytest.approx(1.0)
