@@ -180,15 +180,24 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         workers=args.workers,
         lookahead=args.lookahead,
         prefetch_capacity=args.prefetch_capacity,
+        nodes=args.nodes,
+        replication=args.replication,
+        placement=args.placement,
         seed=args.seed,
     )
     if args.requests is not None:
         overrides["requests_per_gpu"] = args.requests
     if args.linger_ms is not None:
         overrides["linger_ms"] = args.linger_ms
-    cfg = (
-        SoakConfig.quick(**overrides) if args.quick else SoakConfig(**overrides)
-    )
+    try:
+        cfg = (
+            SoakConfig.quick(**overrides)
+            if args.quick
+            else SoakConfig(**overrides)
+        )
+    except ValueError as exc:
+        print(f"bad soak configuration: {exc}", file=sys.stderr)
+        return 2
     registry = MetricsRegistry("soak")
     with use_registry(registry):
         report = run_soak(cfg)
@@ -220,6 +229,72 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         path = write_json(registry, args.metrics_out)
         print(f"metrics written to {path}")
     return 0 if report.ok else 1
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.cluster.frontend import ClusterConfig, ClusterFrontend
+    from repro.cluster.placement import analyze_node_loss
+    from repro.utils.stats import zipf_pmf
+
+    try:
+        cfg = ClusterConfig(
+            nodes=args.nodes,
+            replication=args.replication,
+            placement=args.placement,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"bad cluster shape: {exc}", file=sys.stderr)
+        return 2
+    pmf = zipf_pmf(args.entries, args.alpha)
+    hotness = pmf * args.entries  # scale-free: only ratios matter here
+    placement = ClusterFrontend.build_placement(cfg, hotness)
+    entries = np.arange(args.entries, dtype=np.int64)
+    primary = placement.owners_for(entries)[:, 0]
+    total_hot = float(hotness.sum())
+
+    print(
+        f"cluster placement: {cfg.placement}, {cfg.nodes} nodes, "
+        f"replication {cfg.replication}, {args.entries} entries "
+        f"(zipf alpha={args.alpha})"
+    )
+    print(f"{'node':>4s} {'key share':>9s} {'load share':>10s}")
+    for node in range(cfg.nodes):
+        mine = primary == node
+        key_share = float(mine.sum()) / args.entries
+        load_share = float(hotness[mine].sum()) / total_hot if total_hot else 0.0
+        print(f"{node:4d} {key_share:8.1%} {load_share:9.1%}")
+
+    impact = analyze_node_loss(placement, range(cfg.nodes), args.entries)
+    print("\nwhat-if: losing one node")
+    print(
+        f"{'node':>4s} {'moved':>7s} {'replica-covered':>15s} "
+        f"{'uncovered':>9s} {'survivor max share':>18s}"
+    )
+    for row in impact:
+        print(
+            f"{row['node']:4d} {row['moved_primaries']:7d} "
+            f"{row['replica_covered']:14.1%} {row['uncovered_keys']:9d} "
+            f"{row['post_loss_max_share']:17.1%}"
+        )
+    if args.json_out:
+        doc = {
+            "schema": "repro.cluster/v1",
+            "nodes": cfg.nodes,
+            "replication": cfg.replication,
+            "placement": cfg.placement,
+            "entries": args.entries,
+            "node_loss": impact,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"summary written to {args.json_out}")
+    return 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -274,8 +349,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenario", default="all",
                    choices=["all", "gpu-failure", "link-degradation",
                             "link-partition", "host-stall", "corrupt-slot",
-                            "solver-timeout", "refresh-interrupt"],
-                   help="one scenario, or 'all' for the full matrix")
+                            "solver-timeout", "refresh-interrupt",
+                            "node_down", "node_flap", "node_partition"],
+                   help="one scenario, or 'all' for the full matrix "
+                        "(node_* scenarios drill the 3-node cluster tier)")
     p.add_argument("--quick", action="store_true",
                    help="CI-sized workload (seconds, not minutes)")
     p.add_argument("--seed", type=int, default=0,
@@ -294,7 +371,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--scenario", default="dgx_a100_partial_failure",
                    choices=["steady", "dgx_a100_partial_failure",
-                            "corrupt-slot-storm", "host-stall"])
+                            "corrupt-slot-storm", "host-stall",
+                            "node-kill", "node-flap", "node-partition",
+                            "node-slow"],
+                   help="node-* scenarios require --nodes > 1")
+    p.add_argument("--nodes", type=int, default=1,
+                   help="cache-server nodes; > 1 soaks the cluster tier")
+    p.add_argument("--replication", type=int, default=1,
+                   help="replicas per key across nodes (<= --nodes)")
+    p.add_argument("--placement", default="ring",
+                   choices=["ring", "solver"],
+                   help="keyspace partitioning: consistent-hash ring or "
+                        "solver-driven node placement")
     p.add_argument("--quick", action="store_true",
                    help="CI-sized soak (seconds of wall time)")
     p.add_argument("--requests", type=int, default=None, metavar="N",
@@ -336,6 +424,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the run's metrics as a JSON artifact")
     p.set_defaults(func=_cmd_soak)
+
+    p = sub.add_parser(
+        "cluster",
+        help="analyze a cluster placement: shares and node-loss what-ifs",
+    )
+    p.add_argument("--nodes", type=int, default=3)
+    p.add_argument("--replication", type=int, default=2)
+    p.add_argument("--placement", default="ring",
+                   choices=["ring", "solver"])
+    p.add_argument("--entries", type=int, default=20_000)
+    p.add_argument("--alpha", type=float, default=1.1,
+                   help="Zipf skew of the hotness profile")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write the analysis as JSON")
+    p.set_defaults(func=_cmd_cluster)
 
     p = sub.add_parser("metrics", help="summarize a metrics artifact")
     p.add_argument("path", help="artifact written by --metrics-out")

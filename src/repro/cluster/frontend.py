@@ -1,0 +1,356 @@
+"""The cluster front-end: fan-out, gather, failover, graceful degradation.
+
+:class:`ClusterFrontend` is the request router above the node tier.  One
+request's keys are resolved to their owner nodes (consistent-hash ring or
+solver-driven :class:`~repro.cluster.placement.NodePlacement` — both
+expose the same ``owners_for`` surface), fanned out as one RPC exchange
+per node, and gathered; the request's latency is the slowest leg, exactly
+like a source group inside a single box.
+
+Degradation ladder, per node-group:
+
+1. **primary exchange** — timeout + seeded-jitter retries + a hedged
+   duplicate to the next replica (:func:`~repro.sim.event_sim.simulate_rpc_exchange`);
+2. **replica failover** — if the exchange dies, the first surviving
+   replica owner serves the group (counted as a failover);
+3. **host fallback** — with no surviving replica owner, *any* reachable
+   node serves the group from its full host table (every node is a
+   parameter server for the whole keyspace — slower, never wrong);
+4. **partial response** — only when no node is reachable at all do the
+   group's keys come back unserved.
+
+Per-node :class:`~repro.serve.breaker.CircuitBreaker`\\ s (the same board
+the single-box runtime uses per-source, keyed by node id) eject nodes
+that keep failing, so repeated timeouts stop burning deadline budget on a
+corpse; half-open probes re-admit a healed node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.node import CacheNode
+from repro.cluster.placement import (
+    NodePlacement,
+    analyze_node_loss,
+    solve_node_placement,
+)
+from repro.cluster.ring import HashRing
+from repro.cluster.rpc import RpcConfig, attempt_profile
+from repro.faults.spec import HEALTHY, HealthView
+from repro.obs import get_registry, stage_timer
+from repro.serve.breaker import BreakerBoard, BreakerConfig
+from repro.sim.event_sim import simulate_rpc_exchange
+from repro.utils.logging import get_logger
+from repro.utils.rng import make_rng
+
+logger = get_logger("cluster.frontend")
+
+__all__ = ["ClusterConfig", "ClusterFrontend", "ClusterResponse"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the cluster tier."""
+
+    nodes: int = 3
+    replication: int = 2
+    #: ``"ring"`` (consistent hashing) or ``"solver"`` (hotness-balanced
+    #: node placement above the per-GPU MILP).
+    placement: str = "ring"
+    vnodes_per_node: int = 64
+    #: solver placement only: hottest head replicated on every node.
+    wide_replicate_frac: float = 0.01
+    rpc: RpcConfig = field(default_factory=RpcConfig)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("need at least one node")
+        if not 1 <= self.replication <= self.nodes:
+            raise ValueError(
+                f"replication must be in [1, {self.nodes}], "
+                f"got {self.replication}"
+            )
+        if self.placement not in ("ring", "solver"):
+            raise ValueError(
+                f"placement must be 'ring' or 'solver', got {self.placement!r}"
+            )
+
+
+@dataclass
+class ClusterResponse:
+    """What one fanned-out request came back with."""
+
+    elapsed: float = 0.0
+    requested: int = 0
+    served: int = 0
+    #: keys served by a non-primary owner (failover or hedge win).
+    replica_keys: int = 0
+    #: keys served from a non-owner's host table (no surviving replica).
+    host_fallback_keys: int = 0
+    #: node-groups rerouted to a replica after their exchange failed.
+    failovers: int = 0
+    rpc_retries: int = 0
+    rpc_timeouts: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    #: gathered values (``execute=True`` only); unserved rows are zero.
+    values: np.ndarray | None = None
+    #: positions within the request that nobody could serve.
+    failed_positions: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+    @property
+    def partial(self) -> bool:
+        return self.served < self.requested
+
+    @property
+    def ok(self) -> bool:
+        return self.served == self.requested
+
+
+class ClusterFrontend:
+    """Routes requests across :class:`CacheNode`\\ s with replicated failover."""
+
+    def __init__(
+        self,
+        nodes: list[CacheNode],
+        config: ClusterConfig,
+        baseline_service: float,
+        hotness: np.ndarray | None = None,
+        placement: "HashRing | NodePlacement | None" = None,
+    ) -> None:
+        if len(nodes) != config.nodes:
+            raise ValueError(f"need {config.nodes} nodes, got {len(nodes)}")
+        self.nodes = {n.node_id: n for n in nodes}
+        self.config = config
+        self.s0 = float(baseline_service)
+        self.placement: HashRing | NodePlacement = (
+            placement
+            if placement is not None
+            else self.build_placement(config, hotness)
+        )
+        self.breakers = BreakerBoard(
+            sources=sorted(self.nodes), config=config.breaker
+        )
+        self._rng = make_rng(config.seed + 101)
+
+    @staticmethod
+    def build_placement(
+        config: ClusterConfig, hotness: np.ndarray | None = None
+    ) -> "HashRing | NodePlacement":
+        """The owner table for ``config``: ring or solver-driven."""
+        if config.placement == "solver":
+            if hotness is None:
+                raise ValueError("solver placement needs the hotness profile")
+            return solve_node_placement(
+                hotness,
+                config.nodes,
+                config.replication,
+                wide_replicate_frac=config.wide_replicate_frac,
+            )
+        return HashRing(
+            config.nodes,
+            config.replication,
+            vnodes_per_node=config.vnodes_per_node,
+            seed=config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _exchange(
+        self,
+        node_id: int,
+        keys: np.ndarray,
+        health: HealthView,
+        hedge_node: int | None,
+    ):
+        """Run one node-group's RPC exchange; returns the sim result."""
+        cfg = self.config.rpc
+        node = self.nodes[node_id]
+        payload = len(keys) * node.cache.entry_bytes
+        service = node.service_seconds(keys)
+        # Timeout/hedge scale from this group's fault-free leg, so they
+        # stay meaningful whether the wire or the extraction dominates.
+        leg = cfg.healthy_leg(service, payload)
+        timeout = cfg.timeout_seconds(leg)
+        profile = attempt_profile(
+            node_id, service, cfg.network, health, payload
+        )
+        attempts = [profile] * cfg.retry.max_attempts
+        delays = list(cfg.retry.delays(self._rng))
+        hedge_time = None
+        if hedge_node is not None and health.node_reachable(hedge_node):
+            replica = self.nodes[hedge_node]
+            h_elapsed, h_ok = attempt_profile(
+                hedge_node,
+                replica.service_seconds(keys),
+                cfg.network,
+                health,
+                payload,
+            )
+            if h_ok and h_elapsed < timeout:
+                hedge_time = h_elapsed
+        return simulate_rpc_exchange(
+            attempts,
+            timeout=timeout,
+            retry_delays=delays,
+            hedge_time=hedge_time,
+            hedge_issue_at=cfg.hedge_issue_at(leg),
+        )
+
+    def serve(
+        self,
+        keys: np.ndarray,
+        now: float,
+        health: HealthView = HEALTHY,
+        execute: bool = False,
+    ) -> ClusterResponse:
+        """Fan one request out, gather partial responses, degrade gracefully."""
+        reg = get_registry()
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        resp = ClusterResponse(requested=len(keys))
+        if execute:
+            any_node = next(iter(self.nodes.values()))
+            resp.values = np.zeros(
+                (len(keys), any_node.cache.dim),
+                dtype=any_node.cache.host_table.dtype,
+            )
+        with stage_timer("fanout"):
+            owners = self.placement.owners_for(keys)  # (n, R)
+            excluded = self.breakers.excluded_sources(now)
+            # Route each key at its first non-ejected owner (primary bias).
+            chosen = owners[:, 0].copy()
+            if excluded:
+                undecided = np.isin(chosen, list(excluded))
+                for r in range(1, owners.shape[1]):
+                    if not undecided.any():
+                        break
+                    candidate = owners[undecided, r]
+                    usable = ~np.isin(candidate, list(excluded))
+                    idx = np.flatnonzero(undecided)[usable]
+                    chosen[idx] = owners[idx, r]
+                    undecided[idx] = False
+                # every owner ejected: probe the primary anyway — the
+                # breaker board's half-open metering decides admission.
+            group_elapsed: list[float] = []
+            for node_id in (int(x) for x in np.unique(chosen)):
+                positions = np.flatnonzero(chosen == node_id)
+                gkeys = keys[positions]
+                rows = owners[positions]
+                # Hedge target: the modal next replica across the group.
+                hedge_node = None
+                alt = rows[:, 1:] if rows.shape[1] > 1 else None
+                if alt is not None:
+                    others = alt[alt != node_id]
+                    if others.size:
+                        vals, counts = np.unique(others, return_counts=True)
+                        hedge_node = int(vals[np.argmax(counts)])
+                result = self._exchange(node_id, gkeys, health, hedge_node)
+                resp.rpc_retries += max(0, result.attempts - 1)
+                resp.rpc_timeouts += result.timeouts
+                if result.hedged:
+                    resp.hedges += 1
+                primary_ok = result.ok and result.winner == "primary"
+                self.breakers.record(node_id, primary_ok, now)
+                elapsed = result.total_time
+                served_by: int | None = None
+                if result.ok:
+                    served_by = node_id
+                    if result.hedge_won:
+                        resp.hedge_wins += 1
+                        served_by = hedge_node
+                else:
+                    # Replica failover: first surviving owner column.
+                    for r in range(1, rows.shape[1]):
+                        candidate = int(rows[0, r])
+                        if candidate == node_id:
+                            continue
+                        if not health.node_reachable(candidate):
+                            continue
+                        f_elapsed, f_ok = attempt_profile(
+                            candidate,
+                            self.nodes[candidate].service_seconds(gkeys),
+                            self.config.rpc.network,
+                            health,
+                            len(gkeys) * self.nodes[candidate].cache.entry_bytes,
+                        )
+                        if f_ok:
+                            served_by = candidate
+                            elapsed += f_elapsed
+                            resp.failovers += 1
+                            break
+                    if served_by is None:
+                        # Host fallback: any reachable node's DRAM covers
+                        # the whole keyspace.
+                        for candidate in sorted(self.nodes):
+                            if candidate == node_id:
+                                continue
+                            if not health.node_reachable(candidate):
+                                continue
+                            f_elapsed, f_ok = attempt_profile(
+                                candidate,
+                                self.nodes[candidate].service_seconds(gkeys),
+                                self.config.rpc.network,
+                                health,
+                                len(gkeys)
+                                * self.nodes[candidate].cache.entry_bytes,
+                            )
+                            if f_ok:
+                                served_by = candidate
+                                elapsed += f_elapsed
+                                resp.failovers += 1
+                                break
+                group_elapsed.append(elapsed)
+                if served_by is None:
+                    resp.failed_positions = np.concatenate(
+                        [resp.failed_positions, positions]
+                    )
+                    continue
+                # Positional accounting: a key read from a non-primary
+                # owner is a replica read (breaker reroute, hedge win, or
+                # failover alike); one read from a non-owner came off a
+                # host table.
+                owner_hit = (rows == served_by).any(axis=1)
+                resp.replica_keys += int(
+                    (owner_hit & (rows[:, 0] != served_by)).sum()
+                )
+                resp.host_fallback_keys += int((~owner_hit).sum())
+                resp.served += len(gkeys)
+                if execute:
+                    values, _svc = self.nodes[served_by].serve(gkeys)
+                    resp.values[positions] = values
+                reg.counter("cluster.node.requests", node=served_by).inc()
+                reg.counter("cluster.node.keys", node=served_by).inc(len(gkeys))
+            # Fan-out is concurrent: the request lands with its slowest leg.
+            resp.elapsed = max(group_elapsed, default=0.0)
+        reg.counter("cluster.requests").inc()
+        reg.counter("cluster.failovers").inc(resp.failovers)
+        reg.counter("cluster.replica_read_keys").inc(resp.replica_keys)
+        reg.counter("cluster.host_fallback_keys").inc(resp.host_fallback_keys)
+        reg.counter("cluster.rpc.retries").inc(resp.rpc_retries)
+        reg.counter("cluster.rpc.timeouts").inc(resp.rpc_timeouts)
+        if resp.partial:
+            reg.counter("cluster.partial_responses").inc()
+        return resp
+
+    # ------------------------------------------------------------------
+    # What-if analysis
+    # ------------------------------------------------------------------
+    def what_if_node_loss(self, num_entries: int) -> list[dict]:
+        """Per-node loss impact: moved primaries, replica cover, new shares."""
+        return analyze_node_loss(self.placement, sorted(self.nodes), num_entries)
+
+    def verify_integrity(self) -> list[str]:
+        """Every node's cache reconciliation, concatenated."""
+        violations: list[str] = []
+        for node_id in sorted(self.nodes):
+            for v in self.nodes[node_id].verify_integrity():
+                violations.append(f"node {node_id}: {v}")
+        return violations

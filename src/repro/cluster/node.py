@@ -1,0 +1,136 @@
+"""One simulated cache-server node: a full single-box stack on a shard.
+
+A :class:`CacheNode` is the parameter-server shape of HugeCTR's inference
+tier: every node holds the *whole* host table in DRAM (so any read it is
+asked to serve is answerable and bit-exact), but its GPUs cache only the
+shard the cluster placement assigned to it — hotness outside the shard is
+masked to zero before the per-GPU policy runs, so GPU capacity is spent
+exclusively on keys this node will actually be routed.
+
+The node's serving surface is deliberately tiny: price a batch
+(:meth:`service_seconds`) or actually gather it (:meth:`serve`), both
+through the unchanged extraction pipeline.  Everything fault-related —
+whether the node is reachable, how slow it is, when RPCs to it time out —
+lives *outside*, in the health view and the RPC layer; the node itself
+stays a pure single-box UGache instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cache import MultiGpuEmbeddingCache
+from repro.core.extractor import FactoredExtractor
+from repro.core.policy import Placement, hot_replicate_warm_partition_policy
+from repro.core.solver import FallbackConfig, SolverConfig, solve_sharded_policy
+from repro.hardware.platform import Platform
+from repro.sim.mechanisms import factored_extraction
+from repro.utils.logging import get_logger
+
+logger = get_logger("cluster.node")
+
+__all__ = ["CacheNode"]
+
+
+class CacheNode:
+    """A single-box UGache stack serving one shard of the keyspace."""
+
+    def __init__(
+        self,
+        node_id: int,
+        platform: Platform,
+        table: np.ndarray,
+        hotness: np.ndarray,
+        member_mask: np.ndarray,
+        capacity_entries: int,
+        placement_mode: str = "greedy",
+        replicate_fraction: float = 0.5,
+    ) -> None:
+        if placement_mode not in ("greedy", "solver"):
+            raise ValueError(
+                f"placement mode must be 'greedy' or 'solver', "
+                f"got {placement_mode!r}"
+            )
+        self.node_id = int(node_id)
+        self.platform = platform
+        self.member_mask = np.asarray(member_mask, dtype=bool)
+        if not self.member_mask.any():
+            raise ValueError(f"node {node_id}: shard cannot be empty")
+        hotness = np.asarray(hotness, dtype=np.float64)
+        shard_hotness = np.where(self.member_mask, hotness, 0.0)
+
+        if placement_mode == "solver":
+            # The node-level stage above the per-GPU MILP: mask, solve,
+            # intersect.  The last-known-good cache is disabled — nodes
+            # share a platform name and must not serve each other's
+            # shard policies.
+            outcome = solve_sharded_policy(
+                platform,
+                hotness,
+                self.member_mask,
+                capacity_entries,
+                entry_bytes=table.shape[1] * table.dtype.itemsize,
+                config=SolverConfig(time_limit=10.0, coarse_block_frac=0.02),
+                fallback=FallbackConfig(deadline_seconds=10.0, use_cached=False),
+            )
+            placement = outcome.placement
+            logger.debug(
+                "node %d: solver placement via %s (est %.3es)",
+                node_id, outcome.source, outcome.est_time,
+            )
+        else:
+            raw = hot_replicate_warm_partition_policy(
+                shard_hotness, capacity_entries, platform.num_gpus,
+                replicate_fraction,
+            )
+            # Capacity beyond the shard's size would otherwise be padded
+            # with zero-hotness strangers; keep the caches shard-pure.
+            placement = Placement(
+                num_entries=raw.num_entries,
+                per_gpu=tuple(
+                    ids[self.member_mask[ids]] for ids in raw.per_gpu
+                ),
+            )
+        self.cache = MultiGpuEmbeddingCache(platform, table, placement)
+        self.extractor = FactoredExtractor(self.cache)
+        self._next_gpu = 0
+
+    # ------------------------------------------------------------------
+    # Serving surface
+    # ------------------------------------------------------------------
+    def _pick_gpu(self) -> int:
+        gpu = self._next_gpu
+        self._next_gpu = (self._next_gpu + 1) % self.platform.num_gpus
+        return gpu
+
+    def service_seconds(self, keys: np.ndarray) -> float:
+        """Healthy extraction time for ``keys`` on the next ingress GPU."""
+        plan = self.extractor.plan(self._pick_gpu(), keys)
+        demand = plan.demand(self.cache.entry_bytes)
+        return factored_extraction(self.platform, demand).time
+
+    def serve(self, keys: np.ndarray) -> tuple[np.ndarray, float]:
+        """Gather ``keys``; returns ``(values, healthy service seconds)``."""
+        gpu = self._pick_gpu()
+        plan = self.extractor.plan(gpu, keys)
+        values, demand = self.extractor.execute(plan)
+        return values, factored_extraction(self.platform, demand).time
+
+    # ------------------------------------------------------------------
+    # Failover bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes resident in this node's GPU caches — what a recovering
+        node must re-stage from its host table (the rebalance cost)."""
+        return sum(
+            len(self.cache.store(g).cached_entries()) * self.cache.entry_bytes
+            for g in range(self.platform.num_gpus)
+        )
+
+    @property
+    def shard_entries(self) -> int:
+        return int(self.member_mask.sum())
+
+    def verify_integrity(self) -> list[str]:
+        return self.cache.verify_integrity()

@@ -1,0 +1,305 @@
+"""Cluster soak: sustained traffic through the fan-out front-end under
+node-level chaos.
+
+``python -m repro soak --nodes N --replication R`` lands here (the
+single-box path in :mod:`repro.serve.soak` is untouched — ``--nodes 1``
+never enters this module, which is what keeps it byte-identical to the
+pre-cluster harness).  The loop drives open-loop Poisson arrivals through
+:class:`~repro.cluster.frontend.ClusterFrontend` on a simulated clock
+while a node-kill/partition/flap fault plan takes whole nodes away
+mid-run, and — the part the CI gate cares about — measures goodput
+*during* the failover window, not just after recovery:
+
+* requests are bucketed into steady time (no node fault active) and the
+  failover window (some node fault active);
+* ``failover_goodput_ratio`` is the OK-rate inside the window over the
+  steady OK-rate; the report's ``ok`` gate requires ≥ 70%;
+* every served value is checked bit-exact against the host table, and
+  every node's cache is reconciled (``verify_integrity``) after recovery;
+* a healed node re-stages its GPU caches from DRAM — the bytes show up
+  as ``rebalance_bytes`` (and the ``cluster.rebalance.bytes`` counter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.cluster.frontend import ClusterConfig, ClusterFrontend
+from repro.cluster.node import CacheNode
+from repro.faults.spec import HEALTHY, FaultKind
+from repro.obs import get_registry
+from repro.serve.soak import (
+    SOAK_SCENARIOS,
+    SoakConfig,
+    SoakReport,
+    build_soak_plan,
+)
+from repro.utils.logging import get_logger
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.stats import zipf_pmf
+
+logger = get_logger("cluster.soak")
+
+__all__ = ["FAILOVER_GOODPUT_FLOOR", "run_cluster_soak"]
+
+#: Minimum fraction of steady-state goodput the failover window must keep
+#: (the acceptance gate enforced by ``SoakReport.ok`` for cluster runs).
+FAILOVER_GOODPUT_FLOOR = 0.70
+
+
+def _node_fault_windows(plan) -> list[tuple[float, float]]:
+    """(onset, clear) for every node-scoped fault in the plan."""
+    if plan is None:
+        return []
+    kinds = (FaultKind.NODE_DOWN, FaultKind.NODE_SLOW, FaultKind.NODE_PARTITION)
+    return [(f.onset, f.clears_at) for f in plan if f.kind in kinds]
+
+
+def _in_any_window(t: float, windows: list[tuple[float, float]]) -> bool:
+    return any(a <= t < b for a, b in windows)
+
+
+def _node_counter_values(reg, name: str) -> dict[str, int]:
+    """Per-``node``-label values of one counter (registry is cumulative
+    across runs in a process, so callers diff two of these snapshots)."""
+    series = getattr(reg, "series", None)
+    if series is None:
+        return {}
+    return {
+        str(dict(s.labels).get("node")): int(s.value)
+        for s in series()
+        if s.kind == "counter" and s.name == name
+    }
+
+
+def run_cluster_soak(cfg: SoakConfig) -> SoakReport:
+    """Run one multi-node soak scenario end to end."""
+    from repro.bench.contexts import platform_by_name
+
+    platform_name, _desc = SOAK_SCENARIOS[cfg.scenario]
+    platform = platform_by_name(platform_name)
+    rng = make_rng(cfg.seed)
+    dim = max(1, cfg.entry_bytes // 4)
+    table = rng.standard_normal((cfg.num_entries, dim)).astype(np.float32)
+    pmf = zipf_pmf(cfg.num_entries, cfg.alpha)
+    hotness = pmf * cfg.batch_keys * platform.num_gpus
+    capacity = max(1, int(cfg.cache_ratio * cfg.num_entries))
+
+    cluster_cfg = ClusterConfig(
+        nodes=cfg.nodes,
+        replication=cfg.replication,
+        placement=cfg.placement,
+        seed=cfg.seed,
+    )
+    # The owner table comes first so each node knows its shard; the
+    # front-end then adopts the very same table.
+    placement = ClusterFrontend.build_placement(cluster_cfg, hotness)
+    entries = np.arange(cfg.num_entries, dtype=np.int64)
+    owners = placement.owners_for(entries)
+    nodes = []
+    for node_id in range(cfg.nodes):
+        # Solver placements may wide-replicate a hot head beyond the
+        # owner columns; membership comes from the placement when it can
+        # say, from the owner table otherwise (the ring).
+        member_mask = (
+            placement.member_mask(node_id)
+            if hasattr(placement, "member_mask")
+            else (owners == node_id).any(axis=1)
+        )
+        nodes.append(
+            CacheNode(
+                node_id=node_id,
+                platform=platform,
+                table=table,
+                hotness=hotness,
+                member_mask=member_mask,
+                capacity_entries=capacity,
+                placement_mode=(
+                    "solver" if cfg.placement == "solver" else "greedy"
+                ),
+            )
+        )
+    # Baseline node service time: one warm batch on node 0 (the ingress
+    # round-robin pointer is restored so the probe leaves no trace).
+    s0 = nodes[0].service_seconds(
+        make_rng(cfg.seed + 3).choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
+    )
+    nodes[0]._next_gpu = 0
+    rate = cfg.load * cfg.nodes / s0
+    # One healthy leg = wire + extraction + payload reply; the request
+    # deadline scales from it so the network tier never eats the whole
+    # latency budget on CI-sized tables where the wire dominates.
+    leg0 = cluster_cfg.rpc.healthy_leg(
+        s0, cfg.batch_keys * nodes[0].cache.entry_bytes
+    )
+    deadline = cfg.deadline_factor * leg0
+    # The breaker's cooldown has to live on the *simulated* clock: the
+    # default wall-clock seconds would outlast the whole run, so an
+    # ejected node could never re-admit probes.  ~50 mean inter-arrival
+    # times keeps a few probe rounds inside even a quick soak's window.
+    cluster_cfg = replace(
+        cluster_cfg,
+        breaker=replace(cluster_cfg.breaker, cooldown_seconds=50.0 / rate),
+    )
+    frontend = ClusterFrontend(
+        nodes, cluster_cfg, baseline_service=s0,
+        hotness=hotness, placement=placement,
+    )
+
+    arrival_rng, key_rng = spawn_rngs(cfg.seed + 17, 2)
+    total_requests = cfg.requests_per_gpu * cfg.nodes
+    duration = total_requests / rate
+    plan = build_soak_plan(cfg.scenario, duration, cfg.seed)
+    windows = _node_fault_windows(plan)
+
+    reg = get_registry()
+    node_requests_start = _node_counter_values(reg, "cluster.node.requests")
+    served_ok = 0
+    expired = 0
+    failed = 0
+    hedges = 0
+    hedge_wins = 0
+    failovers = 0
+    replica_keys = 0
+    served_keys = 0
+    host_fallback_keys = 0
+    partial_responses = 0
+    rpc_retries = 0
+    rpc_timeouts = 0
+    latencies: list[float] = []
+    steady_ok = steady_total = 0
+    window_ok = window_total = 0
+    rebalance_bytes = 0
+    values_exact = True
+    prev_down: frozenset[int] = frozenset()
+    sim_end = duration
+    t = 0.0
+    for _ in range(total_requests):
+        t += float(arrival_rng.exponential(1.0 / rate))
+        health = plan.health_at(t) if plan is not None else HEALTHY
+        healed = prev_down - health.down_nodes
+        for node_id in healed:
+            staged = frontend.nodes[node_id].cached_bytes
+            rebalance_bytes += staged
+            reg.counter("cluster.rebalance.bytes").inc(staged)
+            logger.info(
+                "node %d healed at t=%.3f: re-staged %d bytes",
+                node_id, t, staged,
+            )
+        prev_down = health.down_nodes
+        keys = key_rng.choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
+        resp = frontend.serve(keys, t, health=health, execute=True)
+        sim_end = max(sim_end, t + resp.elapsed)
+        hedges += resp.hedges
+        hedge_wins += resp.hedge_wins
+        failovers += resp.failovers
+        replica_keys += resp.replica_keys
+        served_keys += resp.served
+        host_fallback_keys += resp.host_fallback_keys
+        partial_responses += int(resp.partial)
+        rpc_retries += resp.rpc_retries
+        rpc_timeouts += resp.rpc_timeouts
+        ok = resp.ok and resp.elapsed <= deadline
+        if ok:
+            served_ok += 1
+            latencies.append(resp.elapsed)
+            if resp.values is not None:
+                served = np.ones(len(keys), dtype=bool)
+                served[resp.failed_positions] = False
+                if not np.array_equal(resp.values[served], table[keys[served]]):
+                    values_exact = False
+        elif resp.partial:
+            failed += 1
+        else:
+            expired += 1
+        if _in_any_window(t, windows):
+            window_total += 1
+            window_ok += int(ok)
+        else:
+            steady_total += 1
+            steady_ok += int(ok)
+
+    # Any node still down when arrivals stop heals during the drain.
+    if prev_down:
+        for node_id in prev_down:
+            staged = frontend.nodes[node_id].cached_bytes
+            rebalance_bytes += staged
+            reg.counter("cluster.rebalance.bytes").inc(staged)
+
+    violations = frontend.verify_integrity()
+    integrity_failures = len(violations) + (0 if values_exact else 1)
+    for v in violations:
+        logger.error("cluster integrity: %s", v)
+
+    steady_rate = steady_ok / steady_total if steady_total else 0.0
+    if window_total == 0:
+        ratio = 1.0
+    elif steady_rate > 0:
+        ratio = (window_ok / window_total) / steady_rate
+    else:
+        ratio = 0.0
+
+    node_requests_end = _node_counter_values(reg, "cluster.node.requests")
+    node_requests = {
+        node: count - node_requests_start.get(node, 0)
+        for node, count in node_requests_end.items()
+        if count - node_requests_start.get(node, 0) > 0
+    }
+    lat = np.array(latencies) if latencies else np.array([0.0])
+    report = SoakReport(
+        scenario=cfg.scenario,
+        requests=total_requests,
+        served_ok=served_ok,
+        expired=expired,
+        failed=failed,
+        goodput_rps=served_ok / sim_end if sim_end > 0 else 0.0,
+        hedges=hedges,
+        hedge_wins=hedge_wins,
+        p50_latency=float(np.percentile(lat, 50)),
+        p99_latency=float(np.percentile(lat, 99)),
+        p999_latency=float(np.percentile(lat, 99.9)),
+        max_queue_depth=0,
+        queue_capacity=cfg.queue_capacity,
+        breaker_transitions=frontend.breakers.transition_counts(),
+        breaker_transitions_by_source=(
+            frontend.breakers.transition_counts_by_source()
+        ),
+        breaker_time_in_state=frontend.breakers.time_in_state(sim_end),
+        integrity_failures=integrity_failures,
+        duration=sim_end,
+        arrival_rate=rate,
+        baseline_service=s0,
+        nodes=cfg.nodes,
+        replication=cfg.replication,
+        failovers=failovers,
+        replica_read_fraction=(
+            replica_keys / served_keys if served_keys else 0.0
+        ),
+        host_fallback_keys=host_fallback_keys,
+        partial_responses=partial_responses,
+        rpc_retries=rpc_retries,
+        rpc_timeouts=rpc_timeouts,
+        failover_goodput_ratio=ratio,
+        steady_goodput_rps=steady_rate * rate,
+        rebalance_bytes=rebalance_bytes,
+        node_requests=node_requests,
+    )
+    if reg.enabled:
+        reg.gauge("cluster.failover_goodput_ratio").set(ratio)
+        reg.gauge("cluster.replica_read_fraction").set(
+            report.replica_read_fraction
+        )
+        for node, count in report.node_requests.items():
+            reg.gauge("cluster.node.qps", node=node).set(
+                count / sim_end if sim_end > 0 else 0.0
+            )
+    logger.info(
+        "cluster soak %s: %d nodes R=%d, %d ok / %d requests, "
+        "failover goodput %.0f%%, %d failovers, %d rebalanced bytes",
+        cfg.scenario, cfg.nodes, cfg.replication,
+        served_ok, total_requests, 100 * ratio,
+        report.failovers, rebalance_bytes,
+    )
+    return report

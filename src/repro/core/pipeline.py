@@ -72,8 +72,11 @@ __all__ = [
     "find_replicas",
     "group_by_source",
     "host_fallback_demand",
+    "NetworkTier",
+    "NodeReadPrice",
     "plan_extraction",
     "price_demand",
+    "price_node_read",
     "renormalize_dedication",
     "reroute",
     "resolve",
@@ -467,6 +470,73 @@ def price_demand(
         if health is not None:
             platform = degraded_platform(platform, health)
         return factored_extraction(platform, demand, local_padding=local_padding)
+
+
+@dataclass(frozen=True)
+class NetworkTier:
+    """The inter-node fabric as one more tier in the topology.
+
+    Below the GPU tiers (NVLink, PCIe) sits the datacenter network: a
+    front-end reading a batch from a cache node pays the node's *local*
+    extraction time plus a fixed per-call latency plus the response
+    payload streamed at fabric bandwidth.  Modelling it as (latency,
+    bandwidth) keeps it exactly parallel to how :class:`Platform` prices
+    its links, so :func:`price_node_read` composes with
+    :func:`price_demand` instead of inventing a second cost model.
+    """
+
+    #: one-way per-call latency in seconds (connection + serialization).
+    latency_seconds: float = 50e-6
+    #: sustained fabric bandwidth in bytes/second (default ≈ 200 Gbit/s).
+    bandwidth_bytes: float = 25e9
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise ValueError("network latency must be non-negative")
+        if self.bandwidth_bytes <= 0:
+            raise ValueError("network bandwidth must be positive")
+
+    def transfer_seconds(self, payload_bytes: float) -> float:
+        """Wire time for one request/response of ``payload_bytes``."""
+        return self.latency_seconds + max(0.0, payload_bytes) / self.bandwidth_bytes
+
+
+@dataclass(frozen=True)
+class NodeReadPrice:
+    """Price of one remote node read: local extraction + wire transfer."""
+
+    extraction_seconds: float
+    transfer_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.extraction_seconds + self.transfer_seconds
+
+
+def price_node_read(
+    platform: Platform,
+    demand: GpuDemand,
+    network: NetworkTier,
+    health: HealthView | None = None,
+    service_factor: float = 1.0,
+    local_padding: bool = True,
+) -> NodeReadPrice:
+    """Price a front-end read served by a remote cache node.
+
+    The node extracts the batch with its own multi-GPU machinery — priced
+    through the same :func:`price_demand` every other consumer uses — then
+    streams the gathered values back over the :class:`NetworkTier`.  A
+    slow node (``service_factor`` < 1, from
+    :meth:`~repro.faults.spec.HealthView.node_service_factor`) stretches
+    the extraction, not the wire.
+    """
+    if service_factor <= 0:
+        raise ValueError("service factor must be positive (0 = unreachable)")
+    report = price_demand(platform, demand, health, local_padding=local_padding)
+    return NodeReadPrice(
+        extraction_seconds=report.time / service_factor,
+        transfer_seconds=network.transfer_seconds(demand.total_bytes),
+    )
 
 
 def shift_staged_demand(demand: GpuDemand, staged_bytes: float) -> GpuDemand:

@@ -429,6 +429,57 @@ def solve_policy(
     )
 
 
+def solve_sharded_policy(
+    platform: Platform,
+    hotness: np.ndarray,
+    member_mask: np.ndarray,
+    capacity_entries: int | list[int],
+    entry_bytes: int,
+    config: SolverConfig | None = None,
+    fallback: "FallbackConfig | None" = None,
+) -> "PolicyOutcome":
+    """The per-GPU stage under a node-level placement (cluster tier).
+
+    A cluster node owns only the shard ``member_mask`` selects; its GPUs
+    should spend their capacity exclusively on that shard, but the §6
+    machinery should otherwise be untouched.  So: zero the hotness of
+    every non-member entry (the MILP then has no incentive to store it),
+    run the ordinary :func:`solve_policy_with_fallback` chain, and
+    intersect the realized placement with the shard — the intersection
+    guards the capacity-surplus case where a fallback rung pads caches
+    with entries the node will never be asked for.
+    """
+    hotness = np.asarray(hotness, dtype=np.float64)
+    member_mask = np.asarray(member_mask, dtype=bool)
+    if member_mask.shape != hotness.shape:
+        raise ValueError("member mask must align with the hotness vector")
+    if not member_mask.any():
+        raise ValueError("a node's shard cannot be empty")
+    shard_hotness = np.where(member_mask, hotness, 0.0)
+    outcome = solve_policy_with_fallback(
+        platform,
+        shard_hotness,
+        capacity_entries,
+        entry_bytes,
+        config=config,
+        fallback=fallback,
+    )
+    per_gpu = tuple(
+        ids[member_mask[ids]] for ids in outcome.placement.per_gpu
+    )
+    placement = Placement(
+        num_entries=outcome.placement.num_entries, per_gpu=per_gpu
+    )
+    return PolicyOutcome(
+        placement=placement,
+        source=outcome.source,
+        est_time=outcome.est_time,
+        elapsed=outcome.elapsed,
+        attempts=outcome.attempts,
+        solved=outcome.solved,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Fallback chain: MILP → greedy heuristic → last-known-good cached policy.
 # ---------------------------------------------------------------------------

@@ -12,7 +12,12 @@ across the fault's onset, active window, and recovery, asserting that
 
 The ``solver-timeout`` and ``refresh-interrupt`` scenarios exercise the
 fallback chain and the transactional refresh directly instead of a batch
-loop.  ``python -m repro chaos`` is the CLI front end.
+loop.  The ``node_*`` scenarios lift the drill one tier up: a 3-node
+replicated cluster served through the fan-out front-end loses a whole
+node (cleanly, flapping, or by partition) and must keep answering
+bit-exactly via hedges, replica failover, and host fallback, then return
+to baseline latency once the node heals.  ``python -m repro chaos`` is
+the CLI front end.
 """
 
 from __future__ import annotations
@@ -50,6 +55,15 @@ SCENARIOS: tuple[str, ...] = (
     "corrupt-slot",
     "solver-timeout",
     "refresh-interrupt",
+    "node_down",
+    "node_flap",
+    "node_partition",
+)
+
+#: Node-level scenarios: these run against a 3-node replicated cluster
+#: tier (R=2) through the fan-out front-end instead of a single box.
+NODE_SCENARIOS: frozenset[str] = frozenset(
+    {"node_down", "node_flap", "node_partition"}
 )
 
 #: Default ceiling on post-fault latency relative to baseline; beyond this
@@ -153,6 +167,27 @@ def build_fault_plan(scenario: str, cfg: ChaosConfig) -> FaultPlan:
     return FaultPlan(faults=(spec,), seed=cfg.seed, name=scenario)
 
 
+def build_node_fault_plan(scenario: str, cfg: ChaosConfig) -> FaultPlan:
+    """The node-level fault schedule a cluster scenario injects."""
+    onset, duration = cfg.onset, cfg.duration
+    if scenario == "node_down":
+        specs = (FaultSpec(FaultKind.NODE_DOWN, onset, duration, node=1),)
+    elif scenario == "node_flap":
+        # Down, briefly back, down again — two stints inside the window.
+        stint = 0.4 * duration
+        specs = (
+            FaultSpec(FaultKind.NODE_DOWN, onset, stint, node=1),
+            FaultSpec(
+                FaultKind.NODE_DOWN, onset + 0.5 * duration, stint, node=1
+            ),
+        )
+    elif scenario == "node_partition":
+        specs = (FaultSpec(FaultKind.NODE_PARTITION, onset, duration, node=1),)
+    else:
+        raise ValueError(f"unknown node scenario {scenario!r}")
+    return FaultPlan(faults=specs, seed=cfg.seed, name=scenario)
+
+
 def _sum_counter(name: str) -> float:
     """Sum one counter over all of its label combinations."""
     reg = get_registry()
@@ -225,6 +260,97 @@ def _run_batch_loop(scenario: str, cfg: ChaosConfig) -> ScenarioResult:
         notes=f"{completed}/{cfg.num_batches} batches, {rerouted} keys rerouted",
     )
     return result
+
+
+def _run_node_loop(scenario: str, cfg: ChaosConfig) -> ScenarioResult:
+    """Drive the cluster front-end through onset → node fault → recovery.
+
+    Same shape as :func:`_run_batch_loop`, one tier up: the stack is a
+    3-node replicated cluster (R=2) and the fault takes a whole node
+    away.  "Rerouted keys" here are keys served off their primary owner
+    (replica reads + host fallback).
+    """
+    from repro.bench.contexts import platform_by_name
+    from repro.cluster.frontend import ClusterConfig, ClusterFrontend
+    from repro.cluster.node import CacheNode
+
+    plan = build_node_fault_plan(scenario, cfg)
+    platform = platform_by_name(cfg.platform)
+    rng = make_rng(cfg.seed)
+    dim = max(1, cfg.entry_bytes // 4)
+    table = rng.standard_normal((cfg.num_entries, dim)).astype(np.float32)
+    pmf = zipf_pmf(cfg.num_entries, cfg.alpha)
+    hotness = pmf * cfg.batch_keys * platform.num_gpus
+    capacity = max(1, int(cfg.cache_ratio * cfg.num_entries))
+
+    cluster_cfg = ClusterConfig(nodes=3, replication=2, seed=cfg.seed)
+    placement = ClusterFrontend.build_placement(cluster_cfg, hotness)
+    owners = placement.owners_for(np.arange(cfg.num_entries, dtype=np.int64))
+    nodes = [
+        CacheNode(
+            node_id=node_id,
+            platform=platform,
+            table=table,
+            hotness=hotness,
+            member_mask=(owners == node_id).any(axis=1),
+            capacity_entries=capacity,
+        )
+        for node_id in range(cluster_cfg.nodes)
+    ]
+    s0 = nodes[0].service_seconds(
+        make_rng(cfg.seed + 3).choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
+    )
+    nodes[0]._next_gpu = 0
+    frontend = ClusterFrontend(
+        nodes, cluster_cfg, baseline_service=s0,
+        hotness=hotness, placement=placement,
+    )
+
+    times: list[float] = []
+    values_exact = True
+    all_served = True
+    completed = 0
+    rerouted = 0
+    for t in range(cfg.num_batches):
+        now = float(t)
+        health = plan.health_at(now)
+        keys = rng.choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
+        resp = frontend.serve(keys, now, health=health, execute=True)
+        if resp.partial:
+            all_served = False
+        served = np.ones(len(keys), dtype=bool)
+        served[resp.failed_positions] = False
+        if not np.array_equal(resp.values[served], table[keys[served]]):
+            values_exact = False
+        rerouted += resp.replica_keys + resp.host_fallback_keys
+        times.append(resp.elapsed)
+        completed += 1
+
+    violations = frontend.verify_integrity()
+    clear = plan.last_clear_time()
+    baseline = [x for t, x in enumerate(times) if t < cfg.onset]
+    during = [x for t, x in enumerate(times) if cfg.onset <= t < clear]
+    after = [x for t, x in enumerate(times) if t >= clear]
+    return ScenarioResult(
+        scenario=scenario,
+        ok=(
+            values_exact
+            and all_served
+            and not violations
+            and completed == cfg.num_batches
+        ),
+        completed_batches=completed,
+        values_exact=values_exact,
+        baseline_time=float(np.mean(baseline)) if baseline else 0.0,
+        degraded_time=float(np.mean(during)) if during else 0.0,
+        recovered_time=float(np.mean(after)) if after else 0.0,
+        rerouted_keys=rerouted,
+        notes=(
+            f"{completed}/{cfg.num_batches} batches, "
+            f"{rerouted} keys served off-primary, "
+            f"{len(violations)} integrity violation(s)"
+        ),
+    )
 
 
 def _run_solver_timeout(cfg: ChaosConfig) -> ScenarioResult:
@@ -317,6 +443,8 @@ def run_scenario(scenario: str, cfg: ChaosConfig | None = None) -> ScenarioResul
         result = _run_solver_timeout(cfg)
     elif scenario == "refresh-interrupt":
         result = _run_refresh_interrupt(cfg)
+    elif scenario in NODE_SCENARIOS:
+        result = _run_node_loop(scenario, cfg)
     elif scenario in SCENARIOS:
         result = _run_batch_loop(scenario, cfg)
     else:

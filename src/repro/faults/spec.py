@@ -36,6 +36,15 @@ class FaultKind(str, Enum):
     REFRESH_INTERRUPT = "refresh-interrupt"
     #: location-table slots are corrupted to out-of-range ``<gpu, offset>``.
     CORRUPT_SLOT = "corrupt-slot"
+    #: a whole cache-server node dies: RPCs to it time out and its GPU
+    #: caches are lost until it heals and re-stages them (cluster tier).
+    NODE_DOWN = "node-down"
+    #: a node keeps serving but ``severity`` of its speed is gone (GC
+    #: pauses, noisy neighbour, thermal throttle).
+    NODE_SLOW = "node-slow"
+    #: a node is unreachable from the front-end (network partition) but
+    #: its state survives; calls fail fast instead of timing out.
+    NODE_PARTITION = "node-partition"
 
 
 @dataclass(frozen=True)
@@ -51,6 +60,7 @@ class FaultSpec:
             :attr:`FaultKind.CORRUPT_SLOT`.  Ignored for binary faults.
         gpu: target GPU for GPU-scoped faults.
         link: ``(dst, src)`` pair for link faults (applied symmetrically).
+        node: target cache-server node for node-scoped (cluster) faults.
         seed: per-fault randomness seed (e.g. which slots to corrupt).
     """
 
@@ -60,6 +70,7 @@ class FaultSpec:
     severity: float = 1.0
     gpu: int | None = None
     link: tuple[int, int] | None = None
+    node: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -77,6 +88,13 @@ class FaultSpec:
                 raise ValueError(f"{self.kind.value} needs a target link")
             if self.link[0] == self.link[1]:
                 raise ValueError("link faults need two distinct endpoints")
+        if self.kind in (
+            FaultKind.NODE_DOWN,
+            FaultKind.NODE_SLOW,
+            FaultKind.NODE_PARTITION,
+        ):
+            if self.node is None or self.node < 0:
+                raise ValueError(f"{self.kind.value} needs a target node")
 
     @property
     def clears_at(self) -> float:
@@ -105,10 +123,22 @@ class HealthView:
     host_factor: float = 1.0
     solver_timed_out: bool = False
     refresh_interrupted: bool = False
+    #: cluster tier: nodes that are dead (RPCs time out, caches lost).
+    down_nodes: frozenset[int] = frozenset()
+    #: multiplicative service-speed factor per slow node; absent nodes
+    #: are full speed (factor 1.0).
+    node_factors: tuple[tuple[int, float], ...] = ()
+    #: nodes unreachable from the front-end but otherwise intact.
+    partitioned_nodes: frozenset[int] = frozenset()
 
     def __post_init__(self) -> None:
         if not 0 <= self.host_factor <= 1:
             raise ValueError("host factor must be in [0, 1]")
+        for node, factor in self.node_factors:
+            if not 0 < factor <= 1:
+                raise ValueError(
+                    f"node {node} service factor must be in (0, 1]"
+                )
 
     @property
     def healthy(self) -> bool:
@@ -118,6 +148,9 @@ class HealthView:
             and self.host_factor >= 1.0
             and not self.solver_timed_out
             and not self.refresh_interrupted
+            and not self.down_nodes
+            and all(f >= 1.0 for _, f in self.node_factors)
+            and not self.partitioned_nodes
         )
 
     def gpu_ok(self, gpu: int) -> bool:
@@ -146,6 +179,23 @@ class HealthView:
     def source_usable(self, dst: int, src: int) -> bool:
         """Whether ``dst`` can still read from ``src`` at all."""
         return self.link_factor(dst, src) > 0.0
+
+    # ------------------------------------------------------------------
+    # Cluster tier
+    # ------------------------------------------------------------------
+    def node_reachable(self, node: int) -> bool:
+        """Whether the front-end can talk to ``node`` at all."""
+        return node not in self.down_nodes and node not in self.partitioned_nodes
+
+    def node_service_factor(self, node: int) -> float:
+        """Usable service-speed fraction of ``node`` (0.0 = unreachable)."""
+        if not self.node_reachable(node):
+            return 0.0
+        factor = 1.0
+        for n, f in self.node_factors:
+            if n == node:
+                factor = min(factor, f)
+        return factor
 
 
 #: The all-healthy view (shared; HealthView is immutable).
@@ -194,6 +244,9 @@ class FaultPlan:
         host_factor = 1.0
         solver_timed_out = False
         refresh_interrupted = False
+        down_nodes: set[int] = set()
+        node_factors: dict[int, float] = {}
+        partitioned_nodes: set[int] = set()
 
         def degrade(pair: tuple[int, int], factor: float) -> None:
             links[pair] = min(links.get(pair, 1.0), factor)
@@ -215,6 +268,15 @@ class FaultPlan:
                 solver_timed_out = True
             elif f.kind is FaultKind.REFRESH_INTERRUPT:
                 refresh_interrupted = True
+            elif f.kind is FaultKind.NODE_DOWN:
+                down_nodes.add(int(f.node))  # type: ignore[arg-type]
+            elif f.kind is FaultKind.NODE_SLOW:
+                n = int(f.node)  # type: ignore[arg-type]
+                # A fully-slowed node still crawls: clamp like host stalls.
+                factor = max(1.0 - f.severity, 1e-3)
+                node_factors[n] = min(node_factors.get(n, 1.0), factor)
+            elif f.kind is FaultKind.NODE_PARTITION:
+                partitioned_nodes.add(int(f.node))  # type: ignore[arg-type]
             # CORRUPT_SLOT is a one-shot state mutation realized by the
             # injector at onset, not a standing health condition.
         # Host bandwidth can stall but never partitions: clamp above zero
@@ -227,4 +289,7 @@ class FaultPlan:
             host_factor=host_factor,
             solver_timed_out=solver_timed_out,
             refresh_interrupted=refresh_interrupted,
+            down_nodes=frozenset(down_nodes),
+            node_factors=tuple(sorted(node_factors.items())),
+            partitioned_nodes=frozenset(partitioned_nodes),
         )

@@ -128,7 +128,8 @@ def timer(name: str, registry: MetricsRegistry | None = None, **labels: Any):
 #: ``prefetch`` runs ahead of the batch (the lookahead oracle staging
 #: upcoming host misses); the remaining six serve the batch itself.
 PIPELINE_STAGES = (
-    "prefetch", "resolve", "reroute", "group", "dedicate", "price", "execute"
+    "prefetch", "resolve", "reroute", "group", "dedicate", "price", "execute",
+    "fanout",
 )
 
 

@@ -91,6 +91,10 @@ class CircuitBreaker:
         self._lock = threading.Lock()
         #: full transition history: (time, from-state, to-state).
         self.transitions: list[tuple[float, BreakerState, BreakerState]] = []
+        #: accumulated seconds spent in each state (closed stint starts
+        #: at t=0; the in-progress stint is added by ``time_in_state``).
+        self._state_entered_at = 0.0
+        self._time_in_state = {state: 0.0 for state in BreakerState}
 
     # ------------------------------------------------------------------
     # State machine
@@ -106,6 +110,12 @@ class CircuitBreaker:
             _STATE_CODE[to]
         )
         self.transitions.append((now, self.state, to))
+        self._time_in_state[self.state] += max(0.0, now - self._state_entered_at)
+        self._state_entered_at = now
+        reg.gauge(
+            "serve.breaker.time_in_state",
+            source=self.source, state=self.state.value,
+        ).set(self._time_in_state[self.state])
         logger.info(
             "breaker source=%d: %s -> %s at t=%.3f",
             self.source, self.state.value, to.value, now,
@@ -162,6 +172,20 @@ class CircuitBreaker:
                 self.opened_at = now
                 self._transition(BreakerState.OPEN, now)
 
+    def time_in_state(self, now: float) -> dict[str, float]:
+        """Accumulated seconds per state, the in-progress stint included."""
+        with self._lock:
+            out = {state.value: t for state, t in self._time_in_state.items()}
+            out[self.state.value] += max(0.0, now - self._state_entered_at)
+        return out
+
+    def transition_counts(self) -> dict[str, int]:
+        """Transitions per to-state for this one breaker."""
+        out: dict[str, int] = {}
+        for _t, _frm, to in self.transitions:
+            out[to.value] = out.get(to.value, 0) + 1
+        return out
+
 
 class BreakerBoard:
     """One breaker per cache source, plus the plan-level exclusion view."""
@@ -208,6 +232,32 @@ class BreakerBoard:
             for _t, _frm, to in b.transitions:
                 out[to.value] = out.get(to.value, 0) + 1
         return out
+
+    def transition_counts_by_source(self) -> dict[str, dict[str, int]]:
+        """Per-source/per-node transition counters (JSON-keyed by id).
+
+        Only sources that transitioned at all appear, so the common
+        all-quiet report stays small.
+        """
+        out: dict[str, dict[str, int]] = {}
+        for s, b in self._breakers.items():
+            counts = b.transition_counts()
+            if counts:
+                out[str(s)] = counts
+        return out
+
+    def time_in_state(self, now: float) -> dict[str, dict[str, float]]:
+        """Per-source seconds spent in each breaker state up to ``now``.
+
+        Sources that never left ``closed`` are summarized implicitly (all
+        their time is the closed stint); only sources with a transition
+        history are listed, mirroring :meth:`transition_counts_by_source`.
+        """
+        return {
+            str(s): b.time_in_state(now)
+            for s, b in self._breakers.items()
+            if b.transitions
+        }
 
     def states(self) -> dict[int, BreakerState]:
         return {s: b.state for s, b in self._breakers.items()}

@@ -52,6 +52,7 @@ from repro.utils.stats import zipf_pmf
 logger = get_logger("serve.soak")
 
 __all__ = [
+    "CLUSTER_SCENARIOS",
     "SOAK_SCENARIOS",
     "SoakConfig",
     "SoakReport",
@@ -73,7 +74,28 @@ SOAK_SCENARIOS: dict[str, tuple[str, str]] = {
         "repeated location-table corruption bursts on two GPUs",
     ),
     "host-stall": ("server-a", "PCIe loses 90% of its bandwidth mid-run"),
+    "node-kill": (
+        "server-a",
+        "a whole cache-server node dies mid-run and later heals",
+    ),
+    "node-flap": (
+        "server-a",
+        "a node repeatedly dies and recovers (two down windows)",
+    ),
+    "node-partition": (
+        "server-a",
+        "a node is cut off from the front-end but keeps its state",
+    ),
+    "node-slow": (
+        "server-a",
+        "a node keeps serving at 10% speed (GC pause / noisy neighbour)",
+    ),
 }
+
+#: Scenarios that only make sense for a multi-node soak (``--nodes > 1``).
+CLUSTER_SCENARIOS: frozenset[str] = frozenset(
+    {"node-kill", "node-flap", "node-partition", "node-slow"}
+)
 
 
 def build_soak_plan(
@@ -116,6 +138,35 @@ def build_soak_plan(
             FaultSpec(
                 FaultKind.CORRUPT_SLOT, onset=0.55 * d, duration=0.1 * d,
                 severity=0.08, gpu=2, seed=seed + 1,
+            ),
+        )
+    elif scenario == "node-kill":
+        faults = (
+            FaultSpec(
+                FaultKind.NODE_DOWN, onset=0.35 * d, duration=0.25 * d, node=1
+            ),
+        )
+    elif scenario == "node-flap":
+        faults = (
+            FaultSpec(
+                FaultKind.NODE_DOWN, onset=0.25 * d, duration=0.12 * d, node=1
+            ),
+            FaultSpec(
+                FaultKind.NODE_DOWN, onset=0.55 * d, duration=0.12 * d, node=1
+            ),
+        )
+    elif scenario == "node-partition":
+        faults = (
+            FaultSpec(
+                FaultKind.NODE_PARTITION, onset=0.35 * d, duration=0.25 * d,
+                node=1,
+            ),
+        )
+    elif scenario == "node-slow":
+        faults = (
+            FaultSpec(
+                FaultKind.NODE_SLOW, onset=0.35 * d, duration=0.3 * d,
+                severity=0.9, node=1,
             ),
         )
     else:  # host-stall
@@ -175,6 +226,14 @@ class SoakConfig:
     lookahead: int = 0
     #: per-GPU staging-buffer bound, in entries (lookahead > 0 only).
     prefetch_capacity: int = 4096
+    #: simulated cache-server nodes; 1 keeps the single-box path (and its
+    #: byte-identical golden-pinned behaviour), > 1 runs the cluster soak.
+    nodes: int = 1
+    #: replicas per key across nodes (cluster soak only).
+    replication: int = 1
+    #: node-level placement mode: ``"ring"`` (consistent hashing) or
+    #: ``"solver"`` (hotness-balanced stage above the per-GPU MILP).
+    placement: str = "ring"
     seed: int = 0
 
     @classmethod
@@ -223,6 +282,46 @@ class SoakConfig:
                 "closed-loop arrivals depend on responses, so the future "
                 "is not knowable; lookahead prefetching is open-loop only"
             )
+        if self.nodes < 1:
+            raise ValueError("need at least one node")
+        if not 1 <= self.replication <= self.nodes:
+            raise ValueError(
+                f"replication must be in [1, {self.nodes}], "
+                f"got {self.replication}"
+            )
+        if self.placement not in ("ring", "solver"):
+            raise ValueError(
+                f"placement must be 'ring' or 'solver', got {self.placement!r}"
+            )
+        if self.nodes == 1 and self.scenario in CLUSTER_SCENARIOS:
+            raise ValueError(
+                f"scenario {self.scenario!r} kills whole nodes; it needs "
+                "--nodes > 1"
+            )
+        if self.nodes > 1:
+            if self.scenario not in CLUSTER_SCENARIOS | {"steady"}:
+                raise ValueError(
+                    f"cluster soak supports scenarios "
+                    f"{sorted(CLUSTER_SCENARIOS | {'steady'})}, "
+                    f"got {self.scenario!r}"
+                )
+            if self.closed_loop:
+                raise ValueError("the cluster soak is open-loop only")
+            if self.batching is not BatchingMode.OFF:
+                raise ValueError(
+                    "cross-request coalescing applies to the single-box "
+                    "queue path, not the cluster fan-out"
+                )
+            if self.workers > 1:
+                raise ValueError(
+                    "the worker pool drives single-box GPU loops; the "
+                    "cluster soak's concurrency is the fan-out itself"
+                )
+            if self.lookahead > 0:
+                raise ValueError(
+                    "lookahead prefetching is not wired through the "
+                    "cluster front-end yet"
+                )
 
 
 @dataclass
@@ -267,18 +366,41 @@ class SoakReport:
     prefetch_wasted_bytes: float = 0.0
     prefetch_overlap_seconds: float = 0.0
     prefetch_critical_seconds: float = 0.0
+    #: breaker observability (satellite of the cluster PR): transition
+    #: counts and accumulated seconds per state, keyed by source/node id.
+    breaker_transitions_by_source: dict = field(default_factory=dict)
+    breaker_time_in_state: dict = field(default_factory=dict)
+    #: cluster tier (all defaults when ``nodes`` is 1 / single-box).
+    nodes: int = 1
+    replication: int = 1
+    failovers: int = 0
+    replica_read_fraction: float = 0.0
+    host_fallback_keys: int = 0
+    partial_responses: int = 0
+    rpc_retries: int = 0
+    rpc_timeouts: int = 0
+    #: OK-rate during node-fault windows over the steady OK-rate; 1.0
+    #: when the run had no node faults.
+    failover_goodput_ratio: float = 1.0
+    steady_goodput_rps: float = 0.0
+    rebalance_bytes: int = 0
+    node_requests: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        """The CI gate: progress was made, nothing corrupted, queues bounded."""
+        """The CI gate: progress was made, nothing corrupted, queues
+        bounded — and, for cluster runs, goodput during the failover
+        window stayed above the floor (70% of steady-state)."""
         return (
             self.served_ok > 0
             and self.integrity_failures == 0
             and self.max_queue_depth <= self.queue_capacity
+            and (self.nodes <= 1 or self.failover_goodput_ratio >= 0.70)
         )
 
     def to_dict(self) -> dict:
         doc = asdict(self)
+        doc["schema"] = "repro.soak/v1"
         doc["ok"] = self.ok
         return doc
 
@@ -330,6 +452,13 @@ def _drifted_hotness(hotness: np.ndarray, rng) -> np.ndarray:
 def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
     """Run one soak scenario end to end; never raises for serving faults."""
     cfg = cfg or SoakConfig()
+    if cfg.nodes > 1:
+        # The cluster tier is a separate harness; importing it lazily
+        # keeps repro.serve free of a package cycle (cluster imports the
+        # config/report types from this module).
+        from repro.cluster.soak import run_cluster_soak
+
+        return run_cluster_soak(cfg)
     platform_name, _desc = SOAK_SCENARIOS[cfg.scenario]
     platform, _table, pmf, hotness, capacity, cache = _build_stack(
         cfg, platform_name
@@ -632,6 +761,10 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
         max_queue_depth=runtime.admission.max_depth,
         queue_capacity=cfg.queue_capacity,
         breaker_transitions=runtime.breakers.transition_counts(),
+        breaker_transitions_by_source=(
+            runtime.breakers.transition_counts_by_source()
+        ),
+        breaker_time_in_state=runtime.breakers.time_in_state(sim_end),
         swaps_attempted=len(manager.swap_log),
         swaps_landed=sum(1 for s in manager.swap_log if s.swapped),
         rollbacks=sum(1 for s in manager.swap_log if s.rolled_back),
@@ -723,4 +856,20 @@ def render_soak_report(report: SoakReport) -> str:
         )
     if report.workers > 1:
         lines.insert(1, f"  workers       {report.workers} per-GPU threads")
+    if report.nodes > 1:
+        lines.insert(
+            1,
+            f"  cluster       {report.nodes} nodes, replication "
+            f"{report.replication}: {report.failovers} failovers, "
+            f"replica reads {report.replica_read_fraction:.1%}, "
+            f"failover goodput {report.failover_goodput_ratio:.0%} "
+            f"of steady, {report.rebalance_bytes} B rebalanced",
+        )
+        lines.insert(
+            2,
+            f"  rpc           {report.rpc_retries} retries, "
+            f"{report.rpc_timeouts} timeouts, "
+            f"{report.partial_responses} partial responses, "
+            f"{report.host_fallback_keys} host-fallback keys",
+        )
     return "\n".join(lines)

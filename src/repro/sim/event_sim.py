@@ -515,3 +515,90 @@ def simulate_hedged_extraction(
         hedge_time=hedge_done,
         winner="primary",
     )
+
+
+@dataclass(frozen=True)
+class RpcSimResult:
+    """Outcome of one front-end → cache-node RPC exchange."""
+
+    #: when the exchange resolved (success or final failure), relative to
+    #: the first attempt's launch.
+    total_time: float
+    ok: bool
+    #: ``"primary"`` or ``"hedge"`` when ``ok``; ``"none"`` otherwise.
+    winner: str
+    #: primary attempts actually issued.
+    attempts: int
+    #: primary attempts that burned their full timeout budget.
+    timeouts: int
+    hedged: bool = False
+
+    @property
+    def hedge_won(self) -> bool:
+        return self.ok and self.winner == "hedge"
+
+
+def simulate_rpc_exchange(
+    attempt_times: list[tuple[float, bool]],
+    timeout: float,
+    retry_delays: list[float] | tuple[float, ...] = (),
+    hedge_time: float | None = None,
+    hedge_issue_at: float = 0.0,
+) -> RpcSimResult:
+    """Walk one RPC's retry/hedge timeline deterministically.
+
+    ``attempt_times[i]`` is the i-th primary attempt as ``(elapsed, ok)``:
+    how long the attempt runs and whether it returns a payload.  An
+    attempt whose elapsed time reaches ``timeout`` is cut off there and
+    counted as a timeout regardless of its ``ok`` flag (a dead node's
+    attempt is ``(inf, False)``; a partitioned node fails fast with a
+    small elapsed and ``ok=False``).  Failed attempts are retried after
+    ``retry_delays`` (the seeded-jitter schedule from
+    :meth:`~repro.utils.retry.RetryPolicy.delays`) until attempts run out.
+
+    A hedge — the same read duplicated to the next replica — may be
+    issued at ``hedge_issue_at``; it completes after ``hedge_time`` and
+    the exchange takes whichever arm lands first, exactly like
+    :func:`simulate_hedged_extraction` races its host gather.
+    """
+    if timeout <= 0:
+        raise ValueError("rpc timeout must be positive")
+    if hedge_issue_at < 0:
+        raise ValueError("hedge issue time must be non-negative")
+    hedge_done = (
+        hedge_issue_at + hedge_time if hedge_time is not None else np.inf
+    )
+    t = 0.0
+    attempts = 0
+    timeouts = 0
+    primary_done = np.inf
+    for i, (elapsed, ok) in enumerate(attempt_times):
+        attempts += 1
+        if elapsed >= timeout:
+            timeouts += 1
+            t += timeout
+        elif ok:
+            primary_done = t + elapsed
+            break
+        else:
+            t += elapsed
+        if i < len(retry_delays):
+            t += retry_delays[i]
+    hedge_available = hedge_time is not None and np.isfinite(hedge_done)
+    if not np.isfinite(primary_done) and not hedge_available:
+        return RpcSimResult(
+            total_time=t, ok=False, winner="none",
+            attempts=attempts, timeouts=timeouts,
+        )
+    if hedge_done < primary_done:
+        return RpcSimResult(
+            total_time=float(hedge_done), ok=True, winner="hedge",
+            attempts=attempts, timeouts=timeouts, hedged=True,
+        )
+    # The hedge only counts as issued if the primary had not already
+    # resolved by its launch time.
+    return RpcSimResult(
+        total_time=float(primary_done), ok=True, winner="primary",
+        attempts=attempts, timeouts=timeouts,
+        hedged=hedge_available and hedge_issue_at < primary_done,
+    )

@@ -1,0 +1,41 @@
+"""Regenerate ``soak_single_box.json``: the PR-6 single-box soak anchor.
+
+The cluster layer must leave the one-node path untouched: a soak with
+``--nodes 1 --replication 1`` (the defaults) has to keep producing
+byte-for-byte the report the pre-cluster code produced.  This script pins
+two CI-sized runs — the fault-free ``steady`` scenario and the
+``dgx_a100_partial_failure`` chaos scenario — at seed 0.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/golden/generate_soak_golden.py
+
+The golden test compares only the keys present in the fixture, so later
+PRs may *add* report fields but never change the pinned ones.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+SCENARIOS = ("steady", "dgx_a100_partial_failure")
+
+
+def build() -> dict:
+    from repro.obs import MetricsRegistry, use_registry
+    from repro.serve.soak import SoakConfig, run_soak
+
+    scenarios = {}
+    for scenario in SCENARIOS:
+        cfg = SoakConfig.quick(seed=0, scenario=scenario)
+        with use_registry(MetricsRegistry(f"golden-soak-{scenario}")):
+            report = run_soak(cfg)
+        scenarios[scenario] = report.to_dict()
+    return {"scenarios": scenarios}
+
+
+if __name__ == "__main__":
+    out = pathlib.Path(__file__).parent / "soak_single_box.json"
+    out.write_text(json.dumps(build(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")

@@ -3,9 +3,11 @@
 import pytest
 
 from repro.faults.chaos import (
+    NODE_SCENARIOS,
     SCENARIOS,
     ChaosConfig,
     build_fault_plan,
+    build_node_fault_plan,
     render_results,
     run_matrix,
     run_scenario,
@@ -24,8 +26,13 @@ class TestScenarioMatrix:
         for scenario in SCENARIOS:
             if scenario in ("solver-timeout", "refresh-interrupt"):
                 continue
-            plan = build_fault_plan(scenario, quick_cfg)
-            assert len(plan) == 1
+            builder = (
+                build_node_fault_plan
+                if scenario in NODE_SCENARIOS
+                else build_fault_plan
+            )
+            plan = builder(scenario, quick_cfg)
+            assert len(plan) >= 1
             assert plan.name == scenario
 
     def test_unknown_scenario_rejected(self, quick_cfg):
@@ -68,6 +75,33 @@ class TestScenarioMatrix:
         assert a.rerouted_keys == b.rerouted_keys
         assert a.baseline_time == pytest.approx(b.baseline_time)
         assert a.degraded_time == pytest.approx(b.degraded_time)
+
+
+class TestNodeScenarios:
+    """The ``node_*`` drills: the 3-node cluster tier loses a whole node."""
+
+    @pytest.mark.parametrize("scenario", sorted(NODE_SCENARIOS))
+    def test_node_scenario_passes_and_recovers(self, quick_cfg, scenario):
+        result = run_scenario(scenario, quick_cfg)
+        assert result.ok
+        assert result.values_exact
+        assert result.completed_batches == quick_cfg.num_batches
+        assert result.rerouted_keys > 0, "the fault must push keys off-primary"
+        assert result.degradation > 1.0  # hedged reads are slower
+        assert result.recovery == pytest.approx(1.0, rel=0.1)
+        assert result.recovered()
+
+    def test_node_flap_schedules_two_stints(self, quick_cfg):
+        plan = build_node_fault_plan("node_flap", quick_cfg)
+        assert len(plan) == 2
+        (first, second) = sorted(plan, key=lambda f: f.onset)
+        assert first.clears_at < second.onset, "the node must come back between"
+
+    def test_node_plans_target_a_node_not_a_gpu(self, quick_cfg):
+        for scenario in sorted(NODE_SCENARIOS):
+            for spec in build_node_fault_plan(scenario, quick_cfg):
+                assert spec.node is not None
+                assert spec.gpu is None
 
 
 class TestChaosCli:

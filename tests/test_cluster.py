@@ -1,0 +1,337 @@
+"""Cluster tier: ring, placement, RPC model, front-end, node-kill soak.
+
+Run with ``pytest -m cluster``.  The suite covers the keyspace
+partitioners (consistent-hash ring and solver-driven placement), the
+deterministic RPC exchange walker, the sharded per-GPU solve, the
+front-end's degradation ladder (hedge → replica failover → host fallback
+→ partial response), the what-if node-loss analysis, and the acceptance
+gate itself: a 3-node ``node-kill`` soak that must keep ≥ 70 % of steady
+goodput through the failover window with a bit-exact table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CacheNode,
+    ClusterConfig,
+    ClusterFrontend,
+    FAILOVER_GOODPUT_FLOOR,
+    HashRing,
+    RpcConfig,
+    analyze_node_loss,
+    attempt_profile,
+    hash_keys,
+    solve_node_placement,
+)
+from repro.core.pipeline import NetworkTier, price_node_read
+from repro.faults.spec import HEALTHY, HealthView
+from repro.hardware.platform import HOST, server_a
+from repro.sim.mechanisms import GpuDemand
+from repro.serve.soak import SoakConfig, run_soak
+from repro.sim.event_sim import simulate_rpc_exchange
+from repro.utils.rng import make_rng
+from repro.utils.stats import zipf_pmf
+
+pytestmark = pytest.mark.cluster
+
+N_ENTRIES = 2_000
+BATCH = 256
+
+
+# ----------------------------------------------------------------------
+# Keyspace partitioning
+# ----------------------------------------------------------------------
+def test_hash_keys_is_deterministic_and_seed_sensitive():
+    keys = np.arange(64, dtype=np.int64)
+    a = hash_keys(keys, seed=7)
+    b = hash_keys(keys, seed=7)
+    c = hash_keys(keys, seed=8)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_ring_owners_are_distinct_replicas():
+    ring = HashRing(4, replication=3, seed=0)
+    owners = ring.owners_for(np.arange(N_ENTRIES, dtype=np.int64))
+    assert owners.shape == (N_ENTRIES, 3)
+    for row in owners:
+        assert len(set(row.tolist())) == 3
+
+
+def test_ring_balances_the_keyspace():
+    ring = HashRing(4, replication=2, seed=0)
+    shares = ring.share_of(N_ENTRIES)
+    assert pytest.approx(sum(shares.values()), abs=1e-9) == 1.0
+    # vnodes keep every node within a loose band around 1/4.
+    for share in shares.values():
+        assert 0.10 < share < 0.45
+
+
+def test_ring_removal_moves_only_the_dead_nodes_keys():
+    ring = HashRing(4, replication=2, seed=0)
+    smaller = ring.without(2)
+    keys = np.arange(N_ENTRIES, dtype=np.int64)
+    before = ring.primary_for(keys)
+    after = smaller.primary_for(keys)
+    moved = before != after
+    # Consistent hashing: only keys whose primary died may move.
+    assert np.array_equal(np.unique(before[moved]), np.array([2]))
+    assert not (after == 2).any()
+
+
+def test_solver_placement_balances_load_not_key_count():
+    pmf = zipf_pmf(N_ENTRIES, 1.1)
+    hotness = pmf * 1e6
+    placement = solve_node_placement(hotness, 4, replication=2)
+    primary = placement.owners[:, 0]
+    loads = [float(hotness[primary == n].sum()) for n in range(4)]
+    total = sum(loads)
+    for load in loads:
+        assert 0.15 < load / total < 0.35
+    # Every key's replicas are distinct nodes.
+    for row in placement.owners:
+        assert len(set(row.tolist())) == placement.replication
+
+
+def test_solver_placement_wide_head_is_everywhere():
+    pmf = zipf_pmf(N_ENTRIES, 1.2)
+    hotness = pmf * 1e6
+    placement = solve_node_placement(
+        hotness, 3, replication=2, wide_replicate_frac=0.01
+    )
+    head = np.argsort(-hotness)[: int(round(0.01 * N_ENTRIES))]
+    for node in range(3):
+        mask = placement.member_mask(node)
+        assert mask[head].all(), f"hot head missing from node {node}"
+
+
+# ----------------------------------------------------------------------
+# RPC model
+# ----------------------------------------------------------------------
+def test_rpc_exchange_primary_success_is_one_attempt():
+    r = simulate_rpc_exchange([(1.0, True)], timeout=8.0)
+    assert r.ok and r.winner == "primary"
+    assert r.attempts == 1 and r.timeouts == 0 and not r.hedged
+    assert r.total_time == 1.0
+
+
+def test_rpc_exchange_timeout_burns_the_full_timeout():
+    r = simulate_rpc_exchange(
+        [(np.inf, False), (np.inf, False)], timeout=8.0, retry_delays=[0.5]
+    )
+    assert not r.ok and r.winner == "none"
+    assert r.timeouts == 2
+    assert r.total_time == pytest.approx(8.0 + 0.5 + 8.0)
+
+
+def test_rpc_exchange_hedge_rescues_a_dead_primary():
+    r = simulate_rpc_exchange(
+        [(np.inf, False), (np.inf, False)],
+        timeout=8.0,
+        hedge_time=1.0,
+        hedge_issue_at=3.0,
+    )
+    assert r.ok and r.winner == "hedge" and r.hedged
+    assert r.total_time == pytest.approx(4.0)
+
+
+def test_rpc_exchange_fast_primary_never_hedges():
+    r = simulate_rpc_exchange(
+        [(1.0, True)], timeout=8.0, hedge_time=1.0, hedge_issue_at=3.0
+    )
+    assert r.winner == "primary" and not r.hedged
+
+
+def test_attempt_profile_health_cases():
+    net = NetworkTier(latency_seconds=1e-3, bandwidth_bytes=1e9)
+    up = attempt_profile(0, 1e-3, net, HEALTHY, payload_bytes=1e6)
+    assert up[1] and up[0] == pytest.approx(1e-3 + 1e-3 + (1e-3 + 1e-3))
+    down = attempt_profile(
+        0, 1e-3, net, HealthView(down_nodes=frozenset({0})), 1e6
+    )
+    assert not down[1] and np.isinf(down[0])
+    part = attempt_profile(
+        0, 1e-3, net, HealthView(partitioned_nodes=frozenset({0})), 1e6
+    )
+    assert not part[1] and part[0] == pytest.approx(net.latency_seconds)
+    slow = attempt_profile(
+        0, 1e-3, net, HealthView(node_factors=((0, 0.5),)), 1e6
+    )
+    assert slow[1] and slow[0] > up[0]
+
+
+def test_network_tier_prices_the_wire():
+    net = NetworkTier(latency_seconds=1e-3, bandwidth_bytes=1e9)
+    assert net.transfer_seconds(0) == pytest.approx(1e-3)
+    assert net.transfer_seconds(1e9) == pytest.approx(1.001)
+    demand = GpuDemand(dst=0, volumes={0: 4096.0, HOST: 8192.0})
+    price = price_node_read(server_a(), demand, net)
+    assert price.total_seconds == pytest.approx(
+        price.extraction_seconds + price.transfer_seconds
+    )
+    assert price.extraction_seconds > 0 and price.transfer_seconds > 0
+    # A slow node stretches extraction, never the wire.
+    slow = price_node_read(server_a(), demand, net, service_factor=0.5)
+    assert slow.extraction_seconds == pytest.approx(2 * price.extraction_seconds)
+    assert slow.transfer_seconds == pytest.approx(price.transfer_seconds)
+
+
+# ----------------------------------------------------------------------
+# Front-end degradation ladder
+# ----------------------------------------------------------------------
+def _mini_cluster(replication: int = 2, nodes: int = 3, seed: int = 0):
+    platform = server_a()
+    rng = make_rng(seed)
+    table = rng.standard_normal((N_ENTRIES, 8)).astype(np.float32)
+    pmf = zipf_pmf(N_ENTRIES, 1.1)
+    hotness = pmf * BATCH * platform.num_gpus
+    cfg = ClusterConfig(nodes=nodes, replication=replication, seed=seed)
+    placement = ClusterFrontend.build_placement(cfg, hotness)
+    owners = placement.owners_for(np.arange(N_ENTRIES, dtype=np.int64))
+    cache_nodes = [
+        CacheNode(
+            node_id=i,
+            platform=platform,
+            table=table,
+            hotness=hotness,
+            member_mask=(owners == i).any(axis=1),
+            capacity_entries=N_ENTRIES // 8,
+        )
+        for i in range(nodes)
+    ]
+    s0 = cache_nodes[0].service_seconds(np.arange(BATCH, dtype=np.int64))
+    cache_nodes[0]._next_gpu = 0
+    frontend = ClusterFrontend(
+        cache_nodes, cfg, baseline_service=s0,
+        hotness=hotness, placement=placement,
+    )
+    keys = make_rng(seed + 1).choice(N_ENTRIES, size=BATCH, p=pmf)
+    return frontend, table, keys.astype(np.int64)
+
+
+def test_frontend_steady_serves_everything_from_primaries():
+    frontend, table, keys = _mini_cluster()
+    resp = frontend.serve(keys, now=0.0, execute=True)
+    assert resp.ok and not resp.partial
+    assert resp.replica_keys == 0 and resp.host_fallback_keys == 0
+    assert resp.failovers == 0 and resp.rpc_timeouts == 0
+    assert np.array_equal(resp.values, table[keys])
+
+
+def test_frontend_survives_a_dead_node_bit_exactly():
+    frontend, table, keys = _mini_cluster()
+    health = HealthView(down_nodes=frozenset({1}))
+    resp = frontend.serve(keys, now=0.0, health=health, execute=True)
+    assert resp.ok, "replication 2 must cover a single node loss"
+    assert resp.replica_keys + resp.host_fallback_keys > 0
+    assert np.array_equal(resp.values, table[keys])
+
+
+def test_frontend_unreplicated_dead_node_uses_host_fallback():
+    frontend, table, keys = _mini_cluster(replication=1)
+    health = HealthView(down_nodes=frozenset({1}))
+    resp = frontend.serve(keys, now=0.0, health=health, execute=True)
+    # R=1 leaves no replica owner, but every node's DRAM holds the full
+    # table, so the group still lands — just slower and off-owner.
+    assert resp.ok
+    assert resp.host_fallback_keys > 0
+    assert np.array_equal(resp.values, table[keys])
+
+
+def test_frontend_partial_response_when_every_node_is_dead():
+    frontend, _table, keys = _mini_cluster()
+    health = HealthView(down_nodes=frozenset({0, 1, 2}))
+    resp = frontend.serve(keys, now=0.0, health=health, execute=True)
+    assert resp.partial and not resp.ok
+    assert resp.served == 0
+    assert len(resp.failed_positions) == len(keys)
+
+
+def test_frontend_breaker_ejects_a_repeat_offender():
+    frontend, table, keys = _mini_cluster()
+    health = HealthView(down_nodes=frozenset({1}))
+    trips = frontend.config.breaker.failure_threshold
+    for i in range(trips):
+        frontend.serve(keys, now=float(i), health=health, execute=False)
+    assert 1 in frontend.breakers.excluded_sources(float(trips))
+    # With node 1 ejected, routing avoids it up front: no timeouts burned.
+    resp = frontend.serve(keys, now=float(trips), health=health, execute=True)
+    assert resp.ok and resp.rpc_timeouts == 0
+    assert np.array_equal(resp.values, table[keys])
+
+
+def test_what_if_node_loss_full_cover_at_r2():
+    frontend, _table, _keys = _mini_cluster(replication=2)
+    rows = frontend.what_if_node_loss(N_ENTRIES)
+    assert [r["node"] for r in rows] == [0, 1, 2]
+    for r in rows:
+        assert r["replica_covered"] == pytest.approx(1.0)
+        assert r["uncovered_keys"] == 0
+        assert r["post_loss_max_share"] < 1.0
+
+
+def test_what_if_node_loss_unreplicated_keys_are_uncovered():
+    frontend, _table, _keys = _mini_cluster(replication=1)
+    rows = frontend.what_if_node_loss(N_ENTRIES)
+    assert any(r["uncovered_keys"] > 0 for r in rows)
+    # Module-level helper works straight off a placement too.
+    ring = HashRing(3, replication=1, seed=0)
+    assert analyze_node_loss(ring, range(3), N_ENTRIES) == rows
+
+
+def test_sharded_nodes_cache_only_their_members():
+    frontend, _table, _keys = _mini_cluster()
+    owners = frontend.placement.owners_for(np.arange(N_ENTRIES, dtype=np.int64))
+    for node_id, node in frontend.nodes.items():
+        member = (owners == node_id).any(axis=1)
+        cached = np.concatenate(
+            [np.asarray(ids) for ids in node.cache.placement.per_gpu]
+        )
+        assert member[cached.astype(np.int64)].all(), (
+            f"node {node_id} cached a key outside its shard"
+        )
+        assert node.verify_integrity() == []
+
+
+def test_rpc_config_scales_from_the_whole_leg():
+    rpc = RpcConfig()
+    wire_bound = rpc.healthy_leg(0.0, 0.0)
+    assert wire_bound >= rpc.network.latency_seconds * 2
+    # The timeout must exceed one healthy exchange even when extraction
+    # is negligible — otherwise every call on a tiny table "times out".
+    assert rpc.timeout_seconds(wire_bound) > wire_bound
+
+
+# ----------------------------------------------------------------------
+# The acceptance gate: node-kill soak
+# ----------------------------------------------------------------------
+def test_node_kill_soak_keeps_goodput_through_failover():
+    cfg = SoakConfig.quick(seed=0, scenario="node-kill", nodes=3, replication=2)
+    report = run_soak(cfg)
+    assert report.ok
+    assert report.nodes == 3 and report.replication == 2
+    assert report.failover_goodput_ratio >= FAILOVER_GOODPUT_FLOOR
+    assert report.integrity_failures == 0
+    assert report.rebalance_bytes > 0, "a healed node must re-stage its shard"
+    assert report.rpc_timeouts > 0, "the kill window must actually bite"
+    assert report.hedges > 0 and report.hedge_wins > 0
+    assert set(report.node_requests) == {"0", "1", "2"}
+    # The dead node lost traffic to its replicas.
+    assert report.node_requests["1"] < report.node_requests["0"]
+    doc = report.to_dict()
+    assert doc["schema"] == "repro.soak/v1"
+    assert doc["failover_goodput_ratio"] >= FAILOVER_GOODPUT_FLOOR
+
+
+def test_cluster_soak_config_validation():
+    with pytest.raises(ValueError, match="nodes"):
+        SoakConfig.quick(scenario="node-kill", nodes=1, replication=1)
+    with pytest.raises(ValueError, match="replication"):
+        SoakConfig.quick(scenario="node-kill", nodes=2, replication=3)
+    with pytest.raises(ValueError, match="scenario"):
+        SoakConfig.quick(
+            scenario="dgx_a100_partial_failure", nodes=3, replication=2
+        )

@@ -282,6 +282,48 @@ class TestBreakerConcurrency:
             assert frm != to
         assert breaker.consecutive_failures >= 0
 
+    def test_half_open_probes_are_metered_across_threads(self):
+        """Exactly ``half_open_probes`` threads pass — no thundering herd.
+
+        An open breaker whose cooldown just elapsed is the dangerous
+        moment: every serving worker calls ``allow`` at once, and an
+        unmetered re-admit would stampede the recovering node with the
+        full fleet.  The probe budget must hold under real contention.
+        """
+        probes = 2
+        config = BreakerConfig(
+            failure_threshold=1,
+            cooldown_seconds=1.0,
+            half_open_probes=probes,
+            success_threshold=probes,
+        )
+        registry = MetricsRegistry("conc")
+        with use_registry(registry):
+            for _round in range(20):
+                breaker = CircuitBreaker(0, config)
+                breaker.record_failure(0.0)  # trip it
+                assert not breaker.allow(0.5)  # still cooling down
+                now = 2.0  # cooldown elapsed: next allows are probes
+                barrier = threading.Barrier(THREADS)
+                admitted: list[bool] = []
+                lock = threading.Lock()
+
+                def worker():
+                    barrier.wait()
+                    ok = breaker.allow(now)
+                    with lock:
+                        admitted.append(ok)
+
+                _run_threads([worker] * THREADS)
+                assert sum(admitted) == probes, (
+                    f"half-open metering leaked: {sum(admitted)} probes "
+                    f"admitted, budget {probes}"
+                )
+                # The probes' successes close it; the herd stays held off.
+                for _ in range(probes):
+                    breaker.record_success(now)
+                assert breaker.state.value == "closed"
+
 
 class TestWorkerPool:
     def test_map_gpus_barriers_and_collects(self):

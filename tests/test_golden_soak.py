@@ -1,0 +1,76 @@
+"""Golden regression: the cluster layer leaves the single box untouched.
+
+``tests/golden/soak_single_box.json`` pins two CI-sized single-box soak
+runs (``steady`` and ``dgx_a100_partial_failure``) generated *before* the
+cluster tier existed.  A ``--nodes 1 --replication 1`` soak — the
+defaults — must keep producing byte-for-byte the same report: only the
+keys present in the fixture are compared, so later layers may add report
+fields but never change a pinned one.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+pytestmark = [pytest.mark.serve, pytest.mark.cluster]
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "generate_soak_golden", GOLDEN_DIR / "generate_soak_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads((GOLDEN_DIR / "soak_single_box.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def replayed() -> dict:
+    # Round-trip through JSON so float representation matches the fixture.
+    return json.loads(json.dumps(_load_generator().build(), sort_keys=True))
+
+
+@pytest.mark.parametrize("scenario", ["steady", "dgx_a100_partial_failure"])
+def test_single_box_soak_is_byte_identical(golden, replayed, scenario):
+    pinned = golden["scenarios"][scenario]
+    got = replayed["scenarios"][scenario]
+    diverged = {
+        key: {"pinned": pinned[key], "got": got.get(key, "<missing>")}
+        for key in pinned
+        if got.get(key, "<missing>") != pinned[key]
+    }
+    assert not diverged, (
+        f"single-box {scenario} soak diverged from the pre-cluster pin: "
+        f"{diverged}"
+    )
+
+
+def test_report_schema_is_versioned(replayed):
+    for doc in replayed["scenarios"].values():
+        assert doc["schema"] == "repro.soak/v1"
+
+
+def test_cluster_fields_are_additive_and_inert_single_box(replayed, golden):
+    """New report fields exist but sit at their single-box identities."""
+    for scenario, doc in replayed["scenarios"].items():
+        assert set(doc) > set(golden["scenarios"][scenario])
+        assert doc["nodes"] == 1 and doc["replication"] == 1
+        assert doc["failovers"] == 0
+        assert doc["replica_read_fraction"] == 0.0
+        assert doc["host_fallback_keys"] == 0
+        assert doc["partial_responses"] == 0
+        assert doc["rpc_retries"] == 0 and doc["rpc_timeouts"] == 0
+        assert doc["failover_goodput_ratio"] == 1.0
+        assert doc["rebalance_bytes"] == 0
+        assert doc["node_requests"] == {}
