@@ -124,6 +124,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
     from repro.faults.chaos import (
+        SCENARIO_DESCRIPTIONS,
         SCENARIOS,
         ChaosConfig,
         render_results,
@@ -132,6 +133,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     from repro.obs import MetricsRegistry, use_registry, write_json
 
+    if args.list_scenarios:
+        width = max(len(name) for name in SCENARIOS)
+        for name in SCENARIOS:
+            print(f"{name:{width}s}  {SCENARIO_DESCRIPTIONS.get(name, '')}")
+        return 0
     scenarios = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
     cfg = (
         ChaosConfig.quick(seed=args.seed)
@@ -183,6 +189,8 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         nodes=args.nodes,
         replication=args.replication,
         placement=args.placement,
+        repair=args.repair,
+        restage=args.restage,
         seed=args.seed,
     )
     if args.requests is not None:
@@ -219,6 +227,20 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             f"  vs lookahead 0: goodput {baseline.goodput_rps:.1f} -> "
             f"{report.goodput_rps:.1f} req/s ({delta:+.1f}, {pct:+.1f}%), "
             f"hit rate {report.prefetch_hit_rate:.1%} vs 0.0%"
+        )
+    if args.compare_restage and cfg.repair and cfg.restage == "staged":
+        # Same chaos, burst refill instead: the recovery-window goodput
+        # delta is what the rate-limited staging buys.
+        from dataclasses import replace
+
+        with use_registry(MetricsRegistry("soak-baseline")):
+            baseline = run_soak(replace(cfg, restage="burst"))
+        print(
+            f"  vs burst re-stage: recovery-window goodput "
+            f"{baseline.recovery_goodput_ratio:.1%} -> "
+            f"{report.recovery_goodput_ratio:.1%} of steady "
+            f"({report.recovery_requests} vs "
+            f"{baseline.recovery_requests} requests in window)"
         )
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
@@ -345,14 +367,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("list-experiments", help="list experiment ids")
     p.set_defaults(func=_cmd_list)
 
+    from repro.faults.chaos import SCENARIOS as _CHAOS_SCENARIOS
+
     p = sub.add_parser("chaos", help="run the fault-injection scenario matrix")
     p.add_argument("--scenario", default="all",
-                   choices=["all", "gpu-failure", "link-degradation",
-                            "link-partition", "host-stall", "corrupt-slot",
-                            "solver-timeout", "refresh-interrupt",
-                            "node_down", "node_flap", "node_partition"],
+                   choices=["all", *_CHAOS_SCENARIOS],
                    help="one scenario, or 'all' for the full matrix "
                         "(node_* scenarios drill the 3-node cluster tier)")
+    p.add_argument("--list-scenarios", action="store_true",
+                   help="print every scenario with a one-line description "
+                        "and exit")
     p.add_argument("--quick", action="store_true",
                    help="CI-sized workload (seconds, not minutes)")
     p.add_argument("--seed", type=int, default=0,
@@ -373,7 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["steady", "dgx_a100_partial_failure",
                             "corrupt-slot-storm", "host-stall",
                             "node-kill", "node-flap", "node-partition",
-                            "node-slow"],
+                            "node-slow", "node-kill-bit-rot"],
                    help="node-* scenarios require --nodes > 1")
     p.add_argument("--nodes", type=int, default=1,
                    help="cache-server nodes; > 1 soaks the cluster tier")
@@ -418,6 +442,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compare-lookahead", action="store_true",
                    help="also run the same soak with --lookahead 0 and "
                         "print the goodput delta")
+    p.add_argument("--repair", action="store_true",
+                   help="enable the self-healing layer: anti-entropy "
+                        "scrubbing, read guards, staged recovery, and the "
+                        "node-lifecycle watchdog (requires --nodes > 1)")
+    p.add_argument("--restage", default="staged",
+                   choices=["staged", "burst"],
+                   help="how a healed node refills its GPU caches: "
+                        "hotness-ordered blocks under an idle-link budget, "
+                        "or all at once (the baseline)")
+    p.add_argument("--compare-restage", action="store_true",
+                   help="with --repair: also run the burst baseline and "
+                        "print the recovery-window goodput delta")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json-out", default=None, metavar="PATH",
                    help="write the soak report as JSON")

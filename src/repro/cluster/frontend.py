@@ -139,6 +139,11 @@ class ClusterFrontend:
             sources=sorted(self.nodes), config=config.breaker
         )
         self._rng = make_rng(config.seed + 101)
+        #: optional :class:`~repro.repair.watchdog.NodeWatchdog`: when
+        #: set, RECOVERING nodes take reads only for keys their staged
+        #: recovery has already re-staged; the rest keep going to
+        #: replica owners until the refill catches up.
+        self.watchdog = None
 
     @staticmethod
     def build_placement(
@@ -239,6 +244,35 @@ class ClusterFrontend:
                     undecided[idx] = False
                 # every owner ejected: probe the primary anyway — the
                 # breaker board's half-open metering decides admission.
+            if self.watchdog is not None:
+                # A recovering node takes reads only for shards its
+                # staged refill has already re-staged; un-restaged keys
+                # keep flowing to replica owners.
+                for node_id, rec in self.watchdog.active_recoveries():
+                    mask = chosen == node_id
+                    if not mask.any():
+                        continue
+                    pending = ~rec.restaged_keys(keys[mask])
+                    if not pending.any():
+                        continue
+                    idx = np.flatnonzero(mask)[pending]
+                    for r in range(1, owners.shape[1]):
+                        if idx.size == 0:
+                            break
+                        candidate = owners[idx, r]
+                        usable = (candidate != node_id) & ~np.isin(
+                            candidate, list(excluded)
+                        )
+                        chosen[idx[usable]] = candidate[usable]
+                        idx = idx[~usable]
+                    # Keys with no other owner stay put: the recovering
+                    # node serves them from its host table — slower,
+                    # still bit-exact.
+                    rerouted = int(pending.sum()) - len(idx)
+                    if rerouted:
+                        reg.counter("repair.watchdog.rerouted_keys").inc(
+                            rerouted
+                        )
             group_elapsed: list[float] = []
             for node_id in (int(x) for x in np.unique(chosen)):
                 positions = np.flatnonzero(chosen == node_id)

@@ -94,6 +94,10 @@ class CacheNode:
         self.cache = MultiGpuEmbeddingCache(platform, table, placement)
         self.extractor = FactoredExtractor(self.cache)
         self._next_gpu = 0
+        #: optional :class:`~repro.repair.scrub.CacheScrubber` — when set,
+        #: every served batch passes through its read guard so rotten
+        #: slots can never leak corrupt bytes to a caller.
+        self.read_guard = None
 
     # ------------------------------------------------------------------
     # Serving surface
@@ -114,6 +118,8 @@ class CacheNode:
         gpu = self._pick_gpu()
         plan = self.extractor.plan(gpu, keys)
         values, demand = self.extractor.execute(plan)
+        if self.read_guard is not None:
+            values, _ = self.read_guard.guard_read(gpu, keys, values)
         return values, factored_extraction(self.platform, demand).time
 
     # ------------------------------------------------------------------
@@ -127,6 +133,46 @@ class CacheNode:
             len(self.cache.store(g).cached_entries()) * self.cache.entry_bytes
             for g in range(self.platform.num_gpus)
         )
+
+    def drop_gpu_caches(self) -> Placement:
+        """Model a node death: GPU cache contents are lost.
+
+        Every store is emptied (arenas and capacity survive — the
+        hardware is fine, the bytes are gone) and the location table is
+        rebuilt, so until re-staged every read on this node resolves to
+        its host table — slower, still bit-exact.  Returns the lost
+        placement, the input a :class:`~repro.repair.restage.StagedRecovery`
+        plan needs.
+        """
+        lost = self.cache.placement
+        with self.cache.writing():
+            for g in range(self.platform.num_gpus):
+                store = self.cache.store(g)
+                for entry in store.cached_entries():
+                    store.evict(int(entry))
+        self.cache.refresh_source_map()
+        logger.warning(
+            "node %d: dropped %d GPU-cached entries",
+            self.node_id, sum(len(ids) for ids in lost.per_gpu),
+        )
+        return lost
+
+    def restage_all(self, lost: Placement) -> int:
+        """Burst re-stage: refill the dropped placement in one shot.
+
+        The naive heal the staged recovery replaces — kept as the
+        baseline (and the final-drain fallback).  Returns bytes staged.
+        """
+        bytes_before = self.cached_bytes
+        with self.cache.writing():
+            for gpu, ids in enumerate(lost.per_gpu):
+                store = self.cache.store(gpu)
+                for entry in np.asarray(ids):
+                    entry = int(entry)
+                    if store.offset_of[entry] < 0:
+                        store.insert(entry, self.cache.host_table[entry])
+        self.cache.refresh_source_map()
+        return self.cached_bytes - bytes_before
 
     @property
     def shard_entries(self) -> int:

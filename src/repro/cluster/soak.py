@@ -4,7 +4,8 @@ node-level chaos.
 ``python -m repro soak --nodes N --replication R`` lands here (the
 single-box path in :mod:`repro.serve.soak` is untouched — ``--nodes 1``
 never enters this module, which is what keeps it byte-identical to the
-pre-cluster harness).  The loop drives open-loop Poisson arrivals through
+pre-cluster harness).  The loop drives Poisson arrivals (open loop) or a
+fixed client population (closed loop) through
 :class:`~repro.cluster.frontend.ClusterFrontend` on a simulated clock
 while a node-kill/partition/flap fault plan takes whole nodes away
 mid-run, and — the part the CI gate cares about — measures goodput
@@ -18,18 +19,32 @@ mid-run, and — the part the CI gate cares about — measures goodput
   every node's cache is reconciled (``verify_integrity``) after recovery;
 * a healed node re-stages its GPU caches from DRAM — the bytes show up
   as ``rebalance_bytes`` (and the ``cluster.rebalance.bytes`` counter).
+
+With ``--repair`` the self-healing layer (:mod:`repro.repair`) rides
+along: node death actually *drops* the dead node's GPU caches, heals
+refill them either all at once (``--restage burst``, the baseline) or in
+hotness-ordered blocks under an idle-link-time budget (``--restage
+staged``); every node runs an anti-entropy scrubber plus a read guard
+(so bit-rot chaos can never serve a corrupt value), and a node-lifecycle
+watchdog steers the front-end's routing while a node is RECOVERING.
+Requests inside a post-heal recovery window are bucketed separately and
+gated: ``recovery_goodput_ratio`` must stay ≥ 85% of steady.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import replace
 
 import numpy as np
 
 from repro.cluster.frontend import ClusterConfig, ClusterFrontend
 from repro.cluster.node import CacheNode
-from repro.faults.spec import HEALTHY, FaultKind
+from repro.core.policy import Placement
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import HEALTHY, FaultKind, FaultPlan
 from repro.obs import get_registry
+from repro.repair import CacheScrubber, NodeWatchdog, StagedRecovery
 from repro.serve.soak import (
     SOAK_SCENARIOS,
     SoakConfig,
@@ -156,6 +171,42 @@ def run_cluster_soak(cfg: SoakConfig) -> SoakReport:
 
     reg = get_registry()
     node_requests_start = _node_counter_values(reg, "cluster.node.requests")
+
+    # ------------------------------------------------------------------
+    # Self-healing machinery (inert — and allocation-free — without
+    # --repair, so the repair-off path stays byte-identical to the
+    # pre-repair harness; bit-rot injectors follow the *scenario* so an
+    # unguarded bit-rot run visibly serves corruption).
+    # ------------------------------------------------------------------
+    repair = cfg.repair
+    injectors: dict[int, FaultInjector] = {}
+    if plan is not None:
+        for node in nodes:
+            rot = tuple(
+                f for f in plan
+                if f.kind is FaultKind.BIT_ROT
+                and f.node in (None, node.node_id)
+            )
+            if rot:
+                injectors[node.node_id] = FaultInjector(
+                    FaultPlan(
+                        faults=rot,
+                        seed=plan.seed + 7919 * (node.node_id + 1),
+                        name=f"{plan.name}-rot-{node.node_id}",
+                    ),
+                    cache=node.cache,
+                )
+    scrubbers: dict[int, CacheScrubber] = {}
+    watchdog: NodeWatchdog | None = None
+    if repair:
+        watchdog = NodeWatchdog(range(cfg.nodes))
+        frontend.watchdog = watchdog
+        for node in nodes:
+            scrubbers[node.node_id] = CacheScrubber(
+                node.cache, node=node.node_id
+            )
+            node.read_guard = scrubbers[node.node_id]
+
     served_ok = 0
     expired = 0
     failed = 0
@@ -171,26 +222,138 @@ def run_cluster_soak(cfg: SoakConfig) -> SoakReport:
     latencies: list[float] = []
     steady_ok = steady_total = 0
     window_ok = window_total = 0
+    recovery_ok = recovery_total = 0
     rebalance_bytes = 0
+    restage_bytes = 0
+    restage_blocks = 0
+    corrupt_rows_served = 0
     values_exact = True
     prev_down: frozenset[int] = frozenset()
+    prev_t = 0.0
+    lost_placements: dict[int, Placement] = {}
+    recoveries: dict[int, StagedRecovery] = {}
+    recovery_start: dict[int, float] = {}
+    idle_credit: dict[int, float] = {}
+    busy_until: dict[int, float] = {}
+    recovery_windows: list[tuple[float, float]] = []
+    recovery_latencies: list[float] = []
     sim_end = duration
-    t = 0.0
-    for _ in range(total_requests):
-        t += float(arrival_rng.exponential(1.0 / rate))
+
+    def account_restage(grant) -> None:
+        nonlocal rebalance_bytes, restage_bytes, restage_blocks
+        rebalance_bytes += grant.bytes
+        restage_bytes += grant.bytes
+        restage_blocks += grant.blocks
+        reg.counter("cluster.rebalance.bytes").inc(grant.bytes)
+
+    def handle_arrival(t: float) -> float:
+        """One request's full lifecycle at arrival time ``t``; returns
+        its completion time (the closed loop's resubmit instant)."""
+        nonlocal served_ok, expired, failed, hedges, hedge_wins, failovers
+        nonlocal replica_keys, served_keys, host_fallback_keys
+        nonlocal partial_responses, rpc_retries, rpc_timeouts
+        nonlocal steady_ok, steady_total, window_ok, window_total
+        nonlocal recovery_ok, recovery_total, rebalance_bytes
+        nonlocal corrupt_rows_served, values_exact, prev_down, prev_t
+        nonlocal sim_end
+        dt = max(0.0, t - prev_t)
+        prev_t = t
         health = plan.health_at(t) if plan is not None else HEALTHY
+        for injector in injectors.values():
+            injector.advance(t)
+        if repair:
+            newly_down = health.down_nodes - prev_down
+            for node_id in sorted(newly_down):
+                dropped = frontend.nodes[node_id].drop_gpu_caches()
+                if node_id in recoveries:
+                    # Died again mid-refill: void the plan; the next heal
+                    # cuts a fresh one over the union, so the tail of the
+                    # interrupted refill is not forgotten.
+                    rem = recoveries[node_id].remaining_placement()
+                    dropped = Placement(
+                        num_entries=dropped.num_entries,
+                        per_gpu=tuple(
+                            np.union1d(a, b)
+                            for a, b in zip(dropped.per_gpu, rem.per_gpu)
+                        ),
+                    )
+                    recovery_windows.append(
+                        (recovery_start.pop(node_id), t)
+                    )
+                    del recoveries[node_id]
+                lost_placements[node_id] = dropped
         healed = prev_down - health.down_nodes
-        for node_id in healed:
-            staged = frontend.nodes[node_id].cached_bytes
-            rebalance_bytes += staged
-            reg.counter("cluster.rebalance.bytes").inc(staged)
-            logger.info(
-                "node %d healed at t=%.3f: re-staged %d bytes",
-                node_id, t, staged,
-            )
+        if repair:
+            for node_id in sorted(healed):
+                node = frontend.nodes[node_id]
+                rec = StagedRecovery(
+                    node, lost_placements.pop(node_id), hotness
+                )
+                if cfg.restage == "burst":
+                    grant = rec.finish()
+                    account_restage(grant)
+                    busy_until[node_id] = t + grant.cost_seconds
+                    recovery_windows.append((t, t + grant.cost_seconds))
+                    logger.info(
+                        "node %d healed at t=%.3g: burst re-staged %d "
+                        "bytes, slow until t=%.3g",
+                        node_id, t, grant.bytes, busy_until[node_id],
+                    )
+                else:
+                    recoveries[node_id] = rec
+                    recovery_start[node_id] = t
+                    idle_credit[node_id] = 0.0
+                    watchdog.attach_recovery(node_id, rec)
+                    logger.info(
+                        "node %d healed at t=%.3g: staged refill of %d "
+                        "entries in %d blocks begins",
+                        node_id, t, rec.remaining_entries, rec.blocks_total,
+                    )
+        else:
+            for node_id in healed:
+                staged = frontend.nodes[node_id].cached_bytes
+                rebalance_bytes += staged
+                reg.counter("cluster.rebalance.bytes").inc(staged)
+                logger.info(
+                    "node %d healed at t=%.3f: re-staged %d bytes",
+                    node_id, t, staged,
+                )
         prev_down = health.down_nodes
+        serve_health = health
+        if repair:
+            # Staged refills spend only the idle share of link time; the
+            # credit accrues between arrivals and whole blocks stage when
+            # it covers their priced transfer.
+            slack = max(0.0, 1.0 - cfg.load)
+            for node_id, rec in list(recoveries.items()):
+                idle_credit[node_id] += dt * slack
+                grant = rec.grant(idle_credit[node_id])
+                if grant.blocks:
+                    idle_credit[node_id] -= grant.cost_seconds
+                    account_restage(grant)
+                if rec.done:
+                    recovery_windows.append(
+                        (recovery_start.pop(node_id), t)
+                    )
+                    del recoveries[node_id]
+            for scrubber in scrubbers.values():
+                scrubber.tick(t)
+            watchdog.observe(
+                t, health, frontend.breakers.states(),
+                {n: s.quarantine_depth for n, s in scrubbers.items()},
+            )
+            for node_id in [n for n, u in busy_until.items() if t >= u]:
+                del busy_until[node_id]
+            if busy_until:
+                # A burst-re-staging node is bulk-loading its stores and
+                # serves nothing until the refill lands: requests to it
+                # time out and fail over, exactly as if it were down.
+                serve_health = replace(
+                    health,
+                    down_nodes=health.down_nodes | frozenset(busy_until),
+                )
         keys = key_rng.choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
-        resp = frontend.serve(keys, t, health=health, execute=True)
+        resp = frontend.serve(keys, t, health=serve_health, execute=True)
         sim_end = max(sim_end, t + resp.elapsed)
         hedges += resp.hedges
         hedge_wins += resp.hedge_wins
@@ -214,15 +377,76 @@ def run_cluster_soak(cfg: SoakConfig) -> SoakReport:
             failed += 1
         else:
             expired += 1
+        if (repair or injectors) and resp.values is not None:
+            served = np.ones(len(keys), dtype=bool)
+            served[resp.failed_positions] = False
+            if served.any():
+                corrupt_rows_served += int(
+                    (resp.values[served] != table[keys[served]])
+                    .any(axis=1).sum()
+                )
         if _in_any_window(t, windows):
             window_total += 1
             window_ok += int(ok)
+        elif repair and (recoveries or _in_any_window(t, recovery_windows)):
+            recovery_total += 1
+            recovery_ok += int(ok)
+            if ok:
+                recovery_latencies.append(resp.elapsed)
         else:
             steady_total += 1
             steady_ok += int(ok)
+        return t + resp.elapsed
 
-    # Any node still down when arrivals stop heals during the drain.
-    if prev_down:
+    if cfg.closed_loop:
+        # A fixed client population per node: each client resubmits the
+        # moment its previous request completes, until the nominal run
+        # duration elapses — the same resubmit-heap idiom as the
+        # single-box closed loop, with identical per-request accounting.
+        events: list[tuple[float, int]] = []
+        seq = 0
+        for _ in range(cfg.clients * cfg.nodes):
+            heapq.heappush(events, (0.0, seq))
+            seq += 1
+        requests = 0
+        while events:
+            t, _s = heapq.heappop(events)
+            if t >= duration:
+                continue
+            completed = handle_arrival(t)
+            requests += 1
+            heapq.heappush(events, (completed, seq))
+            seq += 1
+    else:
+        t = 0.0
+        for _ in range(total_requests):
+            t += float(arrival_rng.exponential(1.0 / rate))
+            handle_arrival(t)
+        requests = total_requests
+
+    if repair:
+        # Any node still down when arrivals stop heals during the drain:
+        # its dropped caches refill completely (priced, counted), every
+        # unfinished staged plan runs to completion, and a full
+        # anti-entropy pass reconciles every store before the final
+        # integrity gate.
+        for node_id in sorted(lost_placements):
+            rec = StagedRecovery(
+                frontend.nodes[node_id], lost_placements.pop(node_id), hotness
+            )
+            account_restage(rec.finish())
+        for node_id, rec in list(recoveries.items()):
+            account_restage(rec.finish())
+            recovery_windows.append((recovery_start.pop(node_id), sim_end))
+            del recoveries[node_id]
+        for scrubber in scrubbers.values():
+            scrubber.scrub_all()
+        watchdog.observe(
+            sim_end, HEALTHY, frontend.breakers.states(),
+            {n: s.quarantine_depth for n, s in scrubbers.items()},
+        )
+    elif prev_down:
+        # Any node still down when arrivals stop heals during the drain.
         for node_id in prev_down:
             staged = frontend.nodes[node_id].cached_bytes
             rebalance_bytes += staged
@@ -240,6 +464,12 @@ def run_cluster_soak(cfg: SoakConfig) -> SoakReport:
         ratio = (window_ok / window_total) / steady_rate
     else:
         ratio = 0.0
+    if recovery_total == 0:
+        recovery_ratio = 1.0
+    elif steady_rate > 0:
+        recovery_ratio = (recovery_ok / recovery_total) / steady_rate
+    else:
+        recovery_ratio = 0.0
 
     node_requests_end = _node_counter_values(reg, "cluster.node.requests")
     node_requests = {
@@ -250,7 +480,7 @@ def run_cluster_soak(cfg: SoakConfig) -> SoakReport:
     lat = np.array(latencies) if latencies else np.array([0.0])
     report = SoakReport(
         scenario=cfg.scenario,
-        requests=total_requests,
+        requests=requests,
         served_ok=served_ok,
         expired=expired,
         failed=failed,
@@ -285,6 +515,30 @@ def run_cluster_soak(cfg: SoakConfig) -> SoakReport:
         steady_goodput_rps=steady_rate * rate,
         rebalance_bytes=rebalance_bytes,
         node_requests=node_requests,
+        repair_enabled=repair,
+        restage_mode=cfg.restage if repair else "",
+        recovery_goodput_ratio=recovery_ratio,
+        recovery_requests=recovery_total,
+        recovery_p99_latency=(
+            float(np.percentile(np.array(recovery_latencies), 99))
+            if recovery_latencies else 0.0
+        ),
+        restage_bytes=restage_bytes,
+        restage_blocks=restage_blocks,
+        scrub_scanned_slots=sum(
+            s.scanned_total for s in scrubbers.values()
+        ),
+        scrub_mismatches=sum(
+            s.mismatches_total for s in scrubbers.values()
+        ),
+        scrub_repaired=sum(s.repaired_total for s in scrubbers.values()),
+        scrub_read_repairs=sum(
+            s.read_repairs_total for s in scrubbers.values()
+        ),
+        corrupt_values_served=corrupt_rows_served,
+        watchdog_transitions=(
+            len(watchdog.transitions) if watchdog is not None else 0
+        ),
     )
     if reg.enabled:
         reg.gauge("cluster.failover_goodput_ratio").set(ratio)
@@ -295,11 +549,23 @@ def run_cluster_soak(cfg: SoakConfig) -> SoakReport:
             reg.gauge("cluster.node.qps", node=node).set(
                 count / sim_end if sim_end > 0 else 0.0
             )
+        if repair:
+            reg.gauge("repair.recovery_goodput_ratio").set(recovery_ratio)
     logger.info(
         "cluster soak %s: %d nodes R=%d, %d ok / %d requests, "
         "failover goodput %.0f%%, %d failovers, %d rebalanced bytes",
         cfg.scenario, cfg.nodes, cfg.replication,
-        served_ok, total_requests, 100 * ratio,
+        served_ok, requests, 100 * ratio,
         report.failovers, rebalance_bytes,
     )
+    if repair:
+        logger.info(
+            "repair (%s): recovery goodput %.0f%% over %d requests, "
+            "%d blocks / %d B re-staged, %d scrub mismatches, "
+            "%d read-guard patches, %d corrupt rows served",
+            cfg.restage, 100 * recovery_ratio, recovery_total,
+            restage_blocks, restage_bytes,
+            report.scrub_mismatches, report.scrub_read_repairs,
+            corrupt_rows_served,
+        )
     return report

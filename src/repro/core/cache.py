@@ -103,6 +103,10 @@ class MultiGpuEmbeddingCache:
         self._stores: list[GpuCacheStore] = fill_all(table, placement, capacity_entries)
         self._source_map = resolve_sources(platform, placement)
         self._rwlock = ReadWriteLock()
+        # Host-table checksums are the scrubber's ground truth; the table
+        # is immutable for the cache's lifetime, so compute them lazily
+        # once on first use.
+        self._host_checksums: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Concurrency
@@ -156,6 +160,19 @@ class MultiGpuEmbeddingCache:
     def host_table(self) -> np.ndarray:
         """The host-resident embedding table (the universal fallback)."""
         return self._table
+
+    @property
+    def host_checksums(self) -> np.ndarray:
+        """Per-entry checksum of the host table: the repair ground truth.
+
+        Computed lazily (one vectorized pass) and cached — the host table
+        is immutable, so the checksums never go stale.
+        """
+        if self._host_checksums is None:
+            from repro.core.checksum import row_checksums
+
+            self._host_checksums = row_checksums(self._table)
+        return self._host_checksums
 
     def host_gather(self, keys: np.ndarray) -> np.ndarray:
         """Gather rows straight from the host table (the miss path).
@@ -291,7 +308,9 @@ class MultiGpuEmbeddingCache:
     # ------------------------------------------------------------------
     # Invariant checking
     # ------------------------------------------------------------------
-    def verify_integrity(self) -> list[str]:
+    def verify_integrity(
+        self, sample: float | None = None, seed: int = 0
+    ) -> list[str]:
         """Cross-structure invariant check; returns violations (empty = ok).
 
         Checks, per GPU store: slot assignments are unique, arena
@@ -301,15 +320,28 @@ class MultiGpuEmbeddingCache:
         points at a GPU that actually holds the entry.  Finally the dense
         routing arrays are reconciled against the §4 hashtable form via
         the pipeline's :func:`~repro.core.pipeline.verify_resolution`.
+
+        ``sample`` enables the cheap mode for hot paths (policy-swap
+        drains): a seeded fraction in ``(0, 1]`` of each store's entries
+        gets the byte-compare, and the expensive hashtable
+        reconciliation is skipped; the structural checks (slot
+        uniqueness, arena occupancy, routing ranges/holdings) always run
+        in full.  Final gates (soak exit, rollback) must keep
+        ``sample=None``.
         """
         from repro.core.pipeline import verify_resolution
 
+        if sample is not None and not 0 < sample <= 1:
+            raise ValueError("integrity sample must be in (0, 1]")
         with self._rwlock.read_locked():
-            return self._verify_integrity_locked(verify_resolution)
+            return self._verify_integrity_locked(verify_resolution, sample, seed)
 
-    def _verify_integrity_locked(self, verify_resolution) -> list[str]:
+    def _verify_integrity_locked(
+        self, verify_resolution, sample: float | None = None, seed: int = 0
+    ) -> list[str]:
         problems: list[str] = []
         G = self._platform.num_gpus
+        sample_rng = None if sample is None else np.random.default_rng(seed)
         for gpu, store in enumerate(self._stores):
             cached = store.cached_entries()
             offsets = store.offset_of[cached]
@@ -320,6 +352,10 @@ class MultiGpuEmbeddingCache:
                     f"GPU {gpu}: arena holds {store.arena.used_slots} slots "
                     f"but {len(cached)} entries are mapped"
                 )
+            if sample_rng is not None and len(cached):
+                k = max(1, int(np.ceil(sample * len(cached))))
+                picks = sample_rng.choice(len(cached), size=k, replace=False)
+                cached, offsets = cached[picks], offsets[picks]
             if len(cached) and not np.array_equal(
                 store.data[offsets], self._table[cached]
             ):
@@ -341,11 +377,14 @@ class MultiGpuEmbeddingCache:
                         f"GPU {dst}: {len(missing)} entries routed to GPU {g} "
                         "which does not hold them"
                     )
-            problems.extend(verify_resolution(self, dst))
+            if sample is None:
+                problems.extend(verify_resolution(self, dst))
         return problems
 
-    def check_integrity(self) -> None:
+    def check_integrity(
+        self, sample: float | None = None, seed: int = 0
+    ) -> None:
         """Raise :class:`CacheIntegrityError` if any invariant is violated."""
-        problems = self.verify_integrity()
+        problems = self.verify_integrity(sample=sample, seed=seed)
         if problems:
             raise CacheIntegrityError("; ".join(problems))

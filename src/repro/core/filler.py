@@ -8,10 +8,11 @@ helpers to evict/insert incrementally without a full refill.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.checksum import entry_checksum, row_checksums
 from repro.core.policy import Placement
 from repro.hardware.memory import SlotArena
 
@@ -26,6 +27,14 @@ class GpuCacheStore:
     data: np.ndarray
     #: entry id → slot offset, -1 if not cached
     offset_of: np.ndarray
+    #: per-slot content checksum, maintained at fill/insert time (the
+    #: anti-entropy scrubber's record of what the slot *should* hold);
+    #: free slots sit at 0.
+    checksums: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.checksums is None:
+            self.checksums = np.zeros(len(self.data), dtype=np.uint64)
 
     def cached_entries(self) -> np.ndarray:
         return np.flatnonzero(self.offset_of >= 0)
@@ -36,6 +45,7 @@ class GpuCacheStore:
             raise ValueError(f"entry {entry} already cached on GPU {self.gpu}")
         slot = self.arena.allocate()
         self.data[slot] = values
+        self.checksums[slot] = entry_checksum(values)
         self.offset_of[entry] = slot
         return slot
 
@@ -45,6 +55,7 @@ class GpuCacheStore:
         if slot < 0:
             raise ValueError(f"entry {entry} not cached on GPU {self.gpu}")
         self.arena.free(slot)
+        self.checksums[slot] = 0
         self.offset_of[entry] = -1
 
     def read(self, entries: np.ndarray) -> np.ndarray:
@@ -73,11 +84,16 @@ def fill_gpu(
     arena = SlotArena(capacity * slot_bytes, slot_bytes)
     data = np.zeros((capacity, dim), dtype=table.dtype)
     offset_of = np.full(num_entries, -1, dtype=np.int64)
+    checksums = np.zeros(capacity, dtype=np.uint64)
     if len(entry_ids):
         slots = np.asarray(arena.allocate_many(len(entry_ids)))
         data[slots] = table[entry_ids]
+        checksums[slots] = row_checksums(table[entry_ids])
         offset_of[entry_ids] = slots
-    return GpuCacheStore(gpu=gpu, arena=arena, data=data, offset_of=offset_of)
+    return GpuCacheStore(
+        gpu=gpu, arena=arena, data=data, offset_of=offset_of,
+        checksums=checksums,
+    )
 
 
 def fill_all(

@@ -58,12 +58,41 @@ SCENARIOS: tuple[str, ...] = (
     "node_down",
     "node_flap",
     "node_partition",
+    "bit-rot",
+    "slow-leak-corruption",
+    "heal-storm",
 )
+
+#: One-line descriptions, in SCENARIOS order (``chaos --list-scenarios``).
+SCENARIO_DESCRIPTIONS: dict[str, str] = {
+    "gpu-failure": "one GPU dies mid-run; reads reroute around it",
+    "link-degradation": "an interconnect link loses most of its bandwidth",
+    "link-partition": "an interconnect link goes fully dark",
+    "host-stall": "host memory bandwidth collapses (swap/NUMA storm)",
+    "corrupt-slot": "location-table slots corrupted to out-of-range targets",
+    "solver-timeout": "MILP times out; the fallback chain must answer",
+    "refresh-interrupt": "a policy refresh dies mid-flight and rolls back",
+    "node_down": "a whole cache-server node dies and later heals",
+    "node_flap": "a node dies, heals, and dies again inside the window",
+    "node_partition": "a node is reachable but partitioned from traffic",
+    "bit-rot": "cached bytes silently flip in a burst; the scrubber and "
+               "read guard must keep every served value exact",
+    "slow-leak-corruption": "low-rate bit-rot drips over the whole run; "
+                            "anti-entropy scrubbing must converge",
+    "heal-storm": "staggered node deaths with overlapping staged "
+                  "recoveries under the lifecycle watchdog",
+}
 
 #: Node-level scenarios: these run against a 3-node replicated cluster
 #: tier (R=2) through the fan-out front-end instead of a single box.
 NODE_SCENARIOS: frozenset[str] = frozenset(
     {"node_down", "node_flap", "node_partition"}
+)
+
+#: Self-healing drills: single-box scrub loops plus the cluster-tier
+#: heal-storm (scrubber + staged recovery + watchdog from repro.repair).
+REPAIR_SCENARIOS: frozenset[str] = frozenset(
+    {"bit-rot", "slow-leak-corruption", "heal-storm"}
 )
 
 #: Default ceiling on post-fault latency relative to baseline; beyond this
@@ -162,6 +191,28 @@ def build_fault_plan(scenario: str, cfg: ChaosConfig) -> FaultPlan:
         spec = FaultSpec(FaultKind.HOST_STALL, onset, duration, severity=0.9)
     elif scenario == "corrupt-slot":
         spec = FaultSpec(FaultKind.CORRUPT_SLOT, onset, duration, severity=0.05, gpu=1)
+    elif scenario == "bit-rot":
+        # A burst of flips inside the fault window.
+        spec = FaultSpec(
+            FaultKind.BIT_ROT, onset, duration, rate=6.0, seed=cfg.seed
+        )
+    elif scenario == "slow-leak-corruption":
+        # A low drip across the whole run — the shape scrubbing exists
+        # for, since no single read pattern sweeps every rotten slot.
+        spec = FaultSpec(
+            FaultKind.BIT_ROT, 0.0, float(cfg.num_batches),
+            rate=1.5, seed=cfg.seed,
+        )
+    elif scenario == "heal-storm":
+        # Staggered single-node deaths whose staged recoveries overlap:
+        # node 1 dies twice around node 2's stint.
+        T = float(cfg.num_batches)
+        specs = (
+            FaultSpec(FaultKind.NODE_DOWN, 0.25 * T, 0.15 * T, node=1),
+            FaultSpec(FaultKind.NODE_DOWN, 0.45 * T, 0.15 * T, node=2),
+            FaultSpec(FaultKind.NODE_DOWN, 0.65 * T, 0.15 * T, node=1),
+        )
+        return FaultPlan(faults=specs, seed=cfg.seed, name=scenario)
     else:
         raise ValueError(f"unknown batch-loop scenario {scenario!r}")
     return FaultPlan(faults=(spec,), seed=cfg.seed, name=scenario)
@@ -353,6 +404,246 @@ def _run_node_loop(scenario: str, cfg: ChaosConfig) -> ScenarioResult:
     )
 
 
+def _run_scrub_loop(scenario: str, cfg: ChaosConfig) -> ScenarioResult:
+    """Silent-corruption drill: bit-rot flips cached bytes while the
+    anti-entropy scrubber and the read-path guard race to catch it.
+
+    ``bit-rot`` is a burst (high event rate over the fault window);
+    ``slow-leak-corruption`` drips a low rate across the *whole* run —
+    the shape scrubbing exists for, since no single read pattern will
+    sweep every rotten slot.  Pass criteria: every *served* value stays
+    bit-exact (the guard patches rot in flight), the drill detected the
+    corruption at all, and a final full scrub + integrity scan comes
+    back clean.
+    """
+    from repro.repair import CacheScrubber
+
+    plan = build_fault_plan(scenario, cfg)
+    (platform, table, pmf, _hotness, _cap, cache, extractor, injector, rng) = (
+        _build_stack(cfg, plan)
+    )
+    scrubber = CacheScrubber(cache)
+    times: list[float] = []
+    values_exact = True
+    completed = 0
+    patched = 0
+    for t in range(cfg.num_batches):
+        now = float(t)
+        injector.advance(now)
+        keys = [
+            rng.choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
+            for _ in range(platform.num_gpus)
+        ]
+        values, report = extractor.extract(keys, now=now)
+        for gpu, (got, want) in enumerate(zip(values, keys)):
+            got, n = scrubber.guard_read(gpu, want, got)
+            patched += n
+            if not np.array_equal(got, table[want]):
+                values_exact = False
+        scrubber.tick(now)
+        times.append(report.time)
+        completed += 1
+    scrubber.scrub_all()
+    violations = cache.verify_integrity()
+    detected = scrubber.mismatches_total + scrubber.read_repairs_total
+
+    clear = plan.last_clear_time()
+    onset = plan.faults[0].onset
+    baseline = [x for t, x in enumerate(times) if t < onset]
+    during = [x for t, x in enumerate(times) if onset <= t < clear]
+    after = [x for t, x in enumerate(times) if t >= clear]
+    return ScenarioResult(
+        scenario=scenario,
+        ok=(
+            values_exact
+            and not violations
+            and detected > 0
+            and completed == cfg.num_batches
+        ),
+        completed_batches=completed,
+        values_exact=values_exact,
+        baseline_time=float(np.mean(baseline)) if baseline else 0.0,
+        degraded_time=float(np.mean(during)) if during else 0.0,
+        recovered_time=float(np.mean(after)) if after else 0.0,
+        rerouted_keys=patched,
+        notes=(
+            f"{completed}/{cfg.num_batches} batches, "
+            f"{scrubber.mismatches_total} scrub mismatch(es), "
+            f"{scrubber.read_repairs_total} read-guard patch(es), "
+            f"{scrubber.repaired_total} slot(s) repaired, "
+            f"{len(violations)} integrity violation(s)"
+        ),
+        extra={
+            "scrub_mismatches": scrubber.mismatches_total,
+            "read_repairs": scrubber.read_repairs_total,
+            "repaired": scrubber.repaired_total,
+            "scanned": scrubber.scanned_total,
+        },
+    )
+
+
+def _run_heal_storm(cfg: ChaosConfig) -> ScenarioResult:
+    """Staggered node deaths whose staged recoveries overlap.
+
+    Node 1 dies, heals and begins a rate-limited refill; node 2 dies
+    *during* that refill; node 1 dies a second time before the dust
+    settles.  The watchdog must track every node through
+    healthy → ejected → recovering → healthy, the front-end must keep
+    answering bit-exactly throughout, and when the storm passes every
+    cache must hold its full placement again (integrity-verified).
+    """
+    from repro.bench.contexts import platform_by_name
+    from repro.cluster.frontend import ClusterConfig, ClusterFrontend
+    from repro.cluster.node import CacheNode
+    from repro.core.policy import Placement
+    from repro.repair import CacheScrubber, NodeWatchdog, StagedRecovery
+    from repro.faults.spec import HEALTHY
+
+    plan = build_fault_plan("heal-storm", cfg)
+    platform = platform_by_name(cfg.platform)
+    rng = make_rng(cfg.seed)
+    dim = max(1, cfg.entry_bytes // 4)
+    table = rng.standard_normal((cfg.num_entries, dim)).astype(np.float32)
+    pmf = zipf_pmf(cfg.num_entries, cfg.alpha)
+    hotness = pmf * cfg.batch_keys * platform.num_gpus
+    capacity = max(1, int(cfg.cache_ratio * cfg.num_entries))
+
+    cluster_cfg = ClusterConfig(nodes=3, replication=2, seed=cfg.seed)
+    placement = ClusterFrontend.build_placement(cluster_cfg, hotness)
+    owners = placement.owners_for(np.arange(cfg.num_entries, dtype=np.int64))
+    nodes = [
+        CacheNode(
+            node_id=node_id,
+            platform=platform,
+            table=table,
+            hotness=hotness,
+            member_mask=(owners == node_id).any(axis=1),
+            capacity_entries=capacity,
+        )
+        for node_id in range(cluster_cfg.nodes)
+    ]
+    s0 = nodes[0].service_seconds(
+        make_rng(cfg.seed + 3).choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
+    )
+    nodes[0]._next_gpu = 0
+    frontend = ClusterFrontend(
+        nodes, cluster_cfg, baseline_service=s0,
+        hotness=hotness, placement=placement,
+    )
+    watchdog = NodeWatchdog(range(cluster_cfg.nodes))
+    frontend.watchdog = watchdog
+    scrubbers = {}
+    for node in nodes:
+        scrubbers[node.node_id] = CacheScrubber(node.cache, node=node.node_id)
+        node.read_guard = scrubbers[node.node_id]
+
+    times: list[float] = []
+    values_exact = True
+    all_served = True
+    completed = 0
+    rerouted = 0
+    restage_blocks = 0
+    prev_down: frozenset[int] = frozenset()
+    lost: dict[int, Placement] = {}
+    recoveries: dict[int, StagedRecovery] = {}
+    for t in range(cfg.num_batches):
+        now = float(t)
+        health = plan.health_at(now)
+        for node_id in sorted(health.down_nodes - prev_down):
+            dropped = frontend.nodes[node_id].drop_gpu_caches()
+            if node_id in recoveries:
+                rem = recoveries.pop(node_id).remaining_placement()
+                dropped = Placement(
+                    num_entries=dropped.num_entries,
+                    per_gpu=tuple(
+                        np.union1d(a, b)
+                        for a, b in zip(dropped.per_gpu, rem.per_gpu)
+                    ),
+                )
+            lost[node_id] = dropped
+        for node_id in sorted(prev_down - health.down_nodes):
+            rec = StagedRecovery(
+                frontend.nodes[node_id], lost.pop(node_id), hotness,
+                chunk_entries=64,
+            )
+            recoveries[node_id] = rec
+            watchdog.attach_recovery(node_id, rec)
+        prev_down = health.down_nodes
+        # Each batch's idle link time funds a slice of every refill —
+        # small enough that recoveries span batches and overlap.
+        for node_id, rec in list(recoveries.items()):
+            restage_blocks += rec.grant(0.5 * s0).blocks
+            if rec.done:
+                del recoveries[node_id]
+        for scrubber in scrubbers.values():
+            scrubber.tick(now)
+        watchdog.observe(
+            now, health, frontend.breakers.states(),
+            {n: s.quarantine_depth for n, s in scrubbers.items()},
+        )
+        keys = rng.choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
+        resp = frontend.serve(keys, now, health=health, execute=True)
+        if resp.partial:
+            all_served = False
+        served = np.ones(len(keys), dtype=bool)
+        served[resp.failed_positions] = False
+        if not np.array_equal(resp.values[served], table[keys[served]]):
+            values_exact = False
+        rerouted += resp.replica_keys + resp.host_fallback_keys
+        times.append(resp.elapsed)
+        completed += 1
+
+    # Storm over: finish every refill, scrub everything, final verify.
+    end = float(cfg.num_batches)
+    for node_id in sorted(lost):
+        rec = StagedRecovery(frontend.nodes[node_id], lost.pop(node_id), hotness)
+        restage_blocks += rec.finish().blocks
+    for node_id, rec in list(recoveries.items()):
+        restage_blocks += rec.finish().blocks
+        del recoveries[node_id]
+    for scrubber in scrubbers.values():
+        scrubber.scrub_all()
+    watchdog.observe(
+        end, HEALTHY, frontend.breakers.states(),
+        {n: s.quarantine_depth for n, s in scrubbers.items()},
+    )
+    violations = frontend.verify_integrity()
+
+    clear = plan.last_clear_time()
+    first_onset = plan.faults[0].onset
+    baseline = [x for t, x in enumerate(times) if t < first_onset]
+    during = [x for t, x in enumerate(times) if first_onset <= t < clear]
+    after = [x for t, x in enumerate(times) if t >= clear]
+    transitions = len(watchdog.transitions)
+    return ScenarioResult(
+        scenario="heal-storm",
+        ok=(
+            values_exact
+            and all_served
+            and not violations
+            and transitions >= 6  # 3 deaths + 3 returns, at minimum
+            and completed == cfg.num_batches
+        ),
+        completed_batches=completed,
+        values_exact=values_exact,
+        baseline_time=float(np.mean(baseline)) if baseline else 0.0,
+        degraded_time=float(np.mean(during)) if during else 0.0,
+        recovered_time=float(np.mean(after)) if after else 0.0,
+        rerouted_keys=rerouted,
+        notes=(
+            f"{completed}/{cfg.num_batches} batches, "
+            f"{transitions} watchdog transition(s), "
+            f"{restage_blocks} block(s) re-staged, "
+            f"{rerouted} keys served off-primary, "
+            f"{len(violations)} integrity violation(s)"
+        ),
+        extra={
+            "watchdog_transitions": transitions,
+            "restage_blocks": restage_blocks,
+        },
+    )
+
+
 def _run_solver_timeout(cfg: ChaosConfig) -> ScenarioResult:
     """MILP times out → the fallback chain must answer within its deadline."""
     from repro.bench.contexts import platform_by_name
@@ -443,6 +734,10 @@ def run_scenario(scenario: str, cfg: ChaosConfig | None = None) -> ScenarioResul
         result = _run_solver_timeout(cfg)
     elif scenario == "refresh-interrupt":
         result = _run_refresh_interrupt(cfg)
+    elif scenario == "heal-storm":
+        result = _run_heal_storm(cfg)
+    elif scenario in ("bit-rot", "slow-leak-corruption"):
+        result = _run_scrub_loop(scenario, cfg)
     elif scenario in NODE_SCENARIOS:
         result = _run_node_loop(scenario, cfg)
     elif scenario in SCENARIOS:

@@ -42,6 +42,11 @@ class FaultInjector:
         self._cache = cache
         self._applied: set[int] = set()
         self._now = 0.0
+        # Recurring bit-rot faults keep per-fault event state: the seeded
+        # rng and the next event time.  Events are consumed in
+        # chronological order, so the realized schedule is independent of
+        # how often advance() is called.
+        self._rot_state: dict[int, list] = {}
         # advance() mutates _now/_applied and (for one-shots) the cache's
         # source map; per-GPU serving workers may all drive time forward,
         # so realize faults under a lock.
@@ -73,6 +78,22 @@ class FaultInjector:
         with self._lock:
             self._now = max(self._now, now)
             for idx, fault in enumerate(self._plan.faults):
+                if fault.kind is FaultKind.BIT_ROT:
+                    if now < fault.onset:
+                        continue
+                    flips = self._advance_bit_rot(idx, fault, now)
+                    if idx not in self._applied:
+                        self._applied.add(idx)
+                        reg.counter(
+                            "faults.injected", kind=fault.kind.value
+                        ).inc()
+                        logger.warning(
+                            "fault active at t=%.2f: bit-rot at %.3g "
+                            "events/s", now, fault.rate,
+                        )
+                    if flips:
+                        reg.counter("faults.bit_rot.flips").inc(flips)
+                    continue
                 if idx in self._applied or now < fault.onset:
                     continue
                 if fault.kind is FaultKind.CORRUPT_SLOT:
@@ -100,6 +121,66 @@ class FaultInjector:
         if reg.enabled:
             reg.gauge("faults.active").set(len(self._plan.active_at(now)))
         return view
+
+    def _advance_bit_rot(self, idx: int, fault: FaultSpec, now: float) -> int:
+        """Apply every bit-rot event due by ``now``; returns flips applied.
+
+        The event schedule (exponential inter-arrivals at ``fault.rate``
+        from onset to clear) and each event's victim are drawn from one
+        seeded rng in event order, so the realized corruption is a pure
+        function of the plan — not of the cadence ``advance`` is called
+        at.  Stored slot checksums are deliberately *not* updated: the
+        rot is silent, and only the scrubber's cross-check against the
+        host ground truth (or a read-path guard) can surface it.
+        """
+        if self._cache is None:
+            return 0
+        state = self._rot_state.get(idx)
+        if state is None:
+            rng = make_rng(
+                self._plan.seed * 1_000_003 + fault.seed * 101 + 7
+            )
+            state = [rng, fault.onset + float(rng.exponential(1.0 / fault.rate))]
+            self._rot_state[idx] = state
+        rng = state[0]
+        end = min(now, fault.clears_at)
+        flips = 0
+        writing = getattr(self._cache, "writing", None)
+        guard = writing() if writing is not None else None
+        if guard is not None:
+            guard.__enter__()
+        try:
+            while state[1] <= end:
+                flips += self._flip_one_byte(rng, fault)
+                state[1] += float(rng.exponential(1.0 / fault.rate))
+        finally:
+            if guard is not None:
+                guard.__exit__(None, None, None)
+        if flips:
+            logger.warning(
+                "bit-rot: %d byte flip(s) realized by t=%.2f", flips, now
+            )
+        return flips
+
+    def _flip_one_byte(self, rng, fault: FaultSpec) -> int:
+        """Flip one seeded bit in one cached slot's raw bytes."""
+        store_of = getattr(self._cache, "store", None)
+        source_map = getattr(self._cache, "source_map", None)
+        if store_of is None or source_map is None:
+            return 0
+        num_gpus = source_map.shape[0]
+        gpu = fault.gpu if fault.gpu is not None else int(rng.integers(num_gpus))
+        store = store_of(gpu)
+        cached = np.flatnonzero(store.offset_of >= 0)
+        if len(cached) == 0:
+            return 0
+        entry = int(rng.choice(cached))
+        slot = int(store.offset_of[entry])
+        row = store.data[slot].view(np.uint8)
+        byte = int(rng.integers(row.size))
+        bit = int(rng.integers(8))
+        row[byte] ^= np.uint8(1 << bit)
+        return 1
 
     def _corrupt_source_map(self, fault: FaultSpec) -> int:
         """Poison seeded random location-table entries pointing at a GPU.

@@ -36,6 +36,11 @@ class FaultKind(str, Enum):
     REFRESH_INTERRUPT = "refresh-interrupt"
     #: location-table slots are corrupted to out-of-range ``<gpu, offset>``.
     CORRUPT_SLOT = "corrupt-slot"
+    #: silent data corruption: cached value bytes flip at ``rate``
+    #: events/second over the fault window (stored checksums are *not*
+    #: updated — only the anti-entropy scrubber or a read-path guard can
+    #: notice).  Recurring, unlike the one-shot CORRUPT_SLOT.
+    BIT_ROT = "bit-rot"
     #: a whole cache-server node dies: RPCs to it time out and its GPU
     #: caches are lost until it heals and re-stages them (cluster tier).
     NODE_DOWN = "node-down"
@@ -60,8 +65,13 @@ class FaultSpec:
             :attr:`FaultKind.CORRUPT_SLOT`.  Ignored for binary faults.
         gpu: target GPU for GPU-scoped faults.
         link: ``(dst, src)`` pair for link faults (applied symmetrically).
-        node: target cache-server node for node-scoped (cluster) faults.
+        node: target cache-server node for node-scoped (cluster) faults;
+            for :attr:`FaultKind.BIT_ROT` it is optional (``None`` means
+            every node's cache rots).
         seed: per-fault randomness seed (e.g. which slots to corrupt).
+        rate: corruption events per second for the recurring
+            :attr:`FaultKind.BIT_ROT` fault (required > 0 there, ignored
+            elsewhere).
     """
 
     kind: FaultKind
@@ -72,6 +82,7 @@ class FaultSpec:
     link: tuple[int, int] | None = None
     node: int | None = None
     seed: int = 0
+    rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.onset < 0:
@@ -95,6 +106,14 @@ class FaultSpec:
         ):
             if self.node is None or self.node < 0:
                 raise ValueError(f"{self.kind.value} needs a target node")
+        if self.kind is FaultKind.BIT_ROT:
+            if self.rate <= 0:
+                raise ValueError("bit-rot needs a positive event rate")
+            if not math.isfinite(self.duration):
+                raise ValueError(
+                    "bit-rot needs a finite duration (its event schedule "
+                    "is drawn over the fault window)"
+                )
 
     @property
     def clears_at(self) -> float:
@@ -278,7 +297,9 @@ class FaultPlan:
             elif f.kind is FaultKind.NODE_PARTITION:
                 partitioned_nodes.add(int(f.node))  # type: ignore[arg-type]
             # CORRUPT_SLOT is a one-shot state mutation realized by the
-            # injector at onset, not a standing health condition.
+            # injector at onset, not a standing health condition; BIT_ROT
+            # is likewise realized by the injector as a recurring event
+            # schedule over its window, invisible to the health view.
         # Host bandwidth can stall but never partitions: clamp above zero
         # so the universal fallback stays reachable.
         if host_factor < 1.0:

@@ -106,11 +106,19 @@ class PolicyManager:
         guardrail: SwapGuardrail | None = None,
         solver_config: SolverConfig | None = None,
         fallback: FallbackConfig | None = None,
+        verify_sample: float | None = 0.25,
     ) -> None:
+        if verify_sample is not None and not 0 < verify_sample <= 1:
+            raise ValueError("verify sample must be in (0, 1]")
         self._cache = cache
         self._entry_bytes = entry_bytes or cache.entry_bytes
         self._refresher = refresher or Refresher(cache)
         self.guardrail = guardrail or SwapGuardrail()
+        #: byte-compare fraction for the swap-time integrity check.  The
+        #: swap sits inside the serving drain window, so it uses the
+        #: sampled mode; rollback (and every final gate) keeps the full
+        #: scan — ``None`` makes the swap full-scan too.
+        self.verify_sample = verify_sample
         self._solver_config = solver_config
         self._fallback = fallback
         self._generations: list[PolicyGeneration] = [
@@ -226,7 +234,12 @@ class PolicyManager:
             return report
         report.entries_moved = refresh.entries_moved
 
-        violations = self._cache.verify_integrity()
+        # Sampled check inside the drain window (structural invariants
+        # still run in full; only the byte-compare is sampled) — the
+        # anti-entropy scrubber covers the slots this pass skips.
+        violations = self._cache.verify_integrity(
+            sample=self.verify_sample, seed=self.version
+        )
         if violations:
             report.integrity_violations = len(violations)
             report.rolled_back = True

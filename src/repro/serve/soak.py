@@ -90,11 +90,16 @@ SOAK_SCENARIOS: dict[str, tuple[str, str]] = {
         "server-a",
         "a node keeps serving at 10% speed (GC pause / noisy neighbour)",
     ),
+    "node-kill-bit-rot": (
+        "server-a",
+        "a node dies and heals while every node's caches silently bit-rot",
+    ),
 }
 
 #: Scenarios that only make sense for a multi-node soak (``--nodes > 1``).
 CLUSTER_SCENARIOS: frozenset[str] = frozenset(
-    {"node-kill", "node-flap", "node-partition", "node-slow"}
+    {"node-kill", "node-flap", "node-partition", "node-slow",
+     "node-kill-bit-rot"}
 )
 
 
@@ -153,6 +158,19 @@ def build_soak_plan(
             ),
             FaultSpec(
                 FaultKind.NODE_DOWN, onset=0.55 * d, duration=0.12 * d, node=1
+            ),
+        )
+    elif scenario == "node-kill-bit-rot":
+        faults = (
+            FaultSpec(
+                FaultKind.NODE_DOWN, onset=0.35 * d, duration=0.25 * d, node=1
+            ),
+            # Slow silent corruption across every node's caches for most
+            # of the run (~54 byte flips at this rate) — the scrubber and
+            # read guard, not the health view, have to catch it.
+            FaultSpec(
+                FaultKind.BIT_ROT, onset=0.05 * d, duration=0.90 * d,
+                rate=60.0 / d, seed=seed,
             ),
         )
     elif scenario == "node-partition":
@@ -234,6 +252,15 @@ class SoakConfig:
     #: node-level placement mode: ``"ring"`` (consistent hashing) or
     #: ``"solver"`` (hotness-balanced stage above the per-GPU MILP).
     placement: str = "ring"
+    #: self-healing layer (cluster soak only): anti-entropy scrubbers +
+    #: read guards on every node, the node-lifecycle watchdog, and cache
+    #: drop/re-stage on node death.  False keeps the soak byte-identical
+    #: to the pre-repair harness.
+    repair: bool = False
+    #: how a healed node's caches refill when ``repair`` is on:
+    #: ``"staged"`` (hotness-ordered blocks under an idle-time budget) or
+    #: ``"burst"`` (all at once — the baseline the staged plan beats).
+    restage: str = "staged"
     seed: int = 0
 
     @classmethod
@@ -298,6 +325,16 @@ class SoakConfig:
                 f"scenario {self.scenario!r} kills whole nodes; it needs "
                 "--nodes > 1"
             )
+        if self.restage not in ("staged", "burst"):
+            raise ValueError(
+                f"restage mode must be 'staged' or 'burst', "
+                f"got {self.restage!r}"
+            )
+        if self.repair and self.nodes == 1:
+            raise ValueError(
+                "the repair layer (scrubbing + staged recovery) rides the "
+                "cluster soak; use --nodes > 1"
+            )
         if self.nodes > 1:
             if self.scenario not in CLUSTER_SCENARIOS | {"steady"}:
                 raise ValueError(
@@ -305,8 +342,6 @@ class SoakConfig:
                     f"{sorted(CLUSTER_SCENARIOS | {'steady'})}, "
                     f"got {self.scenario!r}"
                 )
-            if self.closed_loop:
-                raise ValueError("the cluster soak is open-loop only")
             if self.batching is not BatchingMode.OFF:
                 raise ValueError(
                     "cross-request coalescing applies to the single-box "
@@ -385,17 +420,46 @@ class SoakReport:
     steady_goodput_rps: float = 0.0
     rebalance_bytes: int = 0
     node_requests: dict = field(default_factory=dict)
+    #: self-healing layer (all defaults when ``repair`` is off).
+    repair_enabled: bool = False
+    restage_mode: str = ""
+    #: OK-rate during post-heal recovery windows over the steady OK-rate;
+    #: 1.0 when nothing recovered.  Repair-enabled runs gate on ≥ 0.85.
+    recovery_goodput_ratio: float = 1.0
+    recovery_requests: int = 0
+    #: p99 of OK latencies inside recovery windows (0.0 when none) — the
+    #: burst baseline spikes here even when its OK-rate survives hedging.
+    recovery_p99_latency: float = 0.0
+    restage_bytes: int = 0
+    restage_blocks: int = 0
+    scrub_scanned_slots: int = 0
+    scrub_mismatches: int = 0
+    scrub_repaired: int = 0
+    scrub_read_repairs: int = 0
+    #: corrupt value *rows* that reached a caller (must stay 0 with the
+    #: read guard on — the zero-corrupt-served guarantee).
+    corrupt_values_served: int = 0
+    watchdog_transitions: int = 0
 
     @property
     def ok(self) -> bool:
         """The CI gate: progress was made, nothing corrupted, queues
-        bounded — and, for cluster runs, goodput during the failover
-        window stayed above the floor (70% of steady-state)."""
+        bounded — for cluster runs, goodput during the failover window
+        stayed above the floor (70% of steady-state) — and, with the
+        repair layer on, no corrupt value was ever served and the
+        recovery window kept ≥ 85% of steady goodput."""
         return (
             self.served_ok > 0
             and self.integrity_failures == 0
             and self.max_queue_depth <= self.queue_capacity
             and (self.nodes <= 1 or self.failover_goodput_ratio >= 0.70)
+            and (
+                not self.repair_enabled
+                or (
+                    self.corrupt_values_served == 0
+                    and self.recovery_goodput_ratio >= 0.85
+                )
+            )
         )
 
     def to_dict(self) -> dict:
@@ -871,5 +935,23 @@ def render_soak_report(report: SoakReport) -> str:
             f"{report.rpc_timeouts} timeouts, "
             f"{report.partial_responses} partial responses, "
             f"{report.host_fallback_keys} host-fallback keys",
+        )
+    if report.repair_enabled:
+        lines.insert(
+            1,
+            f"  repair        {report.restage_mode} re-stage: "
+            f"{report.restage_blocks} blocks / {report.restage_bytes} B, "
+            f"recovery goodput {report.recovery_goodput_ratio:.0%} of "
+            f"steady over {report.recovery_requests} requests "
+            f"(window p99 {report.recovery_p99_latency:.3e}s)",
+        )
+        lines.insert(
+            2,
+            f"  scrubbing     {report.scrub_scanned_slots} slots scanned, "
+            f"{report.scrub_mismatches} mismatches, "
+            f"{report.scrub_repaired} repaired, "
+            f"{report.scrub_read_repairs} read-guard patches, "
+            f"{report.corrupt_values_served} corrupt rows served, "
+            f"{report.watchdog_transitions} watchdog transitions",
         )
     return "\n".join(lines)

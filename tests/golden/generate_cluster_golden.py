@@ -1,0 +1,44 @@
+"""Regenerate ``soak_cluster.json``: the PR-7 cluster soak anchor.
+
+The self-healing layer (scrubbing + staged recovery + watchdog) must
+leave the repair-disabled cluster path untouched: a soak with
+``--nodes 3 --replication 2`` and every repair knob at its default (off)
+has to keep producing byte-for-byte the report the pre-repair code
+produced.  This script pins two CI-sized runs — the fault-free
+``steady`` scenario and the ``node-kill`` chaos scenario — at seed 0.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/golden/generate_cluster_golden.py
+
+The golden test compares only the keys present in the fixture, so later
+PRs may *add* report fields but never change the pinned ones.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+SCENARIOS = ("steady", "node-kill")
+
+
+def build() -> dict:
+    from repro.obs import MetricsRegistry, use_registry
+    from repro.serve.soak import SoakConfig, run_soak
+
+    scenarios = {}
+    for scenario in SCENARIOS:
+        cfg = SoakConfig.quick(
+            seed=0, scenario=scenario, nodes=3, replication=2
+        )
+        with use_registry(MetricsRegistry(f"golden-cluster-{scenario}")):
+            report = run_soak(cfg)
+        scenarios[scenario] = report.to_dict()
+    return {"scenarios": scenarios}
+
+
+if __name__ == "__main__":
+    out = pathlib.Path(__file__).parent / "soak_cluster.json"
+    out.write_text(json.dumps(build(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")

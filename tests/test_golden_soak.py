@@ -1,11 +1,16 @@
-"""Golden regression: the cluster layer leaves the single box untouched.
+"""Golden regression: new layers leave the layers beneath untouched.
 
 ``tests/golden/soak_single_box.json`` pins two CI-sized single-box soak
 runs (``steady`` and ``dgx_a100_partial_failure``) generated *before* the
 cluster tier existed.  A ``--nodes 1 --replication 1`` soak — the
-defaults — must keep producing byte-for-byte the same report: only the
-keys present in the fixture are compared, so later layers may add report
-fields but never change a pinned one.
+defaults — must keep producing byte-for-byte the same report.
+
+``tests/golden/soak_cluster.json`` pins two CI-sized 3-node cluster soaks
+(``steady`` and ``node-kill``) generated *before* the repair layer
+existed.  A repair-off cluster soak must keep reproducing them exactly.
+
+In both fixtures only the keys present in the pin are compared, so later
+layers may add report fields but never change a pinned one.
 """
 
 from __future__ import annotations
@@ -21,9 +26,9 @@ GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 pytestmark = [pytest.mark.serve, pytest.mark.cluster]
 
 
-def _load_generator():
+def _load_generator(name: str = "generate_soak_golden"):
     spec = importlib.util.spec_from_file_location(
-        "generate_soak_golden", GOLDEN_DIR / "generate_soak_golden.py"
+        name, GOLDEN_DIR / f"{name}.py"
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
@@ -74,3 +79,53 @@ def test_cluster_fields_are_additive_and_inert_single_box(replayed, golden):
         assert doc["failover_goodput_ratio"] == 1.0
         assert doc["rebalance_bytes"] == 0
         assert doc["node_requests"] == {}
+
+
+@pytest.fixture(scope="module")
+def cluster_golden() -> dict:
+    return json.loads((GOLDEN_DIR / "soak_cluster.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def cluster_replayed() -> dict:
+    module = _load_generator("generate_cluster_golden")
+    return json.loads(json.dumps(module.build(), sort_keys=True))
+
+
+@pytest.mark.parametrize("scenario", ["steady", "node-kill"])
+def test_repair_off_cluster_soak_is_byte_identical(
+    cluster_golden, cluster_replayed, scenario
+):
+    """The repair layer, switched off, reproduces the PR-7 cluster pin."""
+    pinned = cluster_golden["scenarios"][scenario]
+    got = cluster_replayed["scenarios"][scenario]
+    diverged = {
+        key: {"pinned": pinned[key], "got": got.get(key, "<missing>")}
+        for key in pinned
+        if got.get(key, "<missing>") != pinned[key]
+    }
+    assert not diverged, (
+        f"repair-off cluster {scenario} soak diverged from the pre-repair "
+        f"pin: {diverged}"
+    )
+
+
+@pytest.mark.repair
+def test_repair_fields_are_additive_and_inert_repair_off(
+    cluster_replayed, cluster_golden
+):
+    """Repair report fields exist but sit at their repair-off identities."""
+    for scenario, doc in cluster_replayed["scenarios"].items():
+        assert set(doc) >= set(cluster_golden["scenarios"][scenario])
+        assert doc["repair_enabled"] is False
+        assert doc["restage_mode"] == ""
+        assert doc["recovery_goodput_ratio"] == 1.0
+        assert doc["recovery_requests"] == 0
+        assert doc["recovery_p99_latency"] == 0.0
+        assert doc["restage_bytes"] == 0 and doc["restage_blocks"] == 0
+        assert doc["scrub_scanned_slots"] == 0
+        assert doc["scrub_mismatches"] == 0
+        assert doc["scrub_repaired"] == 0
+        assert doc["scrub_read_repairs"] == 0
+        assert doc["corrupt_values_served"] == 0
+        assert doc["watchdog_transitions"] == 0
