@@ -34,6 +34,9 @@ ARTIFACT = pathlib.Path(__file__).parents[1] / "BENCH_hotpath.json"
 TABLE_ENTRIES = 100_000
 BATCH_SIZES = (256, 1024, 4096, 16384)
 MIN_SPEEDUP_AT_4096 = 10.0
+# The generalized tier code on a one-tier chain may cost at most this
+# much resolve+price throughput versus the pre-tier baseline path.
+MAX_TIER_REGRESSION = 0.10
 
 
 def _best_of(fn, repeats: int = 5) -> float:
@@ -121,16 +124,87 @@ def _bench_pipeline(rng) -> list[dict]:
     return rows
 
 
+def _bench_tier_pricing(rng) -> list[dict]:
+    """Resolve + price one batch 4096 across 1/2/3-deep backing chains.
+
+    The ``baseline`` row is the pre-tier platform (no explicit chain) —
+    byte-identical to the seed's hot path, as the golden fixtures pin.
+    The 1-tier row runs the *generalized* code on an explicit one-tier
+    chain and must stay within ``MAX_TIER_REGRESSION`` of that baseline:
+    the refactor may not tax single-tier users.  Deeper chains pay only
+    O(#tiers) bookkeeping, never O(keys).
+    """
+    from repro.core.pipeline import plan_extraction, price_demand
+    from repro.hardware.platform import (
+        cxl_tier,
+        dram_tier,
+        ssd_tier,
+        with_tiers,
+    )
+
+    base = server_c()
+    dim = 16
+    entry_bytes = dim * 4
+    table = rng.standard_normal((TABLE_ENTRIES, dim)).astype(np.float32)
+    hotness = zipf_pmf(TABLE_ENTRIES, 1.2) * 1000.0
+    placement = partition_policy(hotness, TABLE_ENTRIES // 10, base.num_gpus)
+    total = TABLE_ENTRIES * entry_bytes
+    chains = [
+        ("baseline", None),
+        ("dram", (dram_tier(total, base.pcie_bandwidth),)),
+        ("dram+ssd", (dram_tier(total // 2, base.pcie_bandwidth), ssd_tier(total))),
+        (
+            "dram+cxl+ssd",
+            (
+                dram_tier(total // 4, base.pcie_bandwidth),
+                cxl_tier(total // 2),
+                ssd_tier(total),
+            ),
+        ),
+    ]
+    batch = 4096
+    keys = rng.integers(0, TABLE_ENTRIES, size=batch)
+    rows = []
+    for label, tiers in chains:
+        platform = base if tiers is None else with_tiers(base, tiers)
+        cache = MultiGpuEmbeddingCache(
+            platform,
+            table,
+            placement,
+            tier_hotness=hotness if platform.num_tiers > 1 else None,
+        )
+
+        def resolve_and_price():
+            plan = plan_extraction(cache, 0, keys)
+            return price_demand(platform, plan.demand(cache.entry_bytes))
+
+        report = resolve_and_price()
+        elapsed = _best_of(resolve_and_price)
+        rows.append(
+            {
+                "chain": label,
+                "num_tiers": platform.num_tiers,
+                "batch_size": batch,
+                "resolve_price_keys_per_sec": batch / elapsed,
+                "est_batch_seconds": float(report.time),
+            }
+        )
+    return rows
+
+
 @pytest.mark.perf
 def bench_micro_hotpath():
     rng = np.random.default_rng(0)
     location_rows = _bench_location_table(rng)
     pipeline_rows = _bench_pipeline(rng)
+    tier_rows = _bench_tier_pricing(rng)
     doc = {
         "table_entries": TABLE_ENTRIES,
         "min_speedup_at_4096": MIN_SPEEDUP_AT_4096,
+        "max_tier_regression": MAX_TIER_REGRESSION,
         "location_table": location_rows,
         "pipeline": pipeline_rows,
+        "tier_pricing": tier_rows,
     }
     ARTIFACT.write_text(json.dumps(doc, indent=1) + "\n")
     for row in location_rows:
@@ -148,3 +222,26 @@ def bench_micro_hotpath():
             )
     for row in pipeline_rows:
         assert row["resolve_keys_per_sec"] > row["plan_keys_per_sec"] > 0
+    for row in tier_rows:
+        print(
+            f"chain {row['chain']:>12} ({row['num_tiers']} tier"
+            f"{'s' if row['num_tiers'] > 1 else ''}): resolve+price "
+            f"{row['resolve_price_keys_per_sec'] / 1e6:.2f} M keys/s, "
+            f"est batch {row['est_batch_seconds'] * 1e6:.1f} us"
+        )
+        assert row["resolve_price_keys_per_sec"] > 0
+        assert row["est_batch_seconds"] > 0
+    by_chain = {row["chain"]: row for row in tier_rows}
+    baseline = by_chain["baseline"]["resolve_price_keys_per_sec"]
+    single = by_chain["dram"]["resolve_price_keys_per_sec"]
+    assert single >= (1.0 - MAX_TIER_REGRESSION) * baseline, (
+        f"single-tier resolve+price regressed "
+        f"{(1.0 - single / baseline) * 100:.1f}% vs the pre-tier baseline "
+        f"(budget {MAX_TIER_REGRESSION * 100:.0f}%)"
+    )
+    # Deeper chains shift bytes to slower tiers: the priced batch time
+    # must reflect that, not just stay flat.
+    assert (
+        by_chain["dram+ssd"]["est_batch_seconds"]
+        > by_chain["dram"]["est_batch_seconds"]
+    )

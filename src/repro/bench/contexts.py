@@ -19,7 +19,7 @@ from repro.datasets.registry import capacity_entries_for
 from repro.dlr import models as dlr_models
 from repro.gnn import models as gnn_models
 from repro.gnn.workload import GnnWorkload
-from repro.hardware.platform import PRESETS, Platform
+from repro.hardware.platform import EXTRA_PLATFORMS, PRESETS, Platform
 
 #: Per-GPU seed batch for GNN workloads, scaled from the paper's 8K by the
 #: same ~1000× factor as the datasets (see DESIGN.md).
@@ -34,10 +34,15 @@ DLR_MODELS = ("dlrm", "dcn")
 
 
 def platform_by_name(name: str) -> Platform:
-    """Instantiate one of the paper's testbeds by name (``server-a``...)."""
-    factory = PRESETS.get(name)
+    """Instantiate one of the modelled testbeds by name (``server-a``...).
+
+    Knows both the paper's benchmark :data:`PRESETS` and the extras
+    (``dgx2``, ``server-a-tiered``, ...) used by soaks and what-ifs.
+    """
+    factory = PRESETS.get(name) or EXTRA_PLATFORMS.get(name)
     if factory is None:
-        raise KeyError(f"unknown platform {name!r}; have {sorted(PRESETS)}")
+        known = sorted(set(PRESETS) | set(EXTRA_PLATFORMS))
+        raise KeyError(f"unknown platform {name!r}; have {known}")
     return factory()
 
 

@@ -191,8 +191,13 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         placement=args.placement,
         repair=args.repair,
         restage=args.restage,
+        tiers=args.tiers,
         seed=args.seed,
     )
+    if args.tenants is not None:
+        overrides["tenants"] = args.tenants
+    elif args.scenario == "hps-multitenant":
+        overrides["tenants"] = 3
     if args.requests is not None:
         overrides["requests_per_gpu"] = args.requests
     if args.linger_ms is not None:
@@ -251,6 +256,75 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         path = write_json(registry, args.metrics_out)
         print(f"metrics written to {path}")
     return 0 if report.ok else 1
+
+
+def _cmd_tiers(args: argparse.Namespace) -> int:
+    """What-if across backing-tier budgets: where the table lands on each
+    chain and what that does to goodput and tail latency.
+
+    Runs the same steady quick soak once per spec (same seed, same
+    trace), so the only thing that moves between rows is the chain.
+    """
+    import json
+
+    from repro.obs import MetricsRegistry, use_registry
+    from repro.serve.soak import SoakConfig, run_soak
+
+    rows = []
+    for spec in args.specs:
+        overrides = dict(
+            scenario="steady", tiers=spec, load=args.load, seed=args.seed
+        )
+        if args.tenants is not None:
+            overrides["tenants"] = args.tenants
+        if args.entries is not None:
+            overrides["num_entries"] = args.entries
+        if args.entry_bytes is not None:
+            overrides["entry_bytes"] = args.entry_bytes
+        if args.requests is not None:
+            overrides["requests_per_gpu"] = args.requests
+        try:
+            cfg = SoakConfig.quick(**overrides)
+        except (TypeError, ValueError) as exc:
+            print(f"bad tier spec {spec!r}: {exc}", file=sys.stderr)
+            return 2
+        with use_registry(MetricsRegistry("tiers")):
+            report = run_soak(cfg)
+        rows.append((spec, report))
+
+    base = rows[0][1]
+    print(
+        f"tier budget what-if: steady soak, {base.requests} requests, "
+        f"seed {args.seed} (p99 relative to the first chain)"
+    )
+    print(
+        f"{'chain':36s} {'homed (backing)':30s} "
+        f"{'goodput':>11s} {'p99':>11s} {'vs first':>9s}"
+    )
+    for spec, r in rows:
+        homed = (
+            ", ".join(f"{n} {s:.0%}" for n, s in r.tier_shares.items())
+            or f"{spec.split(':', 1)[0]} 100%"
+        )
+        rel = r.p99_latency / base.p99_latency if base.p99_latency else 1.0
+        flag = "" if r.ok else "  FAIL"
+        print(
+            f"{spec:36s} {homed:30s} {r.goodput_rps:9.1f}/s "
+            f"{r.p99_latency:11.3e} {rel:8.2f}x{flag}"
+        )
+    if args.json_out:
+        doc = {
+            "schema": "repro.tiers/v1",
+            "seed": args.seed,
+            "rows": [
+                {"spec": spec, **r.to_dict()} for spec, r in rows
+            ],
+        }
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"summary written to {args.json_out}")
+    return 0 if all(r.ok for _, r in rows) else 1
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
@@ -397,8 +471,18 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["steady", "dgx_a100_partial_failure",
                             "corrupt-slot-storm", "host-stall",
                             "node-kill", "node-flap", "node-partition",
-                            "node-slow", "node-kill-bit-rot"],
-                   help="node-* scenarios require --nodes > 1")
+                            "node-slow", "node-kill-bit-rot",
+                            "hps-multitenant"],
+                   help="node-* scenarios require --nodes > 1; "
+                        "hps-multitenant runs the parameter-server shape "
+                        "(tiered backing, multi-model trace)")
+    p.add_argument("--tiers", default=None, metavar="SPEC",
+                   help="backing-tier chain override, e.g. "
+                        "'dram:8GB,ssd:1TB' (kind:capacity[:GB/s[:lat_us]] "
+                        "per tier, tier 0 first)")
+    p.add_argument("--tenants", type=int, default=None, metavar="N",
+                   help="models sharing the table, each with its own Zipf "
+                        "head (default: 3 for hps-multitenant, else 1)")
     p.add_argument("--nodes", type=int, default=1,
                    help="cache-server nodes; > 1 soaks the cluster tier")
     p.add_argument("--replication", type=int, default=1,
@@ -460,6 +544,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the run's metrics as a JSON artifact")
     p.set_defaults(func=_cmd_soak)
+
+    p = sub.add_parser(
+        "tiers",
+        help="what-if: placement, goodput, and p99 across backing-tier "
+             "budgets",
+    )
+    p.add_argument("specs", nargs="*",
+                   default=["dram:1MB", "dram:96KB,ssd:1GB",
+                            "dram:32KB,ssd:1GB"],
+                   help="tier chains to compare, e.g. 'dram:8GB,ssd:1TB' "
+                        "(defaults sized for the quick soak's 192 KB table)")
+    p.add_argument("--entries", type=int, default=None,
+                   help="table entries (default: quick soak's 3000)")
+    p.add_argument("--entry-bytes", type=int, default=None,
+                   help="bytes per entry (default: quick soak's 64)")
+    p.add_argument("--requests", type=int, default=None, metavar="N",
+                   help="requests per GPU")
+    p.add_argument("--load", type=float, default=0.8,
+                   help="offered load per GPU as a fraction of capacity")
+    p.add_argument("--tenants", type=int, default=None, metavar="N",
+                   help="models sharing the table (default 1)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write every chain's soak report as JSON")
+    p.set_defaults(func=_cmd_tiers)
 
     p = sub.add_parser(
         "cluster",

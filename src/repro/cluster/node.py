@@ -1,11 +1,14 @@
 """One simulated cache-server node: a full single-box stack on a shard.
 
 A :class:`CacheNode` is the parameter-server shape of HugeCTR's inference
-tier: every node holds the *whole* host table in DRAM (so any read it is
-asked to serve is answerable and bit-exact), but its GPUs cache only the
-shard the cluster placement assigned to it — hotness outside the shard is
-masked to zero before the per-GPU policy runs, so GPU capacity is spent
-exclusively on keys this node will actually be routed.
+tier: every node holds the *whole* host table across its backing-tier
+chain — all of DRAM on a classic platform, or a DRAM→CXL/SSD waterfall on
+a tiered one (the shard's hot head in DRAM, the cold tail sunk deeper) —
+so any read it is asked to serve is answerable and bit-exact.  Its GPUs
+cache only the shard the cluster placement assigned to it: hotness
+outside the shard is masked to zero before the per-GPU policy runs, so
+GPU capacity is spent exclusively on keys this node will actually be
+routed.
 
 The node's serving surface is deliberately tiny: price a batch
 (:meth:`service_seconds`) or actually gather it (:meth:`serve`), both
@@ -91,7 +94,14 @@ class CacheNode:
                     ids[self.member_mask[ids]] for ids in raw.per_gpu
                 ),
             )
-        self.cache = MultiGpuEmbeddingCache(platform, table, placement)
+        # On a tiered platform the node's backing chain is ranked by the
+        # *shard's* hotness: each node keeps its own hot head in DRAM.
+        self.cache = MultiGpuEmbeddingCache(
+            platform,
+            table,
+            placement,
+            tier_hotness=shard_hotness if platform.num_tiers > 1 else None,
+        )
         self.extractor = FactoredExtractor(self.cache)
         self._next_gpu = 0
         #: optional :class:`~repro.repair.scrub.CacheScrubber` — when set,

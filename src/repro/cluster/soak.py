@@ -91,10 +91,12 @@ def _node_counter_values(reg, name: str) -> dict[str, int]:
 
 def run_cluster_soak(cfg: SoakConfig) -> SoakReport:
     """Run one multi-node soak scenario end to end."""
-    from repro.bench.contexts import platform_by_name
+    from repro.serve.soak import _soak_platform
 
     platform_name, _desc = SOAK_SCENARIOS[cfg.scenario]
-    platform = platform_by_name(platform_name)
+    # Honours --tiers: every node then holds its shard across the same
+    # backing chain (CacheNode ranks the chain by its shard's hotness).
+    platform = _soak_platform(cfg, platform_name)
     rng = make_rng(cfg.seed)
     dim = max(1, cfg.entry_bytes // 4)
     table = rng.standard_normal((cfg.num_entries, dim)).astype(np.float32)
@@ -540,6 +542,18 @@ def run_cluster_soak(cfg: SoakConfig) -> SoakReport:
             len(watchdog.transitions) if watchdog is not None else 0
         ),
     )
+    if platform.num_tiers > 1:
+        from repro.serve.soak import _chain_label
+
+        report.tiers = _chain_label(platform)
+        report.tier_demotions = sum(
+            n.cache.tier_chain.demotions
+            for n in nodes if n.cache.tier_chain is not None
+        )
+        report.tier_moved_bytes = sum(
+            n.cache.tier_chain.moved_bytes
+            for n in nodes if n.cache.tier_chain is not None
+        )
     if reg.enabled:
         reg.gauge("cluster.failover_goodput_ratio").set(ratio)
         reg.gauge("cluster.replica_read_fraction").set(

@@ -28,7 +28,8 @@ import numpy as np
 from repro.core.evaluate import demand_from_keys, resolve_sources
 from repro.core.filler import GpuCacheStore, fill_all
 from repro.core.policy import Placement
-from repro.hardware.platform import HOST, Platform
+from repro.core.tiers import TierChain
+from repro.hardware.platform import HOST, SOURCE_DTYPE, Platform
 from repro.obs import get_registry
 from repro.sim.congestion import CongestionModel
 from repro.sim.engine import BatchReport, simulate_batch
@@ -58,9 +59,10 @@ class LookupResult:
 
     @property
     def host_fraction(self) -> float:
+        """Fraction resolved to the backing chain (any tier id < 0)."""
         if self.sources.size == 0:
             return 0.0
-        return float((self.sources == HOST).mean())
+        return float((self.sources < 0).mean())
 
 
 class MultiGpuEmbeddingCache:
@@ -91,6 +93,7 @@ class MultiGpuEmbeddingCache:
         table: np.ndarray,
         placement: Placement,
         capacity_entries: int | None = None,
+        tier_hotness: np.ndarray | None = None,
     ) -> None:
         if table.ndim != 2:
             raise ValueError("embedding table must be 2-D (entries × dim)")
@@ -101,7 +104,18 @@ class MultiGpuEmbeddingCache:
         self._placement = placement
         self._capacity = capacity_entries
         self._stores: list[GpuCacheStore] = fill_all(table, placement, capacity_entries)
-        self._source_map = resolve_sources(platform, placement)
+        # On a single-tier platform the backing chain degenerates to the
+        # host table itself — no chain object, zero overhead, and the
+        # resolve fallback stays the literal HOST constant (byte-identical
+        # routing to the pre-tier cache).
+        self._chain: TierChain | None = None
+        if platform.num_tiers > 1:
+            self._chain = TierChain(platform.tiers, table, tier_hotness)
+        self._source_map = resolve_sources(
+            platform,
+            placement,
+            backing=None if self._chain is None else self._chain.home,
+        )
         self._rwlock = ReadWriteLock()
         # Host-table checksums are the scrubber's ground truth; the table
         # is immutable for the cache's lifetime, so compute them lazily
@@ -187,6 +201,92 @@ class MultiGpuEmbeddingCache:
             return self._table[keys]
 
     # ------------------------------------------------------------------
+    # Backing-tier chain
+    # ------------------------------------------------------------------
+    @property
+    def tier_chain(self) -> TierChain | None:
+        """The backing-tier chain, or ``None`` on a single-tier platform."""
+        return self._chain
+
+    def backing_home(self, keys: np.ndarray) -> np.ndarray:
+        """Per-key backing source: the tier each key falls back to.
+
+        ``HOST`` for every key on a single-tier platform; the tier
+        chain's home map otherwise.  This is what the pipeline's
+        replica-reroute uses as its terminal fallback.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        with self._rwlock.read_locked():
+            if self._chain is None:
+                return np.full(len(keys), HOST, dtype=SOURCE_DTYPE)
+            return self._chain.home[keys]
+
+    def backing_gather(self, src: int, keys: np.ndarray) -> np.ndarray:
+        """Gather rows from one backing tier (the generalized miss path).
+
+        On a single-tier platform only ``src == HOST`` is legal and the
+        read comes straight from the host table; with a chain the rows
+        come out of that tier's store (bit-identical to the table by the
+        chain's integrity invariant).
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        if keys.size and (keys.min() < 0 or keys.max() >= self.num_entries):
+            raise KeyError("backing gather key out of range")
+        with self._rwlock.read_locked():
+            if self._chain is None:
+                if src != HOST:
+                    raise ValueError(
+                        f"source {src} is not a backing tier of this platform"
+                    )
+                return self._table[keys]
+            return self._chain.gather(src, keys)
+
+    def backing_shares(self) -> dict[int, float]:
+        """Fraction of the entry universe homed per backing tier."""
+        with self._rwlock.read_locked():
+            if self._chain is None:
+                return {HOST: 1.0}
+            return self._chain.shares()
+
+    def move_backing(self, entries: np.ndarray, dst_src: int) -> int:
+        """Demote/promote ``entries`` to tier ``dst_src`` (writer path).
+
+        Serialized against lookups and refresh steps by the writer lock;
+        the location table's backing cells are re-pointed in the same
+        critical section so no reader ever sees a stale tier route.
+        Returns entries actually moved (0 on a single-tier platform,
+        where the only legal destination is ``HOST`` itself).
+        """
+        with self._rwlock.write_locked():
+            if self._chain is None:
+                if dst_src != HOST:
+                    raise ValueError(
+                        f"source {dst_src} is not a backing tier of this platform"
+                    )
+                return 0
+            ids = np.unique(np.ascontiguousarray(entries, dtype=np.int64))
+            moved = self._chain.move(ids, dst_src)
+            if moved:
+                sub = self._source_map[:, ids]
+                homes = np.broadcast_to(self._chain.home[ids], sub.shape)
+                self._source_map[:, ids] = np.where(sub < 0, homes, sub)
+            return moved
+
+    def rebalance_tiers(self, hotness: np.ndarray) -> int:
+        """Re-run the hotness waterfall across tiers; returns entries moved."""
+        with self._rwlock.write_locked():
+            if self._chain is None:
+                return 0
+            moved = self._chain.rebalance(hotness)
+            if moved:
+                sm = self._source_map
+                homes = np.broadcast_to(self._chain.home, sm.shape)
+                self._source_map = np.where(sm < 0, homes, sm).astype(
+                    SOURCE_DTYPE, copy=False
+                )
+            return moved
+
+    # ------------------------------------------------------------------
     # Lookup path
     # ------------------------------------------------------------------
     def lookup(self, dst: int, keys: np.ndarray) -> LookupResult:
@@ -204,9 +304,15 @@ class MultiGpuEmbeddingCache:
         with self._rwlock.read_locked():
             keys, sources = resolve(self, dst, keys)
             values = np.empty((len(keys), self.dim), dtype=self._table.dtype)
-            host_mask = sources == HOST
+            host_mask = sources < 0  # the whole backing chain
             if host_mask.any():
-                values[host_mask] = self._table[keys[host_mask]]
+                if self._chain is None:
+                    values[host_mask] = self._table[keys[host_mask]]
+                else:
+                    for src in self._platform.backing_ids:
+                        mask = sources == src
+                        if mask.any():
+                            values[mask] = self._chain.gather(src, keys[mask])
             for gpu in self._platform.gpu_ids:
                 mask = sources == gpu
                 if mask.any():
@@ -266,7 +372,11 @@ class MultiGpuEmbeddingCache:
         with self._rwlock.write_locked():
             self._stores = fill_all(self._table, placement, self._capacity)
             self._placement = placement
-            self._source_map = resolve_sources(self._platform, placement)
+            self._source_map = resolve_sources(
+                self._platform,
+                placement,
+                backing=None if self._chain is None else self._chain.home,
+            )
 
     def refresh_source_map(self) -> None:
         """Rebuild the location table from the stores' current contents."""
@@ -275,7 +385,11 @@ class MultiGpuEmbeddingCache:
             self._placement = Placement(
                 num_entries=self.num_entries, per_gpu=per_gpu
             )
-            self._source_map = resolve_sources(self._platform, self._placement)
+            self._source_map = resolve_sources(
+                self._platform,
+                self._placement,
+                backing=None if self._chain is None else self._chain.home,
+            )
 
     def snapshot_location_state(self) -> tuple[Placement, np.ndarray]:
         """Copy of the current routing state: ``(placement, source_map)``.
@@ -362,11 +476,21 @@ class MultiGpuEmbeddingCache:
                 problems.append(f"GPU {gpu}: cached values diverge from host table")
         for dst in range(G):
             srcs = self._source_map[dst]
-            bad = (srcs != HOST) & ((srcs < 0) | (srcs >= G))
+            bad = ~self._platform.valid_source_mask(srcs)
             if bad.any():
                 problems.append(
                     f"GPU {dst}: {int(bad.sum())} out-of-range source ids"
                 )
+            if self._chain is not None:
+                # Every backing route must agree with the chain's home map
+                # (a disagreement means a demotion raced the hashtable).
+                backing = srcs < 0
+                stale = backing & (srcs != self._chain.home)
+                if stale.any():
+                    problems.append(
+                        f"GPU {dst}: {int(stale.sum())} backing routes point "
+                        "at a tier that is not the entry's home"
+                    )
             for g in range(G):
                 pointed = np.flatnonzero(srcs == g)
                 if len(pointed) == 0:
@@ -379,6 +503,8 @@ class MultiGpuEmbeddingCache:
                     )
             if sample is None:
                 problems.extend(verify_resolution(self, dst))
+        if self._chain is not None and sample is None:
+            problems.extend(self._chain.verify())
         return problems
 
     def check_integrity(

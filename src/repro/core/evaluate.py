@@ -29,6 +29,7 @@ def resolve_sources(
     placement: Placement,
     hotness: np.ndarray | None = None,
     balance_top: int = 128,
+    backing: np.ndarray | None = None,
 ) -> np.ndarray:
     """Per-GPU source map: ``out[i, e]`` is where GPU ``i`` reads entry ``e``.
 
@@ -36,7 +37,9 @@ def resolve_sources(
     local copy first; otherwise the *cheapest connected* GPU holding the
     entry, with equal-cost holders rotated per entry id so load spreads
     evenly (the statistical balance the paper's random partition relies
-    on); otherwise :data:`HOST`.
+    on); otherwise the entry's backing tier — :data:`HOST` on a
+    single-tier platform, or the per-entry home from ``backing`` (the
+    tier chain's home map, length ``num_entries``) on a deeper chain.
 
     When ``hotness`` is given, the assignment of the ``balance_top``
     hottest entries is additionally refined greedily: each is re-routed to
@@ -52,7 +55,14 @@ def resolve_sources(
     n = placement.num_entries
     mat = placement.storage_matrix()
     ids = np.arange(n)
-    out = np.full((platform.num_gpus, n), HOST, dtype=SOURCE_DTYPE)
+    if backing is None:
+        fallback = np.full(n, HOST, dtype=SOURCE_DTYPE)
+    else:
+        backing = np.ascontiguousarray(backing, dtype=SOURCE_DTYPE)
+        if backing.shape != (n,):
+            raise ValueError("backing home map must cover the entry universe")
+        fallback = backing
+    out = np.tile(fallback, (platform.num_gpus, 1))
     for i in platform.gpu_ids:
         # Score matrix: per candidate source j, the per-byte cost with a
         # tiny per-entry rotation for tie-breaking; inf when unusable.
@@ -67,7 +77,7 @@ def resolve_sources(
             scores[j] = np.where(mat[j], cost * tie_break, np.inf)
         best = np.argmin(scores, axis=0)
         best_score = scores[best, ids]
-        out[i] = np.where(np.isfinite(best_score), best, HOST)
+        out[i] = np.where(np.isfinite(best_score), best, fallback)
         out[i][mat[i]] = i
     if hotness is not None:
         _balance_hot_assignments(platform, mat, out, np.asarray(hotness), balance_top)
@@ -89,7 +99,7 @@ def _balance_hot_assignments(
         load = {j: float(hotness[srcs == j].sum()) for j in platform.gpu_ids}
         for e in top:
             current = int(srcs[e])
-            if current in (i, HOST):
+            if current == i or current < 0:  # local or backing-resident
                 continue
             cost = platform.cost_per_byte(i, current)
             candidates = [
@@ -152,7 +162,7 @@ def expected_demands(
     for i in platform.gpu_ids:
         volumes: dict[int, float] = {}
         srcs = source_map[i]
-        for j in [*platform.gpu_ids, HOST]:
+        for j in [*platform.gpu_ids, *platform.backing_ids]:
             mask = srcs == j
             if mask.any():
                 vol = float(hotness[mask].sum() * entry_bytes)
@@ -173,7 +183,7 @@ def demand_from_keys(
     keys = np.asarray(keys)
     srcs = source_map[dst][keys]
     volumes: dict[int, float] = {}
-    for j in [*platform.gpu_ids, HOST]:
+    for j in [*platform.gpu_ids, *platform.backing_ids]:
         count = int((srcs == j).sum())
         if count:
             volumes[j] = float(count * entry_bytes)
@@ -197,8 +207,9 @@ def hit_rates(
     for i in platform.gpu_ids:
         srcs = source_map[i]
         local += hotness[srcs == i].sum()
-        host += hotness[srcs == HOST].sum()
-        remote += hotness[(srcs != i) & (srcs != HOST)].sum()
+        # "host" aggregates the whole backing chain (every tier id < 0).
+        host += hotness[srcs < 0].sum()
+        remote += hotness[(srcs != i) & (srcs >= 0)].sum()
     g = platform.num_gpus
     rates = HitRates(
         local=float(local / total / g),

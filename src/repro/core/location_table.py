@@ -496,14 +496,16 @@ class LocationTable:
     ) -> "LocationTable":
         """Build a table from dense source/offset arrays (cache-fill path).
 
-        Host-resident entries (source == HOST) are not inserted — absence
-        *means* host, exactly as the runtime treats misses.  Pass
-        ``num_sources``/``max_offset`` (e.g. GPU count and slot count) to
-        arm the corruption bounds check on the read path.
+        Backing-resident entries (source < 0: host DRAM or any deeper
+        tier) are not inserted — absence *means* the backing chain,
+        exactly as the runtime treats misses; the cache's home map says
+        which tier.  Pass ``num_sources``/``max_offset`` (e.g. GPU count
+        and slot count) to arm the corruption bounds check on the read
+        path.
         """
         sources = np.asarray(sources)
         offsets = np.asarray(offsets)
-        cached = np.flatnonzero(sources != HOST)
+        cached = np.flatnonzero(sources >= 0)
         table = LocationTable(
             expected_entries=len(cached),
             num_sources=num_sources,

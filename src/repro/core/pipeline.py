@@ -67,6 +67,7 @@ __all__ = [
     "ExtractionPlan",
     "SourceGroup",
     "apply_health",
+    "backing_fallback_demand",
     "dedicate",
     "execute_plan",
     "find_replicas",
@@ -86,12 +87,22 @@ __all__ = [
 ]
 
 
-def source_class(source: int, dst: int) -> str:
-    """Label a source relative to its destination: local / host / remote."""
+def source_class(source: int, dst: int, platform: Platform | None = None) -> str:
+    """Label a source relative to its destination: local / host / remote.
+
+    Backing tier 0 keeps its historical ``"host"`` label; deeper tiers
+    label as their tier name when a ``platform`` is given (``"ssd"``,
+    ``"cxl"``) or ``"tier<k>"`` otherwise, so per-tier metric streams
+    stay distinguishable.
+    """
     if source == dst:
         return "local"
     if source == HOST:
         return "host"
+    if source < HOST:
+        if platform is not None and platform.is_backing(source):
+            return platform.tier_of(source).name
+        return f"tier{-source - 1}"
     return "remote"
 
 
@@ -104,8 +115,8 @@ class SourceGroup:
     batch_positions: np.ndarray
     #: the entry ids to read
     keys: np.ndarray
-    #: slot offsets on the source GPU (empty for HOST, where keys index
-    #: the host table directly)
+    #: slot offsets on the source GPU (empty for backing-tier sources,
+    #: where keys address the tier's resident rows directly)
     offsets: np.ndarray
     dedicated_cores: int
 
@@ -173,15 +184,16 @@ def find_replicas(
     health: HealthView | None,
     exclude: frozenset[int] = frozenset(),
 ) -> np.ndarray:
-    """Cheapest surviving holder per key; HOST when nobody has it.
+    """Cheapest surviving holder per key; the key's backing tier when
+    nobody has it.
 
     Degraded links inflate a candidate's cost by ``1 / link_factor``
     so a half-speed replica loses to a healthy one but still beats
-    host when it is the only copy left.  Sources in ``exclude``
-    (e.g. breaker-open ones) are never candidates.
+    the backing chain when it is the only copy left.  Sources in
+    ``exclude`` (e.g. breaker-open ones) are never candidates.
     """
     platform = cache.platform
-    out = np.full(len(keys), HOST, dtype=SOURCE_DTYPE)
+    out = cache.backing_home(keys)
     best_cost = np.full(len(keys), np.inf)
     for g in platform.gpu_ids:
         if g == dst or g in exclude:
@@ -227,7 +239,9 @@ def reroute(
     with stage_timer("reroute"):
         platform = cache.platform
         G = platform.num_gpus
-        corrupt_mask = (sources != HOST) & ((sources < 0) | (sources >= G))
+        # Centralized validity test: GPU ids and *every* backing-tier id
+        # are legitimate; only ids outside both ranges are corrupt.
+        corrupt_mask = ~platform.valid_source_mask(sources)
         bad = corrupt_mask.copy()
         n_corrupt = int(bad.sum())
         n_stale = 0
@@ -268,13 +282,14 @@ def reroute(
         sources = sources.copy()
         sources[bad_idx] = replacements
         n = len(bad_idx)
+    to_backing = int(platform.backing_mask(replacements).sum())
     reg.counter("faults.rerouted_keys", dst=dst).inc(n)
     reg.counter(
         "faults.rerouted_keys_to", target="host"
-    ).inc(int((replacements == HOST).sum()))
+    ).inc(to_backing)
     reg.counter(
         "faults.rerouted_keys_to", target="replica"
-    ).inc(int((replacements != HOST).sum()))
+    ).inc(len(replacements) - to_backing)
     if n_corrupt:
         reg.counter("faults.corrupt_reads").inc(n_corrupt)
     if n_stale:
@@ -307,23 +322,28 @@ def renormalize_dedication(
     Returns ``(dedication, missing)``; when nothing was missing the input
     map is returned unchanged.
     """
-    remotes = [s for s in present if s not in (dst, HOST)]
+    backing = [s for s in present if platform.is_backing(s)]
+    remotes = [s for s in present if s != dst and not platform.is_backing(s)]
     missing = [s for s in remotes if s not in dedication]
     if not missing:
         return dedication, []
     total = platform.gpu.num_cores
-    host_cores = dedication.get(HOST, 0)
-    budget = max(total - host_cores, len(remotes))
+    backing_cores = sum(dedication.get(s, 0) for s in backing)
+    budget = max(total - backing_cores, len(remotes))
     weights: dict[int, float] = {}
     for s in remotes:
         bw = platform.bandwidth(dst, s)
         weights[s] = bw if bw > 0 else platform.pcie_bandwidth
     wsum = sum(weights.values())
-    out: dict[int, int] = {HOST: host_cores} if HOST in dedication else {}
+    out: dict[int, int] = {
+        s: dedication[s] for s in backing if s in dedication
+    }
     for s in remotes:
         out[s] = max(1, int(budget * weights[s] / wsum))
-    while sum(v for k, v in out.items() if k != HOST) > budget:
-        biggest = max((k for k in out if k != HOST), key=lambda k: out[k])
+    while sum(v for k, v in out.items() if not platform.is_backing(k)) > budget:
+        biggest = max(
+            (k for k in out if not platform.is_backing(k)), key=lambda k: out[k]
+        )
         if out[biggest] <= 1:
             break
         out[biggest] -= 1
@@ -359,7 +379,11 @@ def dedicate(
             "GPU %d batch reads from source(s) %s absent from the "
             "core-dedication map; re-normalized shares across %d "
             "remote source(s)",
-            dst, missing, len([s for s in present if s not in (dst, HOST)]),
+            dst,
+            missing,
+            len([
+                s for s in present if s != dst and not platform.is_backing(s)
+            ]),
         )
     return dedication
 
@@ -382,13 +406,14 @@ def group_by_source(
     """
     reg = get_registry()
     with stage_timer("group"):
-        num_cores = cache.platform.gpu.num_cores
+        platform = cache.platform
+        num_cores = platform.gpu.num_cores
         groups: list[SourceGroup] = []
         local_group: SourceGroup | None = None
         for src in (int(s) for s in np.unique(sources)):
             positions = np.flatnonzero(sources == src)
             group_keys = keys[positions]
-            if src == HOST:
+            if platform.is_backing(src):
                 offsets = np.empty(0, dtype=np.int64)
             else:
                 offsets = cache.store(src).offset_of[group_keys]
@@ -402,11 +427,11 @@ def group_by_source(
                 ),
             )
             reg.counter(
-                "extractor.plan.keys", source=source_class(src, dst)
+                "extractor.plan.keys", source=source_class(src, dst, platform)
             ).inc(len(group_keys))
             reg.histogram(
                 "extractor.plan.dedicated_cores",
-                source=source_class(src, dst),
+                source=source_class(src, dst, platform),
             ).observe(group.dedicated_cores)
             if src == dst:
                 local_group = group
@@ -539,42 +564,93 @@ def price_node_read(
     )
 
 
-def shift_staged_demand(demand: GpuDemand, staged_bytes: float) -> GpuDemand:
-    """Move prefetch-staged bytes off the host path onto the local tier.
+def shift_staged_demand(
+    demand: GpuDemand,
+    staged_bytes: float,
+    platform: Platform | None = None,
+) -> GpuDemand:
+    """Move prefetch-staged bytes off the backing chain onto the local tier.
 
     The lookahead prefetcher (:mod:`repro.core.prefetch`) pre-stages
-    upcoming host misses into a GPU-resident staging buffer; at
+    upcoming backing misses into a GPU-resident staging buffer; at
     extraction time the bytes it claimed are served at local speed, not
-    over PCIe.  This re-prices a demand accordingly: up to
-    ``staged_bytes`` of the HOST volume moves to the destination's local
-    volume.  With ``staged_bytes <= 0`` (or no host volume) the input
-    demand is returned unchanged, which is what keeps the no-lookahead
-    path byte-identical.
+    over PCIe/CXL/NVMe.  This re-prices a demand accordingly: up to
+    ``staged_bytes`` of backing volume moves to the destination's local
+    volume, draining the *most expensive* tier first when ``platform``
+    names a chain (the prefetcher buys the biggest win per staged byte).
+    Without a ``platform`` only the HOST volume shifts, which is the
+    pre-tier behavior.  With ``staged_bytes <= 0`` (or no backing
+    volume) the input demand is returned unchanged, which is what keeps
+    the no-lookahead path byte-identical.
     """
     if staged_bytes <= 0:
         return demand
-    host = demand.volume(HOST)
-    moved = min(host, float(staged_bytes))
-    if moved <= 0:
-        return demand
-    volumes = dict(demand.volumes)
-    remaining = host - moved
-    if remaining > 0:
-        volumes[HOST] = remaining
+    if platform is None:
+        tier_order = [HOST]
     else:
-        volumes.pop(HOST, None)
-    volumes[demand.dst] = volumes.get(demand.dst, 0.0) + moved
+        # Most expensive backing tier first: cost descending.
+        tier_order = sorted(
+            (s for s in demand.volumes if platform.is_backing(s)),
+            key=lambda s: platform.tier_of(s).cost_per_byte,
+            reverse=True,
+        )
+    volumes = dict(demand.volumes)
+    budget = float(staged_bytes)
+    moved_total = 0.0
+    for tier in tier_order:
+        if budget <= 0:
+            break
+        vol = float(volumes.get(tier, 0.0))
+        moved = min(vol, budget)
+        if moved <= 0:
+            continue
+        remaining = vol - moved
+        if remaining > 0:
+            volumes[tier] = remaining
+        else:
+            volumes.pop(tier, None)
+        budget -= moved
+        moved_total += moved
+    if moved_total <= 0:
+        return demand
+    volumes[demand.dst] = volumes.get(demand.dst, 0.0) + moved_total
     return GpuDemand(dst=demand.dst, volumes=volumes)
 
 
-def host_fallback_demand(demand: GpuDemand) -> GpuDemand:
-    """The hedge arm: the whole batch as one host-DRAM gather.
+def backing_fallback_demand(
+    demand: GpuDemand, tier_shares: dict[int, float] | None = None
+) -> GpuDemand:
+    """The hedge arm: the whole batch gathered from the backing chain.
 
     Shared by the serving runtime's deadline hedge and the event-driven
     :func:`~repro.sim.event_sim.simulate_hedged_extraction`, so both race
     the primary plan against an identically-shaped fallback.
+
+    ``tier_shares`` maps backing source ids to the fraction of the entry
+    universe homed on each tier (the cache's
+    :meth:`~repro.core.cache.MultiGpuEmbeddingCache.backing_shares`), so
+    on a deep chain the fallback correctly pays SSD prices for the
+    SSD-resident share — a miss to SSD is not a miss to DRAM.  Without
+    shares everything is billed to host DRAM, the single-tier behavior.
     """
-    return GpuDemand(dst=demand.dst, volumes={HOST: demand.total_bytes})
+    total = demand.total_bytes
+    if not tier_shares:
+        return GpuDemand(dst=demand.dst, volumes={HOST: total})
+    norm = sum(tier_shares.values())
+    if norm <= 0:
+        return GpuDemand(dst=demand.dst, volumes={HOST: total})
+    volumes = {
+        tier: total * share / norm
+        for tier, share in tier_shares.items()
+        if share > 0
+    }
+    return GpuDemand(dst=demand.dst, volumes=volumes)
+
+
+def host_fallback_demand(demand: GpuDemand) -> GpuDemand:
+    """Single-tier alias of :func:`backing_fallback_demand` (kept for the
+    pre-tier call sites and their golden behavior)."""
+    return backing_fallback_demand(demand)
 
 
 def apply_health(
@@ -609,20 +685,23 @@ def execute_plan(
     """Gather values per the plan; returns (values, priced demand)."""
     reg = get_registry()
     entry_bytes = cache.entry_bytes
+    platform = cache.platform
     with stage_timer("execute"):
         values = np.empty(
             (plan.batch_size, cache.dim),
             dtype=cache.store(0).data.dtype,
         )
         for group in plan.groups:
-            if group.source == HOST:
-                values[group.batch_positions] = cache.host_gather(group.keys)
+            if platform.is_backing(group.source):
+                values[group.batch_positions] = cache.backing_gather(
+                    group.source, group.keys
+                )
             else:
                 store = cache.store(group.source)
                 values[group.batch_positions] = store.data[group.offsets]
             reg.counter(
                 "extractor.execute.bytes",
-                source=source_class(group.source, plan.dst),
+                source=source_class(group.source, plan.dst, platform),
             ).inc(len(group.keys) * entry_bytes)
     return values, plan.demand(entry_bytes)
 
@@ -648,8 +727,9 @@ def verify_resolution(cache: "MultiGpuEmbeddingCache", dst: int) -> list[str]:
     srcs = np.asarray(cache.source_map[dst])
     n = len(srcs)
     entries = np.arange(n, dtype=np.int64)
-    offsets = entries.copy()  # host convention: addressed by key
-    consistent = srcs == HOST
+    offsets = entries.copy()  # backing convention: addressed by key
+    backing = platform.backing_mask(srcs)
+    consistent = backing.copy()
     for g in range(G):
         routed = np.flatnonzero(srcs == g)
         if len(routed) == 0:
@@ -658,7 +738,11 @@ def verify_resolution(cache: "MultiGpuEmbeddingCache", dst: int) -> list[str]:
         held = off >= 0
         offsets[routed[held]] = off[held]
         consistent[routed[held]] = True
-    dense_srcs = np.where(consistent, srcs, HOST).astype(srcs.dtype)
+    # The §4 hashtable stores GPU-cached entries only — absence *means*
+    # the backing chain, whichever tier an entry is homed on — so the
+    # comparison runs in that normalized space.
+    norm_srcs = np.where(backing, HOST, srcs).astype(srcs.dtype)
+    dense_srcs = np.where(consistent, norm_srcs, HOST).astype(srcs.dtype)
     table = LocationTable.from_source_map(dense_srcs, offsets, num_sources=G)
     got_srcs, got_offsets = table.lookup_batch(entries)
     mismatched = (got_srcs != dense_srcs) | (got_offsets != offsets)

@@ -265,7 +265,8 @@ class OracleCacher:
         self._host_keys_seen = [0] * G
         self._overlap_seconds = [0.0] * G
         self._critical_seconds = [0.0] * G
-        self._entry_cost: list[float | None] = [None] * G
+        #: priced per-entry transfer seconds, keyed by (gpu, backing src).
+        self._entry_cost: dict[tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -315,17 +316,21 @@ class OracleCacher:
         """Feed one future batch for ``gpu`` (arrival order)."""
         self._windows[gpu].push(keys)
 
-    def _per_entry_cost(self, gpu: int) -> float:
-        """Priced host→GPU transfer seconds per staged entry (cached)."""
-        cost = self._entry_cost[gpu]
+    def _per_entry_cost(self, gpu: int, src: int = HOST) -> float:
+        """Priced tier→GPU transfer seconds per staged entry (cached).
+
+        ``src`` is the backing tier the entry would be pulled from; on a
+        single-tier platform that is always :data:`HOST`.
+        """
+        cost = self._entry_cost.get((gpu, src))
         if cost is None:
             ref = 1024
             demand = GpuDemand(
                 dst=gpu,
-                volumes={HOST: float(ref * self._cache.entry_bytes)},
+                volumes={src: float(ref * self._cache.entry_bytes)},
             )
             cost = price_demand(self._cache.platform, demand).time / ref
-            self._entry_cost[gpu] = cost
+            self._entry_cost[(gpu, src)] = cost
         return cost
 
     def prefetch(
@@ -353,15 +358,26 @@ class OracleCacher:
                 if len(upcoming) == 0:
                     return outcome
                 sources = self._cache.source_map[gpu][upcoming]
-                misses = upcoming[
-                    (sources == HOST) & ~buffer.staged_mask(upcoming)
-                ]
+                miss_mask = (sources < 0) & ~buffer.staged_mask(upcoming)
+                misses = upcoming[miss_mask]
+                miss_src = sources[miss_mask]
                 if len(misses) == 0:
                     return outcome
+                platform = self._cache.platform
                 if math.isinf(idle_seconds):
                     budget = len(misses)
-                else:
+                elif platform.num_tiers == 1:
                     budget = int(idle_seconds / self._per_entry_cost(gpu))
+                else:
+                    # Misses on deep tiers cost more per entry; budget by
+                    # cumulative priced cost in first-need order.
+                    per = np.array(
+                        [
+                            self._per_entry_cost(gpu, int(s))
+                            for s in miss_src
+                        ]
+                    )
+                    budget = int((np.cumsum(per) <= idle_seconds).sum())
                 outcome.deferred_keys = max(0, len(misses) - budget)
                 if budget <= 0:
                     return outcome
@@ -373,9 +389,13 @@ class OracleCacher:
                 outcome.staged_bytes = float(
                     len(staged) * self._cache.entry_bytes
                 )
-            demand = GpuDemand(
-                dst=gpu, volumes={HOST: outcome.staged_bytes}
-            )
+                staged_src = miss_src[: len(staged)]
+            volumes: dict[int, float] = {}
+            for s in np.unique(staged_src):
+                volumes[int(s)] = float(
+                    int((staged_src == s).sum()) * self._cache.entry_bytes
+                )
+            demand = GpuDemand(dst=gpu, volumes=volumes)
             outcome.cost_seconds = price_demand(
                 self._cache.platform, demand
             ).time

@@ -38,7 +38,8 @@ from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 
 from repro.core.blocks import BlockSet, build_blocks
 from repro.core.policy import Placement, hot_replicate_warm_partition_policy
-from repro.hardware.platform import HOST, Platform
+from repro.core.tiers import assign_backing_tiers
+from repro.hardware.platform import Platform
 from repro.obs import get_registry
 from repro.sim.mechanisms import core_dedication
 from repro.utils.logging import get_logger
@@ -273,6 +274,26 @@ def solve_policy(
     )
     w = weights_h[:, None] * pair_cost[None, :]  # (B, P)
 
+    # Multi-tier backing: each entry has exactly one backing home, chosen
+    # by the hotness waterfall (optimal for backing-only reads: hottest to
+    # fastest).  A destination can read at most the homed fraction of a
+    # block from each tier, so those access variables get a *constant*
+    # upper bound — the §6.2 structure is otherwise untouched, and on a
+    # single-tier platform every bound is 1.0 (byte-identical LP).
+    # Per-tier fixed access latency is amortized per byte and dropped
+    # here; the timing models charge it per batched group.
+    backing_frac: dict[tuple[int, int], float] | None = None
+    if platform.num_tiers > 1:
+        home = assign_backing_tiers(
+            platform.tiers, len(hotness), entry_bytes, hotness
+        )
+        backing_frac = {}
+        for b in range(B):
+            entries = blocks.entries(b)
+            homes = home[entries]
+            for src in platform.backing_ids:
+                backing_frac[(b, src)] = float((homes == src).mean())
+
     rows_eq: list[int] = []
     cols_eq: list[int] = []
     vals_eq: list[float] = []
@@ -299,7 +320,7 @@ def solve_policy(
     # a[b,i,j] - s[b,j] ≤ 0 for GPU sources (including j == i).
     for b in range(B):
         for p, (i, j) in enumerate(pairs):
-            if j == HOST:
+            if platform.is_backing(j):
                 continue
             rows += [row, row]
             cols += [a_id(b, p), s_id(b, j)]
@@ -362,6 +383,11 @@ def solve_policy(
     upper = np.concatenate(
         [np.ones(num_a + num_s), np.full(G + 1, np.inf)]
     )
+    if backing_frac is not None:
+        for b in range(B):
+            for p, (_i, j) in enumerate(pairs):
+                if platform.is_backing(j):
+                    upper[a_id(b, p)] = backing_frac[(b, j)]
 
     start = _time.perf_counter()
     if reg.enabled:

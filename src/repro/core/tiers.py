@@ -1,0 +1,428 @@
+"""The backing-tier chain: per-tier stores below the GPU caches.
+
+A :class:`TierChain` materializes a platform's
+:attr:`~repro.hardware.platform.Platform.tiers` into one store per tier
+(the same slot-arena + offset-map shape as a GPU's
+:class:`~repro.core.filler.GpuCacheStore`) and maintains the **home map**
+— for every embedding entry, the one backing tier that holds its
+authoritative copy.  This is the parameter-server shape of HugeCTR's
+inference HPS: tables far larger than host DRAM, with the hot head
+resident in DRAM and the cold tail sunk to CXL/SSD.
+
+Invariants (checked by :meth:`TierChain.verify`, property-tested by the
+tier invariant suite):
+
+* **partition** — every entry is resident in *exactly one* tier, and the
+  home map agrees with store residency;
+* **capacity** — no tier holds more entries than its byte capacity
+  allows;
+* **integrity** — a move between tiers never loses bytes: the row's
+  checksum (:mod:`repro.core.checksum`) is verified across every
+  demotion/promotion, and each store's rows stay bit-identical to the
+  ground-truth table.
+
+Placement is a hotness-ranked waterfall (:func:`assign_backing_tiers`):
+the hottest entries land on the fastest tier until it fills, the next
+band on the next tier, and the terminal tier absorbs the remainder — it
+must be large enough to, or the chain refuses to build
+(:class:`TierCapacityError`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.checksum import row_checksums
+from repro.core.filler import GpuCacheStore, fill_gpu
+from repro.hardware.platform import SOURCE_DTYPE, MemoryTier
+
+__all__ = [
+    "TierCapacityError",
+    "TierIntegrityError",
+    "TierChain",
+    "assign_backing_tiers",
+    "tier_capacity_entries",
+]
+
+
+class TierCapacityError(ValueError):
+    """The chain cannot hold the entry universe (terminal tier too small)."""
+
+
+class TierIntegrityError(RuntimeError):
+    """A tier move or verify found corrupted or lost bytes."""
+
+
+def tier_capacity_entries(
+    tier: MemoryTier, entry_bytes: int, num_entries: int
+) -> int:
+    """Entries ``tier`` can hold, bounded by the entry universe."""
+    if entry_bytes <= 0:
+        raise ValueError("entry size must be positive")
+    return int(min(tier.capacity_bytes // entry_bytes, num_entries))
+
+
+def assign_backing_tiers(
+    tiers: tuple[MemoryTier, ...],
+    num_entries: int,
+    entry_bytes: int,
+    hotness: np.ndarray | None = None,
+) -> np.ndarray:
+    """Hotness-ranked waterfall: entry → backing source id (-1, -2, …).
+
+    The hottest entries go to tier 0 until its capacity fills, the next
+    band to tier 1, and so on; without ``hotness`` the assignment is by
+    entry id (a deterministic stand-in).  Raises
+    :class:`TierCapacityError` when the chain's total capacity cannot
+    hold the universe — the terminal tier must absorb the remainder.
+    """
+    caps = [tier_capacity_entries(t, entry_bytes, num_entries) for t in tiers]
+    if sum(caps) < num_entries:
+        raise TierCapacityError(
+            f"tier chain holds {sum(caps)} entries but the table has "
+            f"{num_entries}; grow the terminal tier"
+        )
+    if hotness is None:
+        order = np.arange(num_entries, dtype=np.int64)
+    else:
+        hotness = np.asarray(hotness, dtype=np.float64)
+        if hotness.shape != (num_entries,):
+            raise ValueError("hotness length must match the entry universe")
+        # Stable sort so equal-hotness entries keep id order (determinism).
+        order = np.argsort(-hotness, kind="stable")
+    home = np.empty(num_entries, dtype=SOURCE_DTYPE)
+    start = 0
+    for k, cap in enumerate(caps):
+        if start >= num_entries:
+            break
+        take = min(cap, num_entries - start)
+        home[order[start : start + take]] = -(k + 1)
+        start += take
+    return home
+
+
+class TierChain:
+    """Per-tier backing stores + the entry → home-tier map.
+
+    Thread-safety: the chain has no lock of its own — the owning
+    :class:`~repro.core.cache.MultiGpuEmbeddingCache` serializes every
+    mutation under its writer lock, exactly as it does for the GPU
+    stores.
+    """
+
+    def __init__(
+        self,
+        tiers: tuple[MemoryTier, ...],
+        table: np.ndarray,
+        hotness: np.ndarray | None = None,
+    ) -> None:
+        if table.ndim != 2:
+            raise ValueError("embedding table must be 2-D (entries × dim)")
+        if not tiers:
+            raise ValueError("a tier chain needs at least one tier")
+        self._tiers = tuple(tiers)
+        self._table = table
+        n, _ = table.shape
+        entry_bytes = table.shape[1] * table.itemsize
+        self._capacities = [
+            tier_capacity_entries(t, entry_bytes, n) for t in tiers
+        ]
+        self._home = assign_backing_tiers(self._tiers, n, entry_bytes, hotness)
+        self._stores: list[GpuCacheStore] = []
+        for k in range(len(tiers)):
+            src = -(k + 1)
+            assigned = np.flatnonzero(self._home == src)
+            self._stores.append(
+                fill_gpu(
+                    src,
+                    table,
+                    assigned,
+                    capacity_entries=max(self._capacities[k], 1),
+                )
+            )
+        #: bytes moved between tiers over the chain's lifetime.
+        self.moved_bytes = 0
+        self.demotions = 0
+        self.promotions = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tiers(self) -> tuple[MemoryTier, ...]:
+        return self._tiers
+
+    @property
+    def num_tiers(self) -> int:
+        return len(self._tiers)
+
+    @property
+    def num_entries(self) -> int:
+        return self._table.shape[0]
+
+    @property
+    def entry_bytes(self) -> int:
+        return self._table.shape[1] * self._table.itemsize
+
+    @property
+    def home(self) -> np.ndarray:
+        """Entry → backing source id; the resolve stage's fallback column."""
+        return self._home
+
+    @property
+    def backing_ids(self) -> list[int]:
+        return [-(k + 1) for k in range(len(self._tiers))]
+
+    def capacity_entries(self, src: int) -> int:
+        return self._capacities[-src - 1]
+
+    def store(self, src: int) -> GpuCacheStore:
+        """The store behind backing source ``src``."""
+        k = -src - 1
+        if not 0 <= k < len(self._stores):
+            raise ValueError(f"source {src} is not a tier of this chain")
+        return self._stores[k]
+
+    def resident_count(self, src: int) -> int:
+        return int((self._home == src).sum())
+
+    def shares(self) -> dict[int, float]:
+        """Fraction of the entry universe homed per tier (hedge pricing)."""
+        n = self.num_entries
+        if n == 0:
+            return {src: 0.0 for src in self.backing_ids}
+        return {
+            src: self.resident_count(src) / n for src in self.backing_ids
+        }
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def gather(self, src: int, keys: np.ndarray) -> np.ndarray:
+        """Rows of ``keys`` from tier ``src``; every key must be homed there.
+
+        Raises :class:`TierIntegrityError` on a stale route — the
+        caller's home map said ``src`` but the tier store disagrees.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        store = self.store(src)
+        slots = store.offset_of[keys]
+        if (slots < 0).any():
+            missing = keys[slots < 0][:5]
+            raise TierIntegrityError(
+                f"tier {self._tiers[-src - 1].name}: entries {missing} routed "
+                "here but not resident"
+            )
+        return store.data[slots]
+
+    def gather_home(self, keys: np.ndarray) -> np.ndarray:
+        """Rows of ``keys``, each read from its home tier."""
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        out = np.empty((len(keys), self._table.shape[1]), dtype=self._table.dtype)
+        homes = self._home[keys]
+        for src in self.backing_ids:
+            mask = homes == src
+            if mask.any():
+                out[mask] = self.gather(src, keys[mask])
+        return out
+
+    # ------------------------------------------------------------------
+    # Demotion / promotion
+    # ------------------------------------------------------------------
+    def move(self, entries: np.ndarray, dst_src: int) -> int:
+        """Move ``entries`` to tier ``dst_src``, verifying no byte is lost.
+
+        Each row's checksum is captured from the source store before the
+        move and compared after insertion into the destination — a
+        mismatch raises :class:`TierIntegrityError` with the chain left
+        consistent (the failing entry is re-checked before any eviction).
+        Entries already homed on ``dst_src`` are skipped.  Returns how
+        many entries moved.
+        """
+        entries = np.unique(np.ascontiguousarray(entries, dtype=np.int64))
+        if entries.size and (
+            entries.min() < 0 or entries.max() >= self.num_entries
+        ):
+            raise KeyError("tier move entry out of range")
+        dst_store = self.store(dst_src)
+        movers = entries[self._home[entries] != dst_src]
+        if len(movers) == 0:
+            return 0
+        free = self.capacity_entries(dst_src) - int(
+            (self._home == dst_src).sum()
+        )
+        if len(movers) > free:
+            raise TierCapacityError(
+                f"tier {self._tiers[-dst_src - 1].name} has {free} free "
+                f"entries; cannot take {len(movers)}"
+            )
+        dst_cost = self._tiers[-dst_src - 1].cost_per_byte
+        for entry in movers:
+            e = int(entry)
+            src = int(self._home[e])
+            src_store = self.store(src)
+            slot = int(src_store.offset_of[e])
+            row = src_store.data[slot].copy()
+            want = src_store.checksums[slot]
+            src_store.evict(e)
+            new_slot = dst_store.insert(e, row)
+            if dst_store.checksums[new_slot] != want:
+                raise TierIntegrityError(
+                    f"entry {e} lost bytes moving "
+                    f"{self._tiers[-src - 1].name} → "
+                    f"{self._tiers[-dst_src - 1].name}"
+                )
+            self._home[e] = dst_src
+            if self._tiers[-src - 1].cost_per_byte < dst_cost:
+                self.demotions += 1
+            else:
+                self.promotions += 1
+        self.moved_bytes += len(movers) * self.entry_bytes
+        return len(movers)
+
+    def rebalance(self, hotness: np.ndarray) -> int:
+        """Re-run the hotness waterfall and apply the resulting moves.
+
+        Cold rows sink, hot rows rise; every executed transfer passes
+        the same checksum gate as :meth:`move`.  Tiers full in both the
+        old and the new assignment can form displacement *cycles* (a row
+        must enter a tier another row has to leave first, and vice
+        versa); those are broken by lifting one blocked row at a time
+        into a transit buffer — its bytes are checksummed across the
+        lift exactly as across a direct move.  Returns entries moved.
+        """
+        target = assign_backing_tiers(
+            self._tiers, self.num_entries, self.entry_bytes, hotness
+        )
+        moved = 0
+        #: rows in transit: entry → (row copy, checksum, source tier id).
+        held: dict[int, tuple[np.ndarray, np.uint64, int]] = {}
+
+        def free_slots(src: int) -> int:
+            return self.capacity_entries(src) - len(
+                self.store(src).cached_entries()
+            )
+
+        def lift(e: int) -> tuple[np.ndarray, np.uint64, int]:
+            src = int(self._home[e])
+            store = self.store(src)
+            slot = int(store.offset_of[e])
+            row = store.data[slot].copy()
+            want = store.checksums[slot]
+            store.evict(e)
+            return row, want, src
+
+        def land(e: int, row: np.ndarray, want, src: int) -> None:
+            nonlocal moved
+            dst = int(target[e])
+            dst_store = self.store(dst)
+            slot = dst_store.insert(e, row)
+            if dst_store.checksums[slot] != want:
+                raise TierIntegrityError(
+                    f"entry {e} lost bytes moving "
+                    f"{self._tiers[-src - 1].name} → "
+                    f"{self._tiers[-dst - 1].name}"
+                )
+            self._home[e] = dst
+            src_cost = self._tiers[-src - 1].cost_per_byte
+            if src_cost < self._tiers[-dst - 1].cost_per_byte:
+                self.demotions += 1
+            else:
+                self.promotions += 1
+            self.moved_bytes += self.entry_bytes
+            moved += 1
+
+        while True:
+            progress = True
+            while progress:
+                progress = False
+                # land transiting rows whose destination opened up
+                for e in list(held):
+                    if free_slots(int(target[e])) > 0:
+                        row, want, src = held.pop(e)
+                        land(e, row, want, src)
+                        progress = True
+                # direct moves, deepest destination first (demote-first:
+                # sinking cold rows frees the fast tiers for the risers)
+                for dst in reversed(self.backing_ids):
+                    room = free_slots(dst)
+                    if room <= 0:
+                        continue
+                    movers = np.flatnonzero(
+                        (target == dst) & (self._home != dst)
+                    )
+                    for e in movers[: room]:
+                        e = int(e)
+                        if e in held:
+                            continue
+                        land(e, *lift(e))
+                        progress = True
+            blocked = [
+                int(e)
+                for e in np.flatnonzero(target != self._home)
+                if int(e) not in held
+            ]
+            if not blocked:
+                if held:  # unreachable for a feasible target; defend anyway
+                    raise TierCapacityError(
+                        "rebalance cannot place rows still in transit"
+                    )
+                return moved
+            # Every blocked row's destination is full.  A feasible target
+            # guarantees that destination holds at least one row that
+            # itself needs to move — lift it into transit to break the
+            # cycle.
+            dst = int(target[blocked[0]])
+            stuck = [
+                int(e)
+                for e in self.store(dst).cached_entries()
+                if int(target[int(e)]) != dst and int(e) not in held
+            ]
+            if not stuck:
+                raise TierCapacityError(
+                    f"tier {self._tiers[-dst - 1].name} is full of "
+                    "correctly homed rows but the target overfills it"
+                )
+            held[stuck[0]] = lift(stuck[0])
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def verify(self) -> list[str]:
+        """Check partition / capacity / integrity; returns violations."""
+        problems: list[str] = []
+        resident = np.zeros(self.num_entries, dtype=np.int64)
+        for k, store in enumerate(self._stores):
+            src = -(k + 1)
+            name = self._tiers[k].name
+            cached = store.cached_entries()
+            resident[cached] += 1
+            if len(cached) > self._capacities[k]:
+                problems.append(
+                    f"tier {name}: {len(cached)} resident entries exceed "
+                    f"capacity {self._capacities[k]}"
+                )
+            homed = np.flatnonzero(self._home == src)
+            if not np.array_equal(homed, cached):
+                problems.append(
+                    f"tier {name}: home map and store residency disagree"
+                )
+            if len(cached):
+                rows = store.data[store.offset_of[cached]]
+                if not np.array_equal(rows, self._table[cached]):
+                    problems.append(
+                        f"tier {name}: resident rows diverge from the table"
+                    )
+                want = row_checksums(self._table[cached])
+                if not np.array_equal(
+                    store.checksums[store.offset_of[cached]], want
+                ):
+                    problems.append(
+                        f"tier {name}: stored checksums diverge from the table"
+                    )
+        if (resident != 1).any():
+            off = int((resident != 1).sum())
+            problems.append(
+                f"tier chain: {off} entries not resident in exactly one tier"
+            )
+        return problems

@@ -77,7 +77,9 @@ class DegradedPlatform:
         return [
             s
             for s in self._base.sources_for(dst)
-            if s == HOST or s == dst or self._health.source_usable(dst, s)
+            if self._base.is_backing(s)
+            or s == dst
+            or self._health.source_usable(dst, s)
         ]
 
 
@@ -102,7 +104,7 @@ def reroute_demand(demand: GpuDemand, platform: Platform, health: HealthView) ->
     volumes: dict[int, float] = {}
     moved = 0.0
     for src, vol in demand.volumes.items():
-        if src == HOST:
+        if platform.is_backing(src):
             usable = True
         elif src == demand.dst:
             # A downed destination lost its local copies: its replacement

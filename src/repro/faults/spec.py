@@ -183,7 +183,9 @@ class HealthView:
         of last resort) — even for a downed GPU's batch, which its
         replacement worker still serves from host.
         """
-        if src == HOST:
+        if src <= HOST:
+            # The whole backing chain (host DRAM and deeper tiers) shares
+            # the host-stall factor and is never partitioned.
             return self.host_factor
         if not self.gpu_ok(dst) or not self.gpu_ok(src):
             return 0.0

@@ -12,11 +12,16 @@ from repro.hardware.profiler import PlatformProfile, profile_platform, verify_pr
 from repro.hardware.platform import (
     HOST,
     PRESETS,
+    MemoryTier,
     Platform,
+    parse_tier_spec,
     server_a,
+    server_a_tiered,
     server_b,
     server_c,
+    server_c_tiered,
     single_gpu,
+    with_tiers,
 )
 from repro.hardware.spec import GPUSpec, LinkKind, a100_80gb, v100_16gb, v100_32gb
 from repro.hardware.topology import (
@@ -33,11 +38,16 @@ __all__ = [
     "verify_profile",
     "HOST",
     "PRESETS",
+    "MemoryTier",
     "Platform",
+    "parse_tier_spec",
     "server_a",
+    "server_a_tiered",
     "server_b",
     "server_c",
+    "server_c_tiered",
     "single_gpu",
+    "with_tiers",
     "GPUSpec",
     "LinkKind",
     "a100_80gb",

@@ -1,4 +1,4 @@
-"""Multi-GPU platform model: GPUs + interconnect + host memory.
+"""Multi-GPU platform model: GPUs + interconnect + a backing-memory chain.
 
 A :class:`Platform` is the single hardware object the rest of the library
 consumes.  It answers three questions for any (destination GPU, source
@@ -9,13 +9,19 @@ location) pair:
   link congests (Figure 6's plateau onset);
 * ``cost_per_byte(dst, src)`` — the solver's ``T_{i←j}`` coefficient.
 
-Source locations are integers: GPU ids ``0..G-1`` plus the sentinel
-:data:`HOST` (= -1) for host DRAM reached over PCIe.
+Source locations are integers: GPU ids ``0..G-1`` plus *negative* ids for
+the ordered backing-tier chain below the GPUs.  Tier ``k`` of
+``Platform.tiers`` is source ``-(k + 1)``: host DRAM is tier 0 and keeps
+its historical sentinel :data:`HOST` (= -1); deeper tiers (CXL, SSD) get
+-2, -3, …  A platform built without an explicit chain has exactly one
+tier — host DRAM sized by ``host_memory_bytes`` and reached at
+``pcie_bandwidth`` — so every pre-tier consumer behaves byte-identically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -27,9 +33,11 @@ from repro.hardware.topology import (
     hardwired_fully_connected,
     nvswitch,
 )
-from repro.utils.units import GIB, gbps
+from repro.utils.units import GB, GIB, KIB, MIB, gbps
 
-#: Sentinel source id for host DRAM (reached over PCIe).
+#: Source id of backing tier 0 — host DRAM reached over PCIe.  Kept as a
+#: module constant because it predates the tier chain; ``-(k + 1)`` is the
+#: id of tier ``k`` in general (see :meth:`Platform.tier_source_id`).
 HOST: int = -1
 
 #: The one dtype every bulk source-location array uses (the location
@@ -38,6 +46,118 @@ HOST: int = -1
 #: the packed location format supports (15-bit sources); widen it here —
 #: and only here — if a platform ever exceeds that.
 SOURCE_DTYPE = np.int16
+
+
+@dataclass(frozen=True)
+class MemoryTier:
+    """One level of the backing-memory chain below the GPUs.
+
+    Attributes:
+        name: tier label, e.g. ``"dram"``, ``"cxl"``, ``"ssd"``.
+        capacity_bytes: how many bytes the tier can hold.
+        bandwidth: sustained extraction bandwidth into a GPU, bytes/second.
+        latency_s: fixed per-group access latency in seconds, paid once per
+            batched read against this tier (0 for DRAM, where the PCIe
+            pipe dominates; ~100 µs for an NVMe read).
+    """
+
+    name: str
+    capacity_bytes: int
+    bandwidth: float
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("memory tier needs a name")
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"tier {self.name!r}: capacity must be positive")
+        if self.bandwidth <= 0:
+            raise ValueError(f"tier {self.name!r}: bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError(f"tier {self.name!r}: latency must be non-negative")
+
+    @property
+    def cost_per_byte(self) -> float:
+        """Seconds per byte extracted from this tier (the solver coefficient)."""
+        return 1.0 / self.bandwidth
+
+
+#: Reference (bandwidth, latency) per well-known tier kind.  DRAM's
+#: bandwidth is ``None`` — it is bounded by the platform's PCIe pipe, so
+#: :func:`parse_tier_spec` substitutes ``pcie_bandwidth`` there.
+TIER_KINDS: dict[str, tuple[float | None, float]] = {
+    "dram": (None, 0.0),
+    "cxl": (gbps(12), 1e-6),
+    "ssd": (gbps(6), 100e-6),
+}
+
+_TIER_CAPACITY_UNITS = {
+    "b": 1,
+    "kb": 1_000,
+    "mb": 1_000_000,
+    "gb": GB,
+    "tb": 1_000 * GB,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+    "tib": 1024 * GIB,
+}
+
+
+def parse_capacity(text: str) -> int:
+    """Parse ``"8GB"`` / ``"1TiB"`` / ``"512MB"`` into bytes."""
+    m = re.fullmatch(r"\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]+)\s*", text)
+    if not m:
+        raise ValueError(f"cannot parse capacity {text!r} (want e.g. '8GB')")
+    unit = m.group(2).lower()
+    if unit not in _TIER_CAPACITY_UNITS:
+        raise ValueError(f"unknown capacity unit {m.group(2)!r} in {text!r}")
+    return int(float(m.group(1)) * _TIER_CAPACITY_UNITS[unit])
+
+
+def parse_tier_spec(
+    spec: str, pcie_bandwidth: float = gbps(16)
+) -> tuple[MemoryTier, ...]:
+    """Parse ``"dram:8GB,ssd:1TB"`` into an ordered tier chain.
+
+    Each comma-separated element is ``kind:capacity[:GB/s[:latency_us]]``;
+    ``kind`` picks bandwidth/latency defaults from :data:`TIER_KINDS`
+    (DRAM inherits ``pcie_bandwidth``), and the optional trailing fields
+    override them.  Order in the spec is the chain order — tier 0 first.
+    """
+    tiers: list[MemoryTier] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        fields = part.split(":")
+        if len(fields) < 2:
+            raise ValueError(
+                f"tier spec {part!r} needs at least kind:capacity (e.g. 'dram:8GB')"
+            )
+        kind = fields[0].strip().lower()
+        if kind not in TIER_KINDS:
+            raise ValueError(
+                f"unknown tier kind {kind!r}; known: {sorted(TIER_KINDS)}"
+            )
+        default_bw, default_lat = TIER_KINDS[kind]
+        bandwidth = default_bw if default_bw is not None else pcie_bandwidth
+        latency = default_lat
+        if len(fields) >= 3 and fields[2].strip():
+            bandwidth = gbps(float(fields[2]))
+        if len(fields) >= 4 and fields[3].strip():
+            latency = float(fields[3]) * 1e-6
+        tiers.append(
+            MemoryTier(
+                name=kind,
+                capacity_bytes=parse_capacity(fields[1]),
+                bandwidth=bandwidth,
+                latency_s=latency,
+            )
+        )
+    if not tiers:
+        raise ValueError(f"tier spec {spec!r} names no tiers")
+    return tuple(tiers)
 
 
 @dataclass(frozen=True)
@@ -59,12 +179,39 @@ class Platform:
     topology: Topology
     host_memory_bytes: int = 512 * GIB
     pcie_bandwidth: float = gbps(16)
+    #: Ordered backing chain below the GPUs; tier ``k`` is source
+    #: ``-(k + 1)``.  Defaults to a single host-DRAM tier built from
+    #: ``host_memory_bytes`` / ``pcie_bandwidth``, which keeps every
+    #: pre-tier consumer byte-identical.  When a chain is supplied, tier 0
+    #: becomes the authoritative host tier and ``host_memory_bytes`` /
+    #: ``pcie_bandwidth`` are synchronized to it.
+    tiers: tuple[MemoryTier, ...] = field(default=())
 
     def __post_init__(self) -> None:
         if self.pcie_bandwidth <= 0:
             raise ValueError("PCIe bandwidth must be positive")
         if self.host_memory_bytes <= 0:
             raise ValueError("host memory must be positive")
+        if not self.tiers:
+            object.__setattr__(
+                self,
+                "tiers",
+                (
+                    MemoryTier(
+                        name="dram",
+                        capacity_bytes=self.host_memory_bytes,
+                        bandwidth=self.pcie_bandwidth,
+                    ),
+                ),
+            )
+        else:
+            object.__setattr__(self, "tiers", tuple(self.tiers))
+            # Tier 0 is the host tier; keep the legacy scalar fields in
+            # lock-step so `bandwidth(dst, HOST)` has exactly one answer.
+            object.__setattr__(
+                self, "host_memory_bytes", self.tiers[0].capacity_bytes
+            )
+            object.__setattr__(self, "pcie_bandwidth", self.tiers[0].bandwidth)
 
     # ------------------------------------------------------------------
     # Structure
@@ -77,21 +224,96 @@ class Platform:
     def gpu_ids(self) -> range:
         return range(self.num_gpus)
 
+    # ------------------------------------------------------------------
+    # Backing-tier chain
+    # ------------------------------------------------------------------
+    @property
+    def num_tiers(self) -> int:
+        return len(self.tiers)
+
+    @property
+    def backing_ids(self) -> list[int]:
+        """Source ids of the backing chain in tier order: [-1, -2, …]."""
+        return [-(k + 1) for k in range(len(self.tiers))]
+
+    @staticmethod
+    def tier_source_id(index: int) -> int:
+        """Source id of tier ``index`` (tier 0 → :data:`HOST`)."""
+        return -(index + 1)
+
+    @staticmethod
+    def tier_index(src: int) -> int:
+        """Chain index of backing source ``src`` (:data:`HOST` → 0)."""
+        return -src - 1
+
+    def is_gpu(self, src: int) -> bool:
+        """Whether ``src`` is a GPU id on this platform."""
+        return 0 <= src < self.num_gpus
+
+    def is_backing(self, src: int) -> bool:
+        """Whether ``src`` names a tier of this platform's backing chain.
+
+        The centralized form of the old ``src == HOST`` test: on a
+        single-tier platform they are equivalent, and on a deeper chain
+        every valid negative tier id answers True — which is what keeps
+        the pipeline's corrupt-source check from mistaking tier ids for
+        garbage.
+        """
+        return -len(self.tiers) <= src <= -1
+
+    def tier_of(self, src: int) -> MemoryTier:
+        """The :class:`MemoryTier` behind backing source ``src``."""
+        if not self.is_backing(src):
+            raise ValueError(f"source {src} is not a backing tier")
+        return self.tiers[self.tier_index(src)]
+
+    def tier_latency(self, src: int) -> float:
+        """Per-group access latency of ``src`` (0 for GPU sources)."""
+        if self.is_backing(src):
+            return self.tiers[self.tier_index(src)].latency_s
+        return 0.0
+
+    def backing_mask(self, sources: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_backing` over a source array."""
+        sources = np.asarray(sources)
+        return (sources <= -1) & (sources >= -len(self.tiers))
+
+    def valid_source_mask(self, sources: np.ndarray) -> np.ndarray:
+        """True where a source id names a real GPU or backing tier.
+
+        The complement is the pipeline's corrupt-source mask; keeping it
+        here means a new tier can never be mistaken for a corrupt id.
+        """
+        sources = np.asarray(sources)
+        return ((sources >= 0) & (sources < self.num_gpus)) | self.backing_mask(
+            sources
+        )
+
     def sources_for(self, dst: int) -> list[int]:
         """All source locations GPU ``dst`` can extract from.
 
-        Order: local first, then NVLink-reachable peers, then host.
-        Unconnected peers are excluded — reads to them are serviced from
-        host instead (the paper drops the corresponding ``t^j_i`` terms).
+        Order is derived from measured ``cost_per_byte`` rather than a
+        hardcoded ``[dst, *peers, HOST]`` literal: local HBM first (always
+        the cheapest path), then the NVLink fabric's peers (kept in
+        topology order — ties at fabric granularity stay deterministic and
+        LP-column stable), then the backing chain sorted cheapest-first.
+        On every pre-tier preset this reproduces the historical order
+        exactly; a chain declared out of cost order (ssd before cxl) is
+        straightened here.  Unconnected peers are excluded — reads to them
+        are serviced from the backing chain instead (the paper drops the
+        corresponding ``t^j_i`` terms).
         """
         self._check_gpu(dst)
         remote = [j for j in self.topology.peers(dst)]
-        return [dst, *remote, HOST]
+        backing = sorted(
+            self.backing_ids, key=lambda s: (self.cost_per_byte(dst, s), -s)
+        )
+        return [dst, *remote, *backing]
 
     def is_connected(self, dst: int, src: int) -> bool:
         """Whether ``dst`` can read ``src`` without falling back to PCIe."""
         self._check_gpu(dst)
-        if src == HOST or src == dst:
+        if self.is_backing(src) or src == dst:
             return True
         self._check_gpu(src)
         return self.topology.connected(dst, src)
@@ -111,8 +333,8 @@ class Platform:
         self._check_gpu(dst)
         if src == dst:
             return self.gpu.local_bandwidth
-        if src == HOST:
-            return self.pcie_bandwidth
+        if self.is_backing(src):
+            return self.tiers[self.tier_index(src)].bandwidth
         self._check_gpu(src)
         if not self.topology.connected(dst, src):
             return 0.0
@@ -129,8 +351,8 @@ class Platform:
         self._check_gpu(dst)
         if src == dst:
             return self.gpu.local_bandwidth
-        if src == HOST:
-            return self.pcie_bandwidth
+        if self.is_backing(src):
+            return self.tiers[self.tier_index(src)].bandwidth
         self._check_gpu(src)
         if not self.topology.connected(dst, src):
             return 0.0
@@ -286,6 +508,60 @@ def pcie_only(num_gpus: int = 4) -> Platform:
     )
 
 
+# ----------------------------------------------------------------------
+# Tiered-memory presets (beyond the paper: HugeCTR-HPS-style hierarchies)
+# ----------------------------------------------------------------------
+def dram_tier(capacity_bytes: int, bandwidth: float = gbps(16)) -> MemoryTier:
+    """Host DRAM reached over PCIe — tier 0 of every chain."""
+    return MemoryTier(name="dram", capacity_bytes=capacity_bytes, bandwidth=bandwidth)
+
+
+def cxl_tier(capacity_bytes: int) -> MemoryTier:
+    """CXL-attached expansion memory: near-PCIe bandwidth, µs latency."""
+    bw, lat = TIER_KINDS["cxl"]
+    return MemoryTier(name="cxl", capacity_bytes=capacity_bytes, bandwidth=bw, latency_s=lat)
+
+
+def ssd_tier(capacity_bytes: int) -> MemoryTier:
+    """NVMe SSD: the terminal capacity tier, ~100 µs per batched read."""
+    bw, lat = TIER_KINDS["ssd"]
+    return MemoryTier(name="ssd", capacity_bytes=capacity_bytes, bandwidth=bw, latency_s=lat)
+
+
+def with_tiers(platform: Platform, tiers: tuple[MemoryTier, ...]) -> Platform:
+    """``platform`` with its backing chain replaced by ``tiers``."""
+    return replace(platform, tiers=tuple(tiers))
+
+
+def server_a_tiered() -> Platform:
+    """Server A as a parameter server: 64 GB DRAM backed by a 1 TB SSD.
+
+    The HPS shape — embedding tables far larger than host DRAM, with the
+    cold tail demoted to NVMe.
+    """
+    base = server_a()
+    return with_tiers(
+        base,
+        (
+            dram_tier(64 * GIB, bandwidth=base.pcie_bandwidth),
+            ssd_tier(1_000 * GB),
+        ),
+    )
+
+
+def server_c_tiered() -> Platform:
+    """Server C with a three-deep chain: DRAM → CXL → SSD."""
+    base = server_c()
+    return with_tiers(
+        base,
+        (
+            dram_tier(128 * GIB, bandwidth=base.pcie_bandwidth),
+            cxl_tier(512 * GIB),
+            ssd_tier(2_000 * GB),
+        ),
+    )
+
+
 #: Registry used by benchmarks to iterate the paper's testbeds.
 PRESETS = {
     "server-a": server_a,
@@ -297,4 +573,6 @@ PRESETS = {
 EXTRA_PLATFORMS = {
     "dgx2": dgx2,
     "pcie-only": pcie_only,
+    "server-a-tiered": server_a_tiered,
+    "server-c-tiered": server_c_tiered,
 }

@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.core.pipeline import price_demand
 from repro.core.policy import Placement
-from repro.hardware.platform import HOST
 from repro.obs import get_registry
 from repro.sim.mechanisms import GpuDemand
 from repro.utils.logging import get_logger
@@ -145,12 +144,21 @@ class StagedRecovery:
     # Staging
     # ------------------------------------------------------------------
     def _per_entry_cost(self, gpu: int) -> float:
-        """Priced host→GPU seconds per staged entry (OracleCacher idiom)."""
+        """Priced backing→GPU seconds per staged entry (OracleCacher idiom).
+
+        On a tiered platform the reference transfer is split across
+        backing tiers by residency share, so a mostly-SSD table prices
+        its refill honestly; single-tier platforms reduce to the old
+        host-only reference demand.
+        """
         cost = self._entry_cost.get(gpu)
         if cost is None:
             ref = 1024
+            ref_bytes = float(ref * self._cache.entry_bytes)
+            shares = self._cache.backing_shares()
             demand = GpuDemand(
-                dst=gpu, volumes={HOST: float(ref * self._cache.entry_bytes)}
+                dst=gpu,
+                volumes={s: ref_bytes * f for s, f in shares.items() if f > 0},
             )
             cost = price_demand(self._cache.platform, demand).time / ref
             self._entry_cost[gpu] = cost

@@ -271,7 +271,10 @@ class CacheScrubber:
         cache = self._cache
         source_map = cache.source_map
         dsts = np.flatnonzero(source_map[:, entry] == gpu)
-        source_map[dsts, entry] = HOST
+        # Park routes at the entry's backing home: HOST on a single-tier
+        # platform, the owning tier of a deeper chain (so the parked route
+        # stays a *valid* backing route, not a stale one).
+        source_map[dsts, entry] = self._backing_home(entry)
         self._quarantined[(gpu, entry)] = dsts
         self._repair_queue.append((gpu, entry))
         reg = get_registry()
@@ -312,29 +315,38 @@ class CacheScrubber:
             # to repair, and the routes were rebuilt by whoever evicted.
             return 0.0
         src, seconds = self._cheapest_intact_source(gpu, entry)
-        if src == HOST:
+        if src <= HOST:  # any backing tier: the table is the ground truth
             store.data[slot] = cache.host_table[entry]
         else:
             peer = cache.store(src)
             store.data[slot] = peer.data[int(peer.offset_of[entry])]
         store.checksums[slot] = cache.host_checksums[entry]
-        # Restore only routes still parked at HOST — a refresh may have
-        # rebuilt the map while the slot sat in quarantine.
+        # Restore only routes still parked at the backing home — a refresh
+        # may have rebuilt the map while the slot sat in quarantine (and a
+        # tier move re-points parked routes to the new home, so comparing
+        # against the current home is exact).
         if len(dsts):
             col = cache.source_map[dsts, entry]
-            back = dsts[col == HOST]
+            back = dsts[col == self._backing_home(entry)]
             cache.source_map[back, entry] = gpu
         return seconds
+
+    def _backing_home(self, entry: int) -> int:
+        """The entry's backing source: HOST or its tier-chain home."""
+        chain = getattr(self._cache, "tier_chain", None)
+        if chain is None:
+            return HOST
+        return int(chain.home[entry])
 
     def _cheapest_intact_source(
         self, dst: int, entry: int
     ) -> tuple[int, float]:
-        """The cheapest replica whose copy verifies, else HOST."""
+        """The cheapest replica whose copy verifies, else the backing home."""
         cache = self._cache
         entry_bytes = float(cache.entry_bytes)
-        best_src = HOST
+        best_src = self._backing_home(entry)
         best_cost = price_demand(
-            cache.platform, GpuDemand(dst=dst, volumes={HOST: entry_bytes})
+            cache.platform, GpuDemand(dst=dst, volumes={best_src: entry_bytes})
         ).time
         for g in range(cache.platform.num_gpus):
             if g == dst or (g, entry) in self._quarantined:

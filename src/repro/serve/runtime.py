@@ -29,13 +29,12 @@ import numpy as np
 
 from repro.core.extractor import FactoredExtractor
 from repro.core.pipeline import (
-    host_fallback_demand,
+    backing_fallback_demand,
     price_demand,
     shift_staged_demand,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import HealthView
-from repro.hardware.platform import HOST
 from repro.obs import get_registry
 from repro.serve.breaker import BreakerBoard, BreakerConfig
 from repro.serve.coalesce import CoalesceOutcome, coalesce_keys
@@ -110,7 +109,9 @@ class ServingRuntime:
         )
         sources = list(platform.gpu_ids)
         if self.config.breaker_protects_host:
-            sources.append(HOST)
+            # One breaker per backing tier: [HOST] on a single-tier
+            # platform, deeper tier ids on a DRAM→CXL→SSD chain.
+            sources.extend(platform.backing_ids)
         self.breakers = BreakerBoard(sources, self.config.breaker)
         self.responses: list[Response] = []
         self._next_request_id = 0
@@ -194,17 +195,23 @@ class ServingRuntime:
         """
         if self.prefetcher is None:
             return demand, 0
-        host_keys = np.concatenate(
-            [g.keys for g in plan.groups if g.source == HOST]
-        ) if any(g.source == HOST for g in plan.groups) else np.empty(
-            0, dtype=np.int64
+        platform = self._extractor.platform
+        backing_groups = [
+            g.keys for g in plan.groups if platform.is_backing(g.source)
+        ]
+        host_keys = (
+            np.concatenate(backing_groups)
+            if backing_groups
+            else np.empty(0, dtype=np.int64)
         )
         mask = self.prefetcher.stage_hits(gpu, host_keys)
         hits = int(mask.sum())
         if hits == 0:
             return demand, 0
         return (
-            shift_staged_demand(demand, hits * self._cache.entry_bytes),
+            shift_staged_demand(
+                demand, hits * self._cache.entry_bytes, platform
+            ),
             hits,
         )
 
@@ -247,7 +254,11 @@ class ServingRuntime:
             < self.config.hedge_headroom * service_time
         ):
             hedged = True
-            host_demand = host_fallback_demand(demand)
+            # Split the hedge across backing tiers by where entries
+            # actually live ({HOST: 1.0} on a single-tier platform).
+            host_demand = backing_fallback_demand(
+                demand, self._cache.backing_shares()
+            )
             host_time = price_demand(platform, host_demand, health=health).time
             reg.counter("serve.hedges", gpu=request.gpu).inc()
             if host_time < service_time:
@@ -388,9 +399,13 @@ class ServingRuntime:
                 < self.config.hedge_headroom * shared_time
             ):
                 hedged = True
+                shares = self._cache.backing_shares()
+                total_bytes = float(len(request.keys) * entry_bytes)
                 host_demand = GpuDemand(
                     dst=gpu,
-                    volumes={HOST: float(len(request.keys) * entry_bytes)},
+                    volumes={
+                        s: total_bytes * f for s, f in shares.items() if f > 0
+                    },
                 )
                 host_time = price_demand(
                     platform, host_demand, health=health

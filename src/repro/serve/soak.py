@@ -94,6 +94,11 @@ SOAK_SCENARIOS: dict[str, tuple[str, str]] = {
         "server-a",
         "a node dies and heals while every node's caches silently bit-rot",
     ),
+    "hps-multitenant": (
+        "server-a-tiered",
+        "parameter-server shape: several models' tables share a "
+        "DRAM-to-SSD backing chain larger than DRAM",
+    ),
 }
 
 #: Scenarios that only make sense for a multi-node soak (``--nodes > 1``).
@@ -113,7 +118,9 @@ def build_soak_plan(
             f"{sorted(SOAK_SCENARIOS)}"
         )
     d = duration
-    if scenario == "steady":
+    if scenario in ("steady", "hps-multitenant"):
+        # hps-multitenant's stress is the tier chain itself, not chaos:
+        # every DRAM miss pays the deeper tier's bandwidth and latency.
         return None
     if scenario == "dgx_a100_partial_failure":
         faults = (
@@ -261,6 +268,16 @@ class SoakConfig:
     #: ``"staged"`` (hotness-ordered blocks under an idle-time budget) or
     #: ``"burst"`` (all at once — the baseline the staged plan beats).
     restage: str = "staged"
+    #: backing-tier chain override, e.g. ``"dram:8GB,ssd:1TB"`` — replaces
+    #: the scenario platform's chain via :func:`parse_tier_spec`.  None
+    #: keeps the platform as modelled (single-tier for the classic
+    #: scenarios, DRAM→SSD for ``hps-multitenant``).
+    tiers: str | None = None
+    #: models sharing the embedding table (hps-multitenant trace): the
+    #: table splits into ``tenants`` contiguous per-model segments, each
+    #: with its own Zipf head, and every request is drawn from exactly
+    #: one model — 1 keeps the classic single-table trace byte-identical.
+    tenants: int = 1
     seed: int = 0
 
     @classmethod
@@ -334,6 +351,26 @@ class SoakConfig:
             raise ValueError(
                 "the repair layer (scrubbing + staged recovery) rides the "
                 "cluster soak; use --nodes > 1"
+            )
+        if self.tiers is not None:
+            from repro.hardware.platform import parse_tier_spec
+
+            parse_tier_spec(self.tiers)  # raise early on a bad spec
+        if self.tenants < 1:
+            raise ValueError("need at least one tenant model")
+        if self.tenants > self.num_entries:
+            raise ValueError(
+                f"{self.tenants} tenants cannot split {self.num_entries} "
+                "entries into non-empty model tables"
+            )
+        if self.scenario == "hps-multitenant" and self.tenants < 2:
+            raise ValueError(
+                "hps-multitenant is the multi-model trace; use --tenants >= 2"
+            )
+        if self.tenants > 1 and self.nodes > 1:
+            raise ValueError(
+                "the multi-tenant trace is not wired through the cluster "
+                "front-end yet; use --nodes 1"
             )
         if self.nodes > 1:
             if self.scenario not in CLUSTER_SCENARIOS | {"steady"}:
@@ -440,6 +477,15 @@ class SoakReport:
     #: read guard on — the zero-corrupt-served guarantee).
     corrupt_values_served: int = 0
     watchdog_transitions: int = 0
+    #: backing-tier chain (all defaults on a single-tier platform).
+    #: ``tiers`` is the chain as "name:capacity" joined with "+";
+    #: ``tier_shares`` maps tier name → fraction of the table homed
+    #: there; demotions/moved bytes come from the chain's rebalancer.
+    tiers: str = ""
+    tier_shares: dict = field(default_factory=dict)
+    tier_demotions: int = 0
+    tier_moved_bytes: int = 0
+    tenants: int = 1
 
     @property
     def ok(self) -> bool:
@@ -447,7 +493,15 @@ class SoakReport:
         bounded — for cluster runs, goodput during the failover window
         stayed above the floor (70% of steady-state) — and, with the
         repair layer on, no corrupt value was ever served and the
-        recovery window kept ≥ 85% of steady goodput."""
+        recovery window kept ≥ 85% of steady goodput.
+
+        Tiered runs pass through the same floors, but every ×s0 knob
+        (deadline, SLO, breaker timeout) derives from a baseline priced
+        on the *full* tier chain, so a run whose misses go to SSD is
+        judged against SSD-speed deadlines rather than DRAM ones — a
+        miss to SSD is not scored like a miss to DRAM — and
+        ``integrity_failures`` includes the chain's per-tier residency
+        and checksum verification."""
         return (
             self.served_ok > 0
             and self.integrity_failures == 0
@@ -469,29 +523,117 @@ class SoakReport:
         return doc
 
 
-def _build_stack(cfg: SoakConfig, platform_name: str):
-    """Platform + Zipf workload + filled cache (chaos-matrix style)."""
+def _soak_platform(cfg: SoakConfig, platform_name: str):
+    """The scenario's platform, with ``cfg.tiers`` overriding its chain."""
     from repro.bench.contexts import platform_by_name
+    from repro.hardware.platform import parse_tier_spec, with_tiers
 
     platform = platform_by_name(platform_name)
+    if cfg.tiers:
+        platform = with_tiers(
+            platform, parse_tier_spec(cfg.tiers, platform.pcie_bandwidth)
+        )
+    return platform
+
+
+def _build_workload(cfg: SoakConfig):
+    """The request-key distribution: one Zipf table, or ``cfg.tenants``
+    models' tables laid side by side, each with its own Zipf head.
+
+    Returns ``(pmf, draw)``: the stationary mixture pmf (what the cache
+    policy, probes, and baseline pricing see) and ``draw(rng)`` sampling
+    one request's keys.  A multi-tenant request is drawn from exactly one
+    model's segment — an inference request only ever touches its own
+    model's embeddings — with the model picked from a Zipf popularity
+    over tenants.  ``tenants == 1`` reproduces the classic single-table
+    draws byte-for-byte.
+    """
+    if cfg.tenants <= 1:
+        pmf = zipf_pmf(cfg.num_entries, cfg.alpha)
+
+        def draw(rng) -> np.ndarray:
+            return rng.choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
+
+        return pmf, draw
+
+    bounds = np.floor(
+        np.linspace(0.0, cfg.num_entries, cfg.tenants + 1)
+    ).astype(np.int64)
+    popularity = zipf_pmf(cfg.tenants, cfg.alpha)
+    segments: list[tuple[int, np.ndarray]] = []
+    pmf = np.zeros(cfg.num_entries, dtype=np.float64)
+    for t in range(cfg.tenants):
+        lo, hi = int(bounds[t]), int(bounds[t + 1])
+        seg_pmf = zipf_pmf(hi - lo, cfg.alpha)
+        segments.append((lo, seg_pmf))
+        pmf[lo:hi] = popularity[t] * seg_pmf
+
+    def draw(rng) -> np.ndarray:
+        t = int(rng.choice(cfg.tenants, p=popularity))
+        lo, seg_pmf = segments[t]
+        return lo + rng.choice(len(seg_pmf), size=cfg.batch_keys, p=seg_pmf)
+
+    return pmf, draw
+
+
+def _fmt_capacity(n: int) -> str:
+    """``1_000_000_000_000 → "1TB"`` — decimal units, report-friendly."""
+    for unit, div in (("TB", 1e12), ("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if n >= div:
+            return f"{n / div:g}{unit}"
+    return f"{n}B"
+
+
+def _chain_label(platform) -> str:
+    """The backing chain as ``"dram:64GB+ssd:1TB"`` for reports."""
+    return "+".join(
+        f"{t.name}:{_fmt_capacity(t.capacity_bytes)}" for t in platform.tiers
+    )
+
+
+def _tier_label(platform, index: int) -> str:
+    """Report key for tier ``index`` — the name, disambiguated by chain
+    position when two tiers share a kind (e.g. two DRAM levels)."""
+    name = platform.tiers[index].name
+    if sum(t.name == name for t in platform.tiers) > 1:
+        return f"{name}{index}"
+    return name
+
+
+def _build_stack(cfg: SoakConfig, platform_name: str):
+    """Platform + workload + filled cache (chaos-matrix style)."""
+    platform = _soak_platform(cfg, platform_name)
     rng = make_rng(cfg.seed)
     dim = max(1, cfg.entry_bytes // 4)
     table = rng.standard_normal((cfg.num_entries, dim)).astype(np.float32)
-    pmf = zipf_pmf(cfg.num_entries, cfg.alpha)
+    pmf, draw = _build_workload(cfg)
     hotness = pmf * cfg.batch_keys * platform.num_gpus
     capacity = max(1, int(cfg.cache_ratio * cfg.num_entries))
     placement = hot_replicate_warm_partition_policy(
         hotness, capacity, platform.num_gpus, 0.5
     )
-    cache = MultiGpuEmbeddingCache(platform, table, placement)
-    return platform, table, pmf, hotness, capacity, cache
+    # On a tiered platform the backing chain is ranked by the same
+    # hotness the GPU policy sees: the hot head that misses the GPU tier
+    # lands in DRAM, the cold tail sinks to CXL/SSD.
+    cache = MultiGpuEmbeddingCache(
+        platform,
+        table,
+        placement,
+        tier_hotness=hotness if platform.num_tiers > 1 else None,
+    )
+    return platform, table, pmf, draw, hotness, capacity, cache
 
 
 def _baseline_service(
-    extractor: FactoredExtractor, pmf: np.ndarray, cfg: SoakConfig, rng
+    extractor: FactoredExtractor, draw, cfg: SoakConfig, rng
 ) -> float:
-    """Healthy single-batch service time ``s0`` (the harness's time unit)."""
-    keys = rng.choice(len(pmf), size=cfg.batch_keys, p=pmf)
+    """Healthy single-batch service time ``s0`` (the harness's time unit).
+
+    Priced through the live cache, so on a tiered platform ``s0`` already
+    carries the backing chain's bandwidths and latencies — every derived
+    knob (deadline, SLO, breaker timeout) scales with the chain.
+    """
+    keys = draw(rng)
     plan = extractor.plan(0, keys)
     demand = plan.demand(extractor.cache.entry_bytes)
     return factored_extraction(extractor.platform, demand).time
@@ -524,13 +666,13 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
 
         return run_cluster_soak(cfg)
     platform_name, _desc = SOAK_SCENARIOS[cfg.scenario]
-    platform, _table, pmf, hotness, capacity, cache = _build_stack(
+    platform, _table, _pmf, draw, hotness, capacity, cache = _build_stack(
         cfg, platform_name
     )
     arrival_rng, key_rng, probe_rng, drift_rng = spawn_rngs(cfg.seed + 17, 4)
 
     warm_extractor = FactoredExtractor(cache)
-    s0 = _baseline_service(warm_extractor, pmf, cfg, make_rng(cfg.seed + 3))
+    s0 = _baseline_service(warm_extractor, draw, cfg, make_rng(cfg.seed + 3))
     rate = cfg.load / s0
     duration = cfg.requests_per_gpu / rate
 
@@ -582,12 +724,9 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
     integrity_failures = 0
 
     def make_keys() -> np.ndarray:
-        return key_rng.choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
+        return draw(key_rng)
 
-    probe_keys = [
-        probe_rng.choice(cfg.num_entries, size=cfg.batch_keys, p=pmf)
-        for _ in range(G)
-    ]
+    probe_keys = [draw(probe_rng) for _ in range(G)]
 
     coalescing = cfg.batching is BatchingMode.COALESCE
     batchers: list[MicroBatcher] = []
@@ -681,9 +820,7 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
         if prefetcher is not None:
             for g in range(G):
                 trace = [
-                    gpu_key_rngs[g].choice(
-                        cfg.num_entries, size=cfg.batch_keys, p=pmf
-                    )
+                    draw(gpu_key_rngs[g])
                     for _ in range(cfg.requests_per_gpu)
                 ]
                 gpu_traces.append(trace)
@@ -705,9 +842,7 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
                         busy[g] = max(busy[g], t) + outcome.critical_seconds
                     keys = gpu_traces[g][cursor]
                 else:
-                    keys = gpu_key_rngs[g].choice(
-                        cfg.num_entries, size=cfg.batch_keys, p=pmf
-                    )
+                    keys = draw(gpu_key_rngs[g])
                 cursor += 1
                 request = runtime.make_request(
                     g, keys, t, deadline=t + deadline
@@ -838,7 +973,21 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
         baseline_service=s0,
         workers=cfg.workers,
         lookahead=cfg.lookahead,
+        tenants=cfg.tenants,
     )
+    if platform.num_tiers > 1:
+        report.tiers = _chain_label(platform)
+        chain = cache.tier_chain
+        if chain is not None:
+            shares = chain.shares()
+            report.tier_shares = {
+                _tier_label(platform, i): float(
+                    shares.get(platform.tier_source_id(i), 0.0)
+                )
+                for i in range(platform.num_tiers)
+            }
+            report.tier_demotions = chain.demotions
+            report.tier_moved_bytes = chain.moved_bytes
     if prefetcher is not None:
         prefetcher.finalize()
         report.prefetch_staged_keys = prefetcher.staged_keys_total
@@ -900,6 +1049,20 @@ def render_soak_report(report: SoakReport) -> str:
         f"landed, {report.rollbacks} rolled back",
         f"  integrity     {report.integrity_failures} failure(s)",
     ]
+    if report.tiers:
+        homed = ", ".join(
+            f"{name} {share:.1%}"
+            for name, share in report.tier_shares.items()
+        )
+        lines.insert(
+            1,
+            f"  tiers         {report.tiers}  "
+            f"homed: {homed or 'n/a'}; "
+            f"{report.tier_demotions} demotions, "
+            f"{report.tier_moved_bytes} B moved",
+        )
+    if report.tenants > 1:
+        lines.insert(1, f"  tenants       {report.tenants} models share the table")
     if report.coalesced_batches:
         lines.insert(
             5,

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.faults.spec import FaultPlan, HealthView
-from repro.hardware.platform import HOST, Platform
+from repro.hardware.platform import Platform
 from repro.obs import get_registry
 from repro.sim.congestion import CongestionModel
 from repro.sim.mechanisms import (
@@ -80,7 +80,7 @@ class BatchReport:
             for src, t in r.time_by_source.items():
                 if src == r.dst:
                     out["local"] += t
-                elif src == HOST:
+                elif src < 0:  # any backing tier
                     out["host"] += t
                 else:
                     out["remote"] += t
@@ -92,7 +92,7 @@ def readers_per_source(demands: list[GpuDemand]) -> dict[int, int]:
     counts: dict[int, int] = {}
     for d in demands:
         for src, vol in d.volumes.items():
-            if vol > 0 and src not in (d.dst, HOST):
+            if vol > 0 and src != d.dst and src >= 0:
                 counts[src] = counts.get(src, 0) + 1
     return counts
 
@@ -137,7 +137,11 @@ def simulate_batch(
             reg.counter("faults.sim.rerouted_bytes").inc(moved)
     for demand in demands:
         for src, vol in demand.volumes.items():
-            if vol > 0 and src != HOST and not platform.is_connected(demand.dst, src):
+            if (
+                vol > 0
+                and not platform.is_backing(src)
+                and not platform.is_connected(demand.dst, src)
+            ):
                 raise ValueError(
                     f"GPU {demand.dst} cannot extract from unconnected GPU {src}"
                 )

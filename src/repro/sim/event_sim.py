@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.faults.spec import FaultPlan
-from repro.hardware.platform import HOST, Platform
+from repro.hardware.platform import Platform
 from repro.sim.congestion import CongestionModel
 from repro.sim.mechanisms import GpuDemand, core_dedication
 from repro.utils.rng import make_rng
@@ -176,7 +176,7 @@ def simulate_naive_event_driven(
     for src, vol in demand.volumes.items():
         if vol <= 0:
             continue
-        if src in (demand.dst, HOST):
+        if src == demand.dst or platform.is_backing(src):
             peak = platform.bandwidth(demand.dst, src)
         elif platform.topology.kind is TopologyKind.SWITCH:
             n_readers = max(1, readers.get(src, 1))
@@ -239,7 +239,27 @@ def simulate_naive_event_driven(
                 else:
                     current[core] = None
                     remaining[core] = 0.0
+    clock += _access_latency(platform, demand)
     return EventSimResult(total_time=clock, chunks_processed=processed, events=events)
+
+
+def _access_latency(platform: Platform, demand: GpuDemand) -> float:
+    """Worst per-source access latency of the demand's tiers.
+
+    Deep backing tiers (SSD, CXL) charge a fixed access latency on top of
+    their bandwidth; the discrete simulators pay the slowest source's
+    latency once per batch, mirroring the analytic factored model's
+    per-group ``tier_latency`` term.  Zero on single-tier platforms (DRAM
+    tier latency is 0), so existing cross-validation stays exact.
+    """
+    return max(
+        (
+            platform.tier_latency(src)
+            for src, vol in demand.volumes.items()
+            if vol > 0
+        ),
+        default=0.0,
+    )
 
 
 def simulate_factored_event_driven(
@@ -348,6 +368,7 @@ def simulate_factored_event_driven(
                 core[1] = t + chunk_time("local")
             else:
                 core[1] = None
+    clock += _access_latency(platform, demand)
     return EventSimResult(total_time=clock, chunks_processed=processed, events=events)
 
 
@@ -431,7 +452,8 @@ def simulate_prefetched_extraction(
     baseline = simulate_factored_event_driven(
         platform, demand, chunk_bytes=chunk_bytes, faults=faults, now=now
     )
-    staged = min(staged_bytes, demand.volumes.get(HOST, 0.0))
+    backing_vol = sum(v for s, v in demand.volumes.items() if s < 0)
+    staged = min(staged_bytes, backing_vol)
     if staged <= 0:
         return PrefetchedSimResult(
             total_time=baseline.total_time,
@@ -441,9 +463,18 @@ def simulate_prefetched_extraction(
             critical_seconds=0.0,
             shifted_time=baseline.total_time,
         )
+    shifted_demand = shift_staged_demand(demand, staged, platform)
+    # The staging transfer pulls exactly the bytes the shift drained from
+    # each tier (most-expensive tier first), so a byte staged from SSD is
+    # priced at SSD bandwidth + latency, not DRAM's.
+    transfer_volumes = {
+        s: v - shifted_demand.volumes.get(s, 0.0)
+        for s, v in demand.volumes.items()
+        if s < 0 and v - shifted_demand.volumes.get(s, 0.0) > 0
+    }
     transfer = simulate_factored_event_driven(
         platform,
-        GpuDemand(dst=demand.dst, volumes={HOST: staged}),
+        GpuDemand(dst=demand.dst, volumes=transfer_volumes),
         chunk_bytes=chunk_bytes,
         faults=faults,
         now=now,
@@ -452,7 +483,7 @@ def simulate_prefetched_extraction(
     critical = transfer.total_time - overlapped
     shifted = simulate_factored_event_driven(
         platform,
-        shift_staged_demand(demand, staged),
+        shifted_demand,
         chunk_bytes=chunk_bytes,
         faults=faults,
         now=now,
@@ -474,6 +505,7 @@ def simulate_hedged_extraction(
     chunk_bytes: float = 64 * 1024,
     faults: FaultPlan | None = None,
     now: float = 0.0,
+    tier_shares: dict[int, float] | None = None,
 ) -> HedgedSimResult:
     """Price a deadline hedge: primary plan vs a host-DRAM gather, discretely.
 
@@ -489,15 +521,22 @@ def simulate_hedged_extraction(
     its volume to the primary's host group) matches the runtime's
     semantics: the hedge is a *separate* racing request whose result is
     taken instead of, not merged with, the primary's.
+
+    ``tier_shares`` prices the hedge honestly on a deep memory hierarchy:
+    the whole-batch gather is split across backing tiers in proportion to
+    where the entries actually live (the cache's ``backing_shares``), so
+    a hedge against a mostly-SSD-resident table pays SSD bandwidth and
+    latency, not DRAM's.  Without shares the hedge reads everything from
+    host DRAM — the single-tier behaviour, unchanged.
     """
     if hedge_issue_at < 0:
         raise ValueError("hedge issue time must be non-negative")
     primary = simulate_factored_event_driven(
         platform, demand, chunk_bytes=chunk_bytes, faults=faults, now=now
     )
-    from repro.core.pipeline import host_fallback_demand
+    from repro.core.pipeline import backing_fallback_demand
 
-    host_demand = host_fallback_demand(demand)
+    host_demand = backing_fallback_demand(demand, tier_shares)
     hedge = simulate_factored_event_driven(
         platform, host_demand, chunk_bytes=chunk_bytes, faults=faults, now=now
     )

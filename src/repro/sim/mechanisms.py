@@ -74,11 +74,16 @@ class GpuExtractionReport:
         return float(self.volumes.get(self.dst, 0.0))
 
     def volume_host(self) -> float:
-        return float(self.volumes.get(HOST, 0.0))
+        """Bytes pulled from the backing chain (all tiers; ids are < 0)."""
+        return float(sum(v for s, v in self.volumes.items() if s < 0))
+
+    def volume_tier(self, src: int) -> float:
+        """Bytes pulled from one specific backing tier."""
+        return float(self.volumes.get(src, 0.0))
 
     def volume_remote(self) -> float:
         return float(
-            sum(v for s, v in self.volumes.items() if s not in (self.dst, HOST))
+            sum(v for s, v in self.volumes.items() if s != self.dst and s >= 0)
         )
 
 
@@ -100,11 +105,17 @@ def core_dedication(
     """
     total = platform.gpu.num_cores
     dedication: dict[int, int] = {}
-    remotes = [s for s in active_sources if s not in (dst, HOST)]
-    if HOST in active_sources:
-        dedication[HOST] = min(platform.tolerance(dst, HOST), total // 4)
+    backing = [s for s in active_sources if platform.is_backing(s)]
+    remotes = [
+        s for s in active_sources if s != dst and not platform.is_backing(s)
+    ]
+    # Every backing tier is HOST-like: a small dedicated share bounded by
+    # the tier's link tolerance (a slower tier needs even fewer cores to
+    # saturate, so the bound tightens on its own).
+    for src in backing:
+        dedication[src] = min(platform.tolerance(dst, src), total // 4)
 
-    remaining = total - dedication.get(HOST, 0)
+    remaining = total - sum(dedication.get(s, 0) for s in backing)
     if remotes:
         if platform.topology.kind is TopologyKind.SWITCH:
             # Equal split across *all* peers keeps per-source claims at
@@ -163,7 +174,9 @@ def factored_extraction(
         cores = dedication.get(src, 1)
         link_bw = platform.bandwidth(demand.dst, src)
         rate = min(cores * gpu.per_core_bandwidth, link_bw)
-        group_time = vol / rate
+        # Backing tiers pay their fixed access latency once per batched
+        # group (0 for DRAM, so single-tier pricing is unchanged).
+        group_time = vol / rate + platform.tier_latency(src)
         time_by_source[src] = group_time
         cores_by_source[src] = cores
         # Cores beyond the link's tolerance would stall; UGache never
@@ -217,7 +230,7 @@ def naive_peer_extraction(
     for src, vol in demand.volumes.items():
         if vol <= 0:
             continue
-        if src in (demand.dst, HOST):
+        if src == demand.dst or platform.is_backing(src):
             peaks[src] = platform.bandwidth(demand.dst, src)
             pressure[src] = 1.0
         elif platform.topology.kind is TopologyKind.SWITCH:
@@ -291,13 +304,20 @@ def message_extraction(
     recv_by: dict[int, float] = {g: 0.0 for g in platform.gpu_ids}
     pair_bytes: dict[tuple[int, int], float] = {}
     host_by: dict[int, float] = {g: 0.0 for g in platform.gpu_ids}
+    #: per-dst seconds spent on backing-tier fetches (tier-aware: each
+    #: tier's bytes stream at that tier's bandwidth plus its latency).
+    backing_seconds_by: dict[int, float] = {g: 0.0 for g in platform.gpu_ids}
     local_by: dict[int, float] = {g: 0.0 for g in platform.gpu_ids}
     for d in demands:
         for src, vol in d.volumes.items():
             if vol <= 0:
                 continue
-            if src == HOST:
+            if platform.is_backing(src):
                 host_by[d.dst] += vol
+                backing_seconds_by[d.dst] += (
+                    vol / platform.bandwidth(d.dst, src)
+                    + platform.tier_latency(src)
+                )
             elif src == d.dst:
                 local_by[d.dst] += vol
             else:
@@ -329,7 +349,7 @@ def message_extraction(
 
     # Stage 4 overlaps stage 2.
     host_time = max(
-        (host_by[g] / platform.pcie_bandwidth for g in platform.gpu_ids), default=0.0
+        (backing_seconds_by[g] for g in platform.gpu_ids), default=0.0
     )
     exchange_time = max(exchange_time, host_time)
 

@@ -88,7 +88,12 @@ class ExtractionTrace:
         lines = [f"GPU {self.dst} factored extraction ({span * 1e3:.3f} ms)"]
         rows: list[tuple[str, float, float]] = []
         for g in self.groups:
-            label = "host" if g.source == HOST else f"G{g.source}"
+            if g.source == HOST:
+                label = "host"
+            elif g.source < 0:  # a deeper backing tier
+                label = f"T{-g.source - 1}"
+            else:
+                label = f"G{g.source}"
             rows.append((f"{label:>5} ({g.cores:3d} SMs)", g.start, g.finish))
         for s in self.local_segments:
             rows.append((f"local ({s.cores:3.0f} SMs)", s.start, s.finish))

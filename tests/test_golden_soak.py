@@ -69,8 +69,12 @@ def test_report_schema_is_versioned(replayed):
 def test_cluster_fields_are_additive_and_inert_single_box(replayed, golden):
     """New report fields exist but sit at their single-box identities."""
     for scenario, doc in replayed["scenarios"].items():
-        assert set(doc) > set(golden["scenarios"][scenario])
+        assert set(doc) >= set(golden["scenarios"][scenario])
         assert doc["nodes"] == 1 and doc["replication"] == 1
+        # Tier fields are additive too: inert on single-tier platforms.
+        assert doc["tiers"] == "" and doc["tier_shares"] == {}
+        assert doc["tier_demotions"] == 0 and doc["tier_moved_bytes"] == 0
+        assert doc["tenants"] == 1
         assert doc["failovers"] == 0
         assert doc["replica_read_fraction"] == 0.0
         assert doc["host_fallback_keys"] == 0
