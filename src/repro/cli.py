@@ -192,6 +192,8 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         repair=args.repair,
         restage=args.restage,
         tiers=args.tiers,
+        drift=args.drift,
+        adapt=args.adapt,
         seed=args.seed,
     )
     if args.tenants is not None:
@@ -247,6 +249,33 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             f"({report.recovery_requests} vs "
             f"{baseline.recovery_requests} requests in window)"
         )
+    adapt_regressed = False
+    if args.compare_adapt and cfg.drift is not None and cfg.adapt:
+        # Same drifting trace with adaptation off: the transition-window
+        # goodput delta is what the detector → incremental-re-solve →
+        # guarded-swap loop buys, everything else held equal.
+        from dataclasses import replace
+
+        with use_registry(MetricsRegistry("soak-baseline")):
+            baseline = run_soak(replace(cfg, adapt=False))
+        print(
+            f"  vs adapt off: transition-window goodput "
+            f"{baseline.transition_goodput_ratio:.1%} -> "
+            f"{report.transition_goodput_ratio:.1%} of steady "
+            f"(ok rate {baseline.transition_ok_rate:.1%} -> "
+            f"{report.transition_ok_rate:.1%} over "
+            f"{report.transition_requests} requests)"
+        )
+        adapt_regressed = (
+            report.transition_goodput_ratio
+            < baseline.transition_goodput_ratio
+        )
+        if adapt_regressed:
+            print(
+                "  FAIL: adaptation did not beat the unadapted baseline "
+                "inside the transition windows",
+                file=sys.stderr,
+            )
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
@@ -255,7 +284,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     if args.metrics_out:
         path = write_json(registry, args.metrics_out)
         print(f"metrics written to {path}")
-    return 0 if report.ok else 1
+    return 0 if report.ok and not adapt_regressed else 1
 
 
 def _cmd_tiers(args: argparse.Namespace) -> int:
@@ -538,6 +567,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compare-restage", action="store_true",
                    help="with --repair: also run the burst baseline and "
                         "print the recovery-window goodput delta")
+    p.add_argument("--drift", default=None,
+                   choices=["rotating-head", "table-shift", "flash-crowd"],
+                   help="hotness-drift scenario: the key distribution "
+                        "changes mid-run on a piecewise schedule")
+    p.add_argument("--adapt", action="store_true",
+                   help="with --drift: online adaptation (streaming "
+                        "hotness estimator, drift detector, incremental "
+                        "warm-started re-solves through the guarded swap "
+                        "path)")
+    p.add_argument("--compare-adapt", action="store_true",
+                   help="with --drift --adapt: also run the same drifting "
+                        "trace with adaptation off and gate on the "
+                        "transition-window goodput delta")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json-out", default=None, metavar="PATH",
                    help="write the soak report as JSON")

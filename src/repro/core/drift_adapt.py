@@ -1,0 +1,374 @@
+"""Online hotness drift: streaming estimation and detection (§2, §7.2).
+
+The solver places the cache from a *static* hotness snapshot, justified
+by the paper's observation that "hot entries in different daily traces
+are highly alike" (§2).  Production recommendation traffic is not that
+polite: heads rotate with diurnal cycles, whole tables change popularity
+when a model is promoted, and flash crowds mint new hot entries in
+minutes.  This module supplies the two building blocks the serving tier
+needs to notice:
+
+* :class:`StreamingHotnessEstimator` — exponentially decayed access
+  counts layered on :class:`~repro.core.hotness.HotnessTracker`, cheap
+  enough to feed from the serving hot path and thread-safe against the
+  per-GPU worker pool;
+* :class:`DriftDetector` — windowed comparison of the live estimate
+  against the solved policy's snapshot (hot-set Jaccard + rank
+  correlation), with hysteresis and a post-fire cooldown so noise never
+  thrashes the re-solver.
+
+The *reaction* to a detection — the incremental warm-start re-solve and
+the guarded policy swap — lives in :func:`~repro.core.solver.warm_start_policy`
+and :class:`~repro.serve.adaptation.DriftAdapter`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hotness import HotnessTracker
+from repro.obs import get_registry
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.drift_adapt")
+
+__all__ = [
+    "DriftDetector",
+    "DriftDetectorConfig",
+    "DriftScore",
+    "StreamingHotnessEstimator",
+    "hot_set_jaccard",
+    "rank_correlation",
+]
+
+
+class StreamingHotnessEstimator(HotnessTracker):
+    """Exponentially decayed streaming hotness over a fixed entry universe.
+
+    Each recorded batch first decays every accumulated count by
+    ``decay``, so the estimate is a sliding exponential window over the
+    stream: with decay ``d`` the effective window holds
+    ``(1 - d**b) / (1 - d)`` batches (→ ``1 / (1 - d)`` in steady
+    state).  On a *stationary* stream the estimate converges to the true
+    per-batch access frequencies (the base tracker's semantics); under
+    drift it forgets the old regime at a controlled half-life of
+    ``log(0.5) / log(d)`` batches.
+
+    ``decay=1.0`` degrades to the base tracker's plain counting (every
+    batch weighted equally, forever).
+
+    Unlike the base tracker — which the foreground Refresher feeds from
+    a single thread — this estimator is recorded from the serving hot
+    path, concurrently from every per-GPU worker, while the drift
+    detector reads snapshots.  All public state transitions happen under
+    one mutex: no lost updates, no torn hot-set reads.
+
+    Cold start mirrors :class:`~repro.serve.queueing.LatencyEstimator`'s
+    ``estimator_prior``: with ``prior`` set, :meth:`hotness` answers a
+    uniform ``prior`` per entry *before* the first batch instead of
+    raising — callers that poll the estimate on a schedule never trip
+    over an empty window.  ``prior=None`` keeps the base tracker's loud
+    zero-batch :class:`RuntimeError`.
+    """
+
+    def __init__(
+        self,
+        num_entries: int,
+        decay: float = 0.95,
+        prior: float | None = None,
+    ) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if prior is not None and prior < 0:
+            raise ValueError("cold-start prior must be non-negative")
+        super().__init__(num_entries)
+        self.decay = float(decay)
+        self.prior = prior
+        self._lock = threading.Lock()
+
+    @property
+    def effective_batches(self) -> float:
+        """Decayed window size: total weight of all recorded batches."""
+        with self._lock:
+            return self._effective_batches_locked()
+
+    def _effective_batches_locked(self) -> float:
+        if self.decay >= 1.0:
+            return float(self._batches)
+        return (1.0 - self.decay**self._batches) / (1.0 - self.decay)
+
+    def record(self, keys: np.ndarray) -> None:
+        """Account one batch: decay the window, then add the accesses."""
+        keys = np.asarray(keys)
+        if keys.size and (keys.min() < 0 or keys.max() >= self.num_entries):
+            raise ValueError("keys out of range for this tracker")
+        counts = np.bincount(keys, minlength=self.num_entries)
+        with self._lock:
+            if self.decay < 1.0:
+                self._counts *= self.decay
+            self._counts += counts
+            self._batches += 1
+
+    def hotness(self) -> np.ndarray:
+        """Expected accesses per entry per batch over the decayed window.
+
+        Before any batch is recorded this is undefined; with a ``prior``
+        the estimator answers a uniform cold-start estimate, otherwise
+        it raises like the base tracker.
+        """
+        with self._lock:
+            if self._batches == 0:
+                if self.prior is not None:
+                    return np.full(self.num_entries, self.prior)
+                raise RuntimeError("no batches recorded yet")
+            return self._counts / self._effective_batches_locked()
+
+    def counts(self) -> np.ndarray:
+        with self._lock:
+            return self._counts.copy()
+
+    def snapshot(self) -> tuple[np.ndarray, int]:
+        """Atomic ``(hotness, batches_recorded)`` pair for the detector.
+
+        Reading the two separately could pair a post-batch estimate with
+        a pre-batch count (a torn read); the detector's ``min_batches``
+        warm-up gate needs them consistent.
+        """
+        with self._lock:
+            if self._batches == 0:
+                if self.prior is None:
+                    raise RuntimeError("no batches recorded yet")
+                return np.full(self.num_entries, self.prior), 0
+            hot = self._counts / self._effective_batches_locked()
+            return hot, self._batches
+
+    def merge(self, other: HotnessTracker) -> None:
+        if other.num_entries != self.num_entries:
+            raise ValueError("trackers cover different entry universes")
+        counts = other.counts()
+        batches = other.batches_recorded
+        with self._lock:
+            self._counts += counts
+            self._batches += batches
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts[:] = 0.0
+            self._batches = 0
+
+
+# ---------------------------------------------------------------------------
+# Drift scoring
+# ---------------------------------------------------------------------------
+
+
+def hot_set_jaccard(
+    live: np.ndarray, snapshot: np.ndarray, top_frac: float = 0.01
+) -> float:
+    """Jaccard overlap of the two estimates' hottest ``top_frac`` entries.
+
+    This is :func:`~repro.dlr.drift.hot_set_overlap`'s §2 stability
+    metric, applied to hotness vectors instead of workloads: 1.0 means
+    the live head is exactly the solved policy's head, 0.0 means the
+    cache is hot for yesterday's traffic.
+    """
+    if not 0 < top_frac <= 1:
+        raise ValueError("top_frac must be in (0, 1]")
+    live = np.asarray(live, dtype=np.float64)
+    snapshot = np.asarray(snapshot, dtype=np.float64)
+    if live.shape != snapshot.shape:
+        raise ValueError("live and snapshot hotness must align")
+    k = max(1, int(top_frac * len(live)))
+    top_live = set(np.argsort(-live, kind="stable")[:k].tolist())
+    top_snap = set(np.argsort(-snapshot, kind="stable")[:k].tolist())
+    union = top_live | top_snap
+    if not union:
+        return 1.0
+    return len(top_live & top_snap) / len(union)
+
+
+def rank_correlation(
+    live: np.ndarray, snapshot: np.ndarray, top_frac: float = 0.01
+) -> float:
+    """Spearman rank correlation over the union of the two hot sets.
+
+    Restricting to the joint head keeps the statistic sensitive: over
+    the full table the huge all-but-unobserved cold tail dominates and
+    drowns any head rotation in tied near-zero ranks.
+    """
+    if not 0 < top_frac <= 1:
+        raise ValueError("top_frac must be in (0, 1]")
+    live = np.asarray(live, dtype=np.float64)
+    snapshot = np.asarray(snapshot, dtype=np.float64)
+    if live.shape != snapshot.shape:
+        raise ValueError("live and snapshot hotness must align")
+    k = max(1, int(top_frac * len(live)))
+    top_live = np.argsort(-live, kind="stable")[:k]
+    top_snap = np.argsort(-snapshot, kind="stable")[:k]
+    union = np.union1d(top_live, top_snap)
+    if len(union) < 3:
+        return 1.0
+    a, b = live[union], snapshot[union]
+    if np.ptp(a) == 0 or np.ptp(b) == 0:
+        # A constant vector has no ranking to disagree with.
+        return 1.0
+    from scipy.stats import spearmanr
+
+    rho = spearmanr(a, b).statistic
+    if not np.isfinite(rho):
+        return 1.0
+    return float(rho)
+
+
+@dataclass(frozen=True)
+class DriftDetectorConfig:
+    """Knobs of the windowed drift detector.
+
+    Attributes:
+        top_frac: hot-set size (fraction of the table) both scores use.
+        jaccard_floor: hot-set overlap below this breaches.
+        corr_floor: rank correlation below this breaches.
+        hysteresis: consecutive breaching checks required before the
+            detector fires — one noisy window never triggers a re-solve.
+        cooldown_checks: checks after a fire during which the detector
+            scores but cannot fire again (the re-solve + swap it
+            triggered needs time to land and the estimator needs time to
+            converge on the new regime).
+        min_batches: estimator warm-up; checks before this many recorded
+            batches score but never breach (a cold window is noise).
+    """
+
+    top_frac: float = 0.01
+    jaccard_floor: float = 0.5
+    corr_floor: float = 0.2
+    hysteresis: int = 2
+    cooldown_checks: int = 8
+    min_batches: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0 < self.top_frac <= 1:
+            raise ValueError("top_frac must be in (0, 1]")
+        if not 0 <= self.jaccard_floor <= 1:
+            raise ValueError("jaccard floor must be in [0, 1]")
+        if not -1 <= self.corr_floor <= 1:
+            raise ValueError("correlation floor must be in [-1, 1]")
+        if self.hysteresis < 1:
+            raise ValueError("hysteresis must be at least 1 check")
+        if self.cooldown_checks < 0:
+            raise ValueError("cooldown must be non-negative")
+        if self.min_batches < 0:
+            raise ValueError("min_batches must be non-negative")
+
+
+@dataclass(frozen=True)
+class DriftScore:
+    """One detector check, kept on the tape for goldens and reports."""
+
+    at: float
+    jaccard: float
+    rank_corr: float
+    #: this window's scores crossed a floor (after warm-up).
+    breached: bool
+    #: hysteresis satisfied and not cooling down — the caller should
+    #: trigger a re-solve.
+    fired: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "at": self.at,
+            "jaccard": self.jaccard,
+            "rank_corr": self.rank_corr,
+            "breached": self.breached,
+            "fired": self.fired,
+        }
+
+
+class DriftDetector:
+    """Compares a live hotness estimate against the solved snapshot.
+
+    Stateful: consecutive breaches accumulate toward ``hysteresis``, a
+    fire starts a cooldown, and :meth:`rebase` re-anchors the reference
+    snapshot after a policy swap lands (the new placement *is* the new
+    normal, so the old divergence must not re-fire).  Every check is
+    appended to :attr:`tape` — the golden fixture pins this tape.
+    """
+
+    def __init__(
+        self,
+        snapshot: np.ndarray,
+        config: DriftDetectorConfig | None = None,
+    ) -> None:
+        self.config = config or DriftDetectorConfig()
+        self._snapshot = np.asarray(snapshot, dtype=np.float64).copy()
+        if self._snapshot.ndim != 1 or self._snapshot.size == 0:
+            raise ValueError("snapshot hotness must be a non-empty 1-D array")
+        self._streak = 0
+        self._cooldown = 0
+        self.tape: list[DriftScore] = []
+        self.detections = 0
+
+    @property
+    def snapshot(self) -> np.ndarray:
+        return self._snapshot.copy()
+
+    def rebase(self, snapshot: np.ndarray) -> None:
+        """Re-anchor on a freshly solved snapshot (after a swap lands)."""
+        snapshot = np.asarray(snapshot, dtype=np.float64)
+        if snapshot.shape != self._snapshot.shape:
+            raise ValueError("rebased snapshot must cover the same universe")
+        self._snapshot = snapshot.copy()
+        self._streak = 0
+
+    def check(
+        self, live: np.ndarray, at: float = 0.0, batches: int | None = None
+    ) -> DriftScore:
+        """Score one window; returns the (taped) verdict.
+
+        Args:
+            live: current streaming hotness estimate.
+            at: timestamp stamped on the tape entry (simulated seconds).
+            batches: the estimator's recorded-batch count; below
+                ``min_batches`` the window scores but cannot breach.
+        """
+        cfg = self.config
+        jac = hot_set_jaccard(live, self._snapshot, cfg.top_frac)
+        rho = rank_correlation(live, self._snapshot, cfg.top_frac)
+        warm = batches is None or batches >= cfg.min_batches
+        breached = warm and (jac < cfg.jaccard_floor or rho < cfg.corr_floor)
+
+        fired = False
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            self._streak = 0
+        elif breached:
+            self._streak += 1
+            if self._streak >= cfg.hysteresis:
+                fired = True
+                self.detections += 1
+                self._streak = 0
+                self._cooldown = cfg.cooldown_checks
+        else:
+            self._streak = 0
+
+        score = DriftScore(
+            at=float(at), jaccard=jac, rank_corr=rho,
+            breached=breached, fired=fired,
+        )
+        self.tape.append(score)
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("drift.detector.checks").inc()
+            reg.gauge("drift.detector.jaccard").set(jac)
+            reg.gauge("drift.detector.rank_corr").set(rho)
+            if fired:
+                reg.counter("drift.detections").inc()
+        if fired:
+            logger.info(
+                "drift detected at t=%.3f: hot-set jaccard %.3f, "
+                "rank corr %.3f (floors %.2f / %.2f)",
+                at, jac, rho, cfg.jaccard_floor, cfg.corr_floor,
+            )
+        return score

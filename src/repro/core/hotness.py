@@ -61,7 +61,22 @@ class HotnessTracker:
         return self._counts.copy()
 
     def hotness(self) -> np.ndarray:
-        """Expected accesses per entry per batch."""
+        """Expected accesses per entry per batch.
+
+        Normalizes the raw counts by ``batches_recorded``.  The
+        zero-batch edge is deliberately *loud*: before any batch is
+        recorded there is no window to normalize by, and silently
+        answering zeros (or ``0/0`` NaNs) would feed the solver a
+        hotness vector claiming nothing is ever accessed.  Callers that
+        poll on a schedule and may race the first batch should use
+        :class:`~repro.core.drift_adapt.StreamingHotnessEstimator` with
+        an explicit cold-start ``prior`` (mirroring
+        :class:`~repro.serve.queueing.LatencyEstimator`'s
+        ``estimator_prior``) instead of catching this.
+
+        Raises:
+            RuntimeError: when no batch has been recorded yet.
+        """
         if self._batches == 0:
             raise RuntimeError("no batches recorded yet")
         return self._counts / self._batches

@@ -21,6 +21,11 @@ from repro.serve.coalesce import (
     MicroBatcher,
     coalesce_keys,
 )
+from repro.serve.adaptation import (
+    AdaptationConfig,
+    AdaptationEvent,
+    DriftAdapter,
+)
 from repro.serve.policy_manager import (
     PolicyGeneration,
     PolicyManager,
@@ -49,6 +54,8 @@ from repro.serve.soak import (
 
 __all__ = [
     "SOAK_SCENARIOS",
+    "AdaptationConfig",
+    "AdaptationEvent",
     "AdmissionConfig",
     "AdmissionController",
     "AdmissionResult",
@@ -60,6 +67,7 @@ __all__ = [
     "CircuitBreaker",
     "CoalesceConfig",
     "CoalesceOutcome",
+    "DriftAdapter",
     "GpuWorkerPool",
     "LatencyEstimator",
     "MicroBatcher",

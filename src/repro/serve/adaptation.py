@@ -1,0 +1,273 @@
+"""Online drift adaptation: estimator → detector → re-solve → guarded swap.
+
+:class:`DriftAdapter` closes the loop the paper leaves open (§2 assumes
+daily hot sets are "highly alike"): a
+:class:`~repro.core.drift_adapt.StreamingHotnessEstimator` is fed from
+the serving hot path (with bounded per-request sampling overhead), a
+:class:`~repro.core.drift_adapt.DriftDetector` periodically compares the
+live estimate against the solved policy's snapshot, and when drift
+crosses threshold the adapter triggers an *incremental* re-solve —
+warm-starting :func:`~repro.core.solver.solve_policy_with_fallback` from
+the last :class:`~repro.core.solver.SolvedPolicy` so only entries whose
+hotness class changed move — and lands the result through the existing
+:class:`~repro.serve.policy_manager.PolicyManager`
+drain → verify → p99-guardrail path.
+
+Everything the adapter did is kept on :attr:`DriftAdapter.events` (and
+the detector's tape), which the soak report surfaces and the drift
+golden fixture pins.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.drift_adapt import (
+    DriftDetector,
+    DriftDetectorConfig,
+    StreamingHotnessEstimator,
+)
+from repro.core.solver import PolicyOutcome, SolvedPolicy
+from repro.obs import get_registry
+from repro.serve.policy_manager import PolicyManager, SwapReport
+from repro.utils.logging import get_logger
+
+logger = get_logger("serve.adaptation")
+
+__all__ = ["AdaptationConfig", "AdaptationEvent", "DriftAdapter"]
+
+
+@dataclass(frozen=True)
+class AdaptationConfig:
+    """Knobs of the online adaptation loop.
+
+    Attributes:
+        decay: estimator decay per recorded batch (window half-life
+            ``log(0.5)/log(decay)`` batches).
+        sample_every: record every Nth observed request — the bounded
+            per-request overhead knob.  Skipped requests cost one
+            counter increment; 1 records everything.
+        check_every: detector cadence, in *recorded* (post-sampling)
+            requests.  Between checks :meth:`DriftAdapter.maybe_adapt`
+            is a cheap counter read.
+        estimator_prior: cold-start hotness answered before the first
+            recorded batch (see
+            :class:`~repro.core.drift_adapt.StreamingHotnessEstimator`).
+        hotness_scale: multiplier from the estimator's per-batch scale
+            to the solver's per-iteration scale (the soak passes the GPU
+            count: every GPU draws one batch per iteration).
+        warm_max_profile_shift: forwarded to the solver's incremental
+            rung; larger tolerates noisier live estimates.
+        top_frac / jaccard_floor / corr_floor / hysteresis /
+        cooldown_checks / min_batches: detector knobs, see
+            :class:`~repro.core.drift_adapt.DriftDetectorConfig`.
+    """
+
+    decay: float = 0.95
+    sample_every: int = 1
+    check_every: int = 8
+    estimator_prior: float | None = None
+    hotness_scale: float = 1.0
+    warm_max_profile_shift: float = 0.5
+    top_frac: float = 0.01
+    jaccard_floor: float = 0.5
+    corr_floor: float = 0.2
+    hysteresis: int = 2
+    cooldown_checks: int = 8
+    min_batches: int = 16
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ValueError("sample_every must be at least 1")
+        if self.check_every < 1:
+            raise ValueError("check_every must be at least 1")
+        if self.hotness_scale <= 0:
+            raise ValueError("hotness scale must be positive")
+
+    def detector_config(self) -> DriftDetectorConfig:
+        return DriftDetectorConfig(
+            top_frac=self.top_frac,
+            jaccard_floor=self.jaccard_floor,
+            corr_floor=self.corr_floor,
+            hysteresis=self.hysteresis,
+            cooldown_checks=self.cooldown_checks,
+            min_batches=self.min_batches,
+        )
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """One step of the adaptation loop, for the report and the golden."""
+
+    at: float
+    #: "detect" | "resolve" | "swap" | "rollback" | "skip"
+    kind: str
+    detail: str = ""
+    version: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "detail": self.detail,
+            "version": self.version,
+        }
+
+
+class DriftAdapter:
+    """Wires streaming hotness estimation into guarded policy re-solves.
+
+    The adapter is attached to the :class:`~repro.serve.runtime.ServingRuntime`
+    (``runtime.adapter``), which calls :meth:`observe` for every
+    *offered* request at submit time — before admission control, so a
+    drifted policy shedding most traffic cannot starve the estimator of
+    the very evidence that would fix it; the soak loop calls
+    :meth:`maybe_adapt` at event boundaries.  ``observe`` is hot-path
+    safe (a lock-guarded counter
+    plus, on sampled requests, one decayed ``bincount``) and is called
+    concurrently from per-GPU workers; ``maybe_adapt`` must be called
+    from the single control thread that owns policy swaps (the same
+    thread that calls :meth:`PolicyManager.swap` today).
+    """
+
+    def __init__(
+        self,
+        manager: PolicyManager,
+        capacity_entries: int | list[int],
+        snapshot_hotness: np.ndarray,
+        config: AdaptationConfig | None = None,
+        warm: SolvedPolicy | None = None,
+    ) -> None:
+        self.config = config or AdaptationConfig()
+        self._manager = manager
+        self._capacity = capacity_entries
+        snapshot = np.asarray(snapshot_hotness, dtype=np.float64)
+        self.estimator = StreamingHotnessEstimator(
+            len(snapshot),
+            decay=self.config.decay,
+            prior=self.config.estimator_prior,
+        )
+        self.detector = DriftDetector(snapshot, self.config.detector_config())
+        #: last successful :class:`SolvedPolicy`, the warm-start seed for
+        #: the next incremental re-solve.
+        self.warm = warm
+        self.events: list[AdaptationEvent] = []
+        self.detections = 0
+        self.resolves = 0
+        self.swaps_landed = 0
+        self.rollbacks = 0
+        self._observed = 0
+        self._recorded_since_check = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def observe(self, gpu: int, keys: np.ndarray, now: float) -> None:
+        """Account one served request's key batch (sampled)."""
+        with self._lock:
+            self._observed += 1
+            take = self._observed % self.config.sample_every == 0
+            if take:
+                self._recorded_since_check += 1
+        if take:
+            self.estimator.record(keys)
+
+    @property
+    def observed(self) -> int:
+        with self._lock:
+            return self._observed
+
+    # ------------------------------------------------------------------
+    # Control path
+    # ------------------------------------------------------------------
+    def _due(self) -> bool:
+        with self._lock:
+            if self._recorded_since_check < self.config.check_every:
+                return False
+            self._recorded_since_check = 0
+            return True
+
+    def live_hotness(self) -> np.ndarray:
+        """The estimator's view at the solver's hotness scale."""
+        return self.estimator.hotness() * self.config.hotness_scale
+
+    def maybe_adapt(
+        self, now: float, drain=None, probe=None
+    ) -> SwapReport | None:
+        """Check for drift and, when it fires, re-solve and swap.
+
+        Cheap between cadence boundaries (one lock-guarded counter
+        read).  Returns the :class:`SwapReport` when a swap was
+        attempted, ``None`` otherwise.
+        """
+        if not self._due():
+            return None
+        hot, batches = self.estimator.snapshot()
+        live = hot * self.config.hotness_scale
+        score = self.detector.check(live, at=now, batches=batches)
+        if not score.fired:
+            return None
+
+        reg = get_registry()
+        self.detections += 1
+        self.events.append(
+            AdaptationEvent(
+                at=now,
+                kind="detect",
+                detail=(
+                    f"jaccard={score.jaccard:.3f} corr={score.rank_corr:.3f}"
+                ),
+                version=self._manager.version,
+            )
+        )
+
+        outcome: PolicyOutcome = self._manager.solve(
+            live,
+            self._capacity,
+            warm=self.warm,
+            warm_max_profile_shift=self.config.warm_max_profile_shift,
+        )
+        self.resolves += 1
+        if reg.enabled:
+            reg.counter("adapt.resolves", source=outcome.source).inc()
+        self.events.append(
+            AdaptationEvent(
+                at=now,
+                kind="resolve",
+                detail=outcome.source,
+                version=self._manager.version,
+            )
+        )
+
+        report = self._manager.swap(
+            outcome, now=now, drain=drain, probe=probe, stale_baseline=True
+        )
+        if report.swapped:
+            self.swaps_landed += 1
+            if outcome.solved is not None:
+                self.warm = outcome.solved
+            # The swapped placement serves the live estimate — it is the
+            # new normal the detector must measure divergence from.
+            self.detector.rebase(live)
+            kind = "swap"
+        elif report.rolled_back:
+            self.rollbacks += 1
+            kind = "rollback"
+        else:
+            kind = "skip"
+        if reg.enabled:
+            reg.counter("adapt.swaps", result=kind).inc()
+        self.events.append(
+            AdaptationEvent(
+                at=now, kind=kind, detail=report.reason, version=report.version
+            )
+        )
+        logger.info(
+            "drift adaptation at t=%.3f: %s (%s re-solve, v%d)",
+            now, kind, outcome.source, report.version,
+        )
+        return report

@@ -187,6 +187,7 @@ class PolicyManager:
         drain=None,
         probe=None,
         abort=None,
+        stale_baseline: bool = False,
     ) -> SwapReport:
         """Atomically land ``outcome``'s placement on the serving cache.
 
@@ -200,6 +201,13 @@ class PolicyManager:
                 called before and after the refresh for the p99 guardrail.
             abort: forwarded to :meth:`Refresher.refresh` (fault plans can
                 interrupt the swap; the refresher rolls back on its own).
+            stale_baseline: skip the ``min_improvement`` estimate gate.
+                Drift adaptation sets this: the serving generation's
+                ``est_time`` was computed under *yesterday's* hotness, so
+                comparing it against an estimate under the drifted
+                hotness compares incommensurable numbers — the probe-based
+                p99 guardrail (which measures real traffic both sides of
+                the refresh) is the only meaningful judge.
 
         Returns:
             A :class:`SwapReport`; ``swapped`` and ``rolled_back`` tell the
@@ -212,7 +220,8 @@ class PolicyManager:
 
         current = self.current
         if (
-            current.est_time > 0
+            not stale_baseline
+            and current.est_time > 0
             and outcome.est_time > 0
             and current.est_time / outcome.est_time < self.guardrail.min_improvement
         ):

@@ -102,6 +102,12 @@ class ServingRuntime:
         #: no prefetcher the serving path is byte-identical to earlier
         #: revisions.
         self.prefetcher = prefetcher
+        #: optional :class:`~repro.serve.adaptation.DriftAdapter`; when
+        #: attached, every *offered* request's key batch (at submit,
+        #: before admission control) feeds its streaming hotness
+        #: estimator.  With no adapter the serving path is byte-identical
+        #: to earlier revisions.
+        self.adapter = None
         self.clock = clock or SimClock()
         platform = extractor.platform
         self.admission = AdmissionController(
@@ -142,6 +148,12 @@ class ServingRuntime:
         A ``None`` return means the request is queued (or parked by the
         block policy) and will produce its Response from :meth:`poll`.
         """
+        if self.adapter is not None:
+            # Hotness estimation sees *offered* traffic, before admission
+            # control: under a drifted policy most requests shed, and an
+            # estimator fed only by survivors would starve exactly when
+            # the detector needs fresh evidence most.
+            self.adapter.observe(request.gpu, request.keys, now)
         result = self.admission.submit(request, now)
         if result.admitted or result.blocked:
             responses = [

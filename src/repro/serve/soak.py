@@ -278,6 +278,20 @@ class SoakConfig:
     #: with its own Zipf head, and every request is drawn from exactly
     #: one model — 1 keeps the classic single-table trace byte-identical.
     tenants: int = 1
+    #: hotness-drift scenario (a :data:`repro.dlr.drift.DRIFT_SCENARIOS`
+    #: key): the key distribution changes mid-run on a piecewise
+    #: schedule and scheduled ``swap_at`` swaps are disabled (drift
+    #: timing, not wall-clock schedule, decides re-solves).  None keeps
+    #: the stationary trace byte-identical.
+    drift: str | None = None
+    #: online drift adaptation: a streaming hotness estimator on the
+    #: serving hot path, a drift detector, and incremental warm-started
+    #: re-solves swapped through the policy manager.  Requires ``drift``.
+    adapt: bool = False
+    #: transition-window length after each drift change point, as a
+    #: fraction of the run; the soak gate judges goodput *inside* these
+    #: windows (where an unadapted policy bleeds).
+    drift_window: float = 0.25
     seed: int = 0
 
     @classmethod
@@ -367,6 +381,44 @@ class SoakConfig:
             raise ValueError(
                 "hps-multitenant is the multi-model trace; use --tenants >= 2"
             )
+        if self.drift is not None:
+            from repro.dlr.drift import DRIFT_SCENARIOS
+
+            if self.drift not in DRIFT_SCENARIOS:
+                raise ValueError(
+                    f"unknown drift scenario {self.drift!r}; choose from "
+                    f"{sorted(DRIFT_SCENARIOS)}"
+                )
+            if self.nodes > 1 or self.workers > 1:
+                raise ValueError(
+                    "drift scenarios ride the single-box single-worker "
+                    "event loop (time-ordered draws)"
+                )
+            if self.closed_loop:
+                raise ValueError(
+                    "drift schedules are keyed to open-loop arrival times"
+                )
+            if self.lookahead > 0:
+                raise ValueError(
+                    "lookahead pre-draws the whole trace; a drifting "
+                    "distribution must be drawn at arrival time"
+                )
+            if self.batching is not BatchingMode.OFF:
+                raise ValueError(
+                    "drift soaks use the uncoalesced path; batching "
+                    "changes which requests feed the estimator"
+                )
+            if self.tenants > 1:
+                raise ValueError(
+                    "drift schedules replace the workload pmf; the "
+                    "multi-tenant trace is not drift-scheduled yet"
+                )
+        if self.adapt and self.drift is None:
+            raise ValueError(
+                "--adapt reacts to drift; pick a --drift scenario"
+            )
+        if not 0.0 < self.drift_window <= 0.5:
+            raise ValueError("drift window must be in (0, 0.5]")
         if self.tenants > 1 and self.nodes > 1:
             raise ValueError(
                 "the multi-tenant trace is not wired through the cluster "
@@ -486,6 +538,25 @@ class SoakReport:
     tier_demotions: int = 0
     tier_moved_bytes: int = 0
     tenants: int = 1
+    #: hotness drift + online adaptation (all defaults on a stationary
+    #: soak).  ``transition_goodput_ratio`` is the OK-rate inside the
+    #: post-change-point windows over the steady OK-rate — the number
+    #: adaptation exists to defend.
+    drift_scenario: str = ""
+    adapt_enabled: bool = False
+    drift_transitions: int = 0
+    drift_detections: int = 0
+    adapt_resolves: int = 0
+    adapt_incremental_resolves: int = 0
+    adapt_swaps_landed: int = 0
+    adapt_rollbacks: int = 0
+    transition_requests: int = 0
+    transition_ok_rate: float = 0.0
+    transition_goodput_ratio: float = 1.0
+    #: detector tape (one dict per check) and adaptation event sequence,
+    #: pinned by the drift golden; empty on stationary soaks.
+    drift_tape: list = field(default_factory=list)
+    adapt_events: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -601,12 +672,30 @@ def _tier_label(platform, index: int) -> str:
 
 
 def _build_stack(cfg: SoakConfig, platform_name: str):
-    """Platform + workload + filled cache (chaos-matrix style)."""
+    """Platform + workload + filled cache (chaos-matrix style).
+
+    Under a ``cfg.drift`` scenario the workload pmf is the drift
+    schedule's *phase-0* distribution — the cache starts solved for the
+    pre-drift regime, exactly the policy the change points invalidate.
+    """
     platform = _soak_platform(cfg, platform_name)
     rng = make_rng(cfg.seed)
     dim = max(1, cfg.entry_bytes // 4)
     table = rng.standard_normal((cfg.num_entries, dim)).astype(np.float32)
-    pmf, draw = _build_workload(cfg)
+    schedule = None
+    if cfg.drift is not None:
+        from repro.dlr.drift import build_drift_schedule
+
+        schedule = build_drift_schedule(
+            cfg.drift, cfg.num_entries, cfg.alpha, cfg.seed
+        )
+        pmf = schedule.phases[0].pmf
+
+        def draw(rng_, _pmf=pmf) -> np.ndarray:
+            return rng_.choice(cfg.num_entries, size=cfg.batch_keys, p=_pmf)
+
+    else:
+        pmf, draw = _build_workload(cfg)
     hotness = pmf * cfg.batch_keys * platform.num_gpus
     capacity = max(1, int(cfg.cache_ratio * cfg.num_entries))
     placement = hot_replicate_warm_partition_policy(
@@ -621,7 +710,7 @@ def _build_stack(cfg: SoakConfig, platform_name: str):
         placement,
         tier_hotness=hotness if platform.num_tiers > 1 else None,
     )
-    return platform, table, pmf, draw, hotness, capacity, cache
+    return platform, table, pmf, draw, hotness, capacity, cache, schedule
 
 
 def _baseline_service(
@@ -666,8 +755,8 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
 
         return run_cluster_soak(cfg)
     platform_name, _desc = SOAK_SCENARIOS[cfg.scenario]
-    platform, _table, _pmf, draw, hotness, capacity, cache = _build_stack(
-        cfg, platform_name
+    platform, _table, _pmf, draw, hotness, capacity, cache, schedule = (
+        _build_stack(cfg, platform_name)
     )
     arrival_rng, key_rng, probe_rng, drift_rng = spawn_rngs(cfg.seed + 17, 4)
 
@@ -720,10 +809,56 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
     G = platform.num_gpus
     deadline = cfg.deadline_factor * s0
     busy = [0.0] * G
-    swap_times = sorted(f * duration for f in cfg.swap_at)
+    # Under a drift scenario the wall-clock swap schedule is disabled:
+    # *when* to re-solve is exactly what the drift detector decides.
+    swap_times = (
+        [] if cfg.drift is not None
+        else sorted(f * duration for f in cfg.swap_at)
+    )
     integrity_failures = 0
 
-    def make_keys() -> np.ndarray:
+    adapter = None
+    if cfg.adapt:
+        from repro.serve.adaptation import AdaptationConfig, DriftAdapter
+
+        # Prime the warm-start seed with a cold solve of the phase-0
+        # policy.  It is *not* swapped in (the serving cache already
+        # realizes the phase-0 greedy placement, keeping the adapt-off
+        # baseline comparable); it only gives the first detection an
+        # incremental rung to stand on.
+        prime = manager.solve(hotness, capacity)
+        adapter = DriftAdapter(
+            manager,
+            capacity,
+            hotness,
+            # the estimator sees per-request batches; one soak iteration
+            # is G such batches, so solver-scale hotness is ×G.
+            config=AdaptationConfig(hotness_scale=float(G)),
+            warm=prime.solved,
+        )
+        runtime.adapter = adapter
+        adapt_probe_rng = make_rng(cfg.seed + 101)
+
+        def adapt_probe(at: float) -> float:
+            # Probe with keys from the *currently active* phase: the p99
+            # guardrail must judge the new placement against the traffic
+            # it will serve, not against the pre-drift distribution.
+            frac = min(at / duration, 1.0) if duration > 0 else 0.0
+            pmf_now = schedule.pmf_at(frac)
+            keys = [
+                adapt_probe_rng.choice(
+                    cfg.num_entries, size=cfg.batch_keys, p=pmf_now
+                )
+                for _ in range(G)
+            ]
+            return runtime.probe(keys, at)
+
+    def make_keys(at: float | None = None) -> np.ndarray:
+        if schedule is not None and at is not None and duration > 0:
+            pmf_now = schedule.pmf_at(min(at / duration, 1.0))
+            return key_rng.choice(
+                cfg.num_entries, size=cfg.batch_keys, p=pmf_now
+            )
         return draw(key_rng)
 
     probe_keys = [draw(probe_rng) for _ in range(G)]
@@ -892,6 +1027,12 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
                 continue
             while swap_times and swap_times[0] <= t:
                 attempt_swap(swap_times.pop(0))
+            if adapter is not None:
+                adapter.maybe_adapt(
+                    t,
+                    drain=lambda at=t: drain_all(at),
+                    probe=lambda at=t: adapt_probe(at),
+                )
             for gpu in range(G):
                 catch_up(gpu, t)
             if prefetcher is not None:
@@ -901,7 +1042,7 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
                     busy[g] = max(busy[g], t) + outcome.critical_seconds
                 keys = event_keys.pop(_s)
             else:
-                keys = make_keys()
+                keys = make_keys(t)
             request = runtime.make_request(g, keys, t, deadline=t + deadline)
             dropped = runtime.submit(request, t)
             if cfg.closed_loop:
@@ -1007,6 +1148,43 @@ def run_soak(cfg: SoakConfig | None = None) -> SoakReport:
         report.dedup_ratio = (
             total_member_keys / total_union_keys if total_union_keys else 1.0
         )
+    if cfg.drift is not None and schedule is not None:
+        report.drift_scenario = cfg.drift
+        report.adapt_enabled = cfg.adapt
+        report.drift_transitions = len(schedule.transitions)
+        windows = [
+            (f * duration, min(f + cfg.drift_window, 1.0) * duration)
+            for f in schedule.transitions
+        ]
+
+        def in_window(r) -> bool:
+            return any(lo <= r.request.arrival < hi for lo, hi in windows)
+
+        transition = [r for r in responses if in_window(r)]
+        steady = [r for r in responses if not in_window(r)]
+        report.transition_requests = len(transition)
+        tr_ok = sum(1 for r in transition if r.status is RequestStatus.OK)
+        st_ok = sum(1 for r in steady if r.status is RequestStatus.OK)
+        report.transition_ok_rate = (
+            tr_ok / len(transition) if transition else 1.0
+        )
+        steady_rate = st_ok / len(steady) if steady else 0.0
+        report.transition_goodput_ratio = (
+            report.transition_ok_rate / steady_rate
+            if steady_rate > 0
+            else 1.0
+        )
+    if adapter is not None:
+        report.drift_detections = adapter.detections
+        report.adapt_resolves = adapter.resolves
+        report.adapt_incremental_resolves = sum(
+            1 for e in adapter.events
+            if e.kind == "resolve" and e.detail == "incremental"
+        )
+        report.adapt_swaps_landed = adapter.swaps_landed
+        report.adapt_rollbacks = adapter.rollbacks
+        report.drift_tape = [s.to_dict() for s in adapter.detector.tape]
+        report.adapt_events = [e.to_dict() for e in adapter.events]
     if reg.enabled:
         reg.gauge("soak.goodput_rps").set(report.goodput_rps)
         reg.gauge("soak.shed_rate").set(report.shed_rate)
@@ -1099,6 +1277,25 @@ def render_soak_report(report: SoakReport) -> str:
             f"{report.partial_responses} partial responses, "
             f"{report.host_fallback_keys} host-fallback keys",
         )
+    if report.drift_scenario:
+        lines.insert(
+            1,
+            f"  drift         {report.drift_scenario}: "
+            f"{report.drift_transitions} change point(s), "
+            f"transition goodput "
+            f"{report.transition_goodput_ratio:.0%} of steady "
+            f"(ok rate {report.transition_ok_rate:.1%} over "
+            f"{report.transition_requests} requests)",
+        )
+        if report.adapt_enabled:
+            lines.insert(
+                2,
+                f"  adaptation    {report.drift_detections} detection(s) -> "
+                f"{report.adapt_resolves} re-solve(s) "
+                f"({report.adapt_incremental_resolves} incremental), "
+                f"{report.adapt_swaps_landed} swap(s) landed, "
+                f"{report.adapt_rollbacks} rolled back",
+            )
     if report.repair_enabled:
         lines.insert(
             1,

@@ -325,6 +325,130 @@ class TestBreakerConcurrency:
                 assert breaker.state.value == "closed"
 
 
+class TestStreamingEstimatorConcurrency:
+    """The drift estimator is fed from every per-GPU worker at once."""
+
+    def test_no_lost_updates_under_worker_pool(self):
+        """With decay=1.0 the estimator is a plain counter, so after
+        racing records from a worker pool the counts must be exact —
+        any lost update under the mutex shows as a shortfall."""
+        from repro.core.drift_adapt import StreamingHotnessEstimator
+
+        est = StreamingHotnessEstimator(N, decay=1.0)
+        per_gpu, batch = 200, 64
+
+        def feed(gpu):
+            rng = make_rng(gpu)
+            for _ in range(per_gpu):
+                est.record(rng.integers(0, N, size=batch))
+            return gpu
+
+        with GpuWorkerPool(4) as pool:
+            pool.map_gpus(feed)
+        assert est.batches_recorded == 4 * per_gpu
+        assert est.counts().sum() == 4 * per_gpu * batch
+        assert est.hotness().sum() == pytest.approx(batch)
+
+    def test_snapshot_never_tears(self):
+        """Each recorded batch holds exactly ``batch`` accesses, so on a
+        decay=1.0 estimator every atomic (hotness, batches) snapshot
+        satisfies counts == batches × batch exactly.  A torn read —
+        counts from after a record paired with the batch count from
+        before it — breaks the identity."""
+        from repro.core.drift_adapt import StreamingHotnessEstimator
+
+        batch = 128
+        est = StreamingHotnessEstimator(N, decay=1.0, prior=0.0)
+        stop = threading.Event()
+
+        def writer(seed):
+            rng = make_rng(seed)
+            while not stop.is_set():
+                est.record(rng.integers(0, N, size=batch))
+
+        def reader():
+            while not stop.is_set():
+                hot, batches = est.snapshot()
+                if batches:
+                    assert hot.sum() * batches == pytest.approx(
+                        batches * batch
+                    )
+
+        def stopper():
+            time.sleep(0.4)
+            stop.set()
+
+        _run_threads(
+            [lambda s=i: writer(s) for i in range(4)]
+            + [reader] * (THREADS - 4)
+            + [stopper]
+        )
+
+    def test_observe_races_policy_swap(self):
+        """Adapter observes from worker threads while the control thread
+        lands PolicyManager swaps: every offered request is accounted and
+        the swapped cache stays intact."""
+        from repro.core.solver import PolicyOutcome
+        from repro.serve import DriftAdapter, PolicyManager
+
+        platform = server_a()
+        rng = make_rng(0)
+        table = rng.standard_normal((N, D)).astype(np.float32)
+        hotness = zipf_pmf(N, 1.1) * 1000.0
+        cap = N // 8
+        placement = hot_replicate_warm_partition_policy(
+            hotness, cap, platform.num_gpus, 0.5
+        )
+        cache = MultiGpuEmbeddingCache(platform, table, placement)
+        manager = PolicyManager(
+            cache, refresher=Refresher(cache, RefreshConfig(update_batch_entries=64))
+        )
+        adapter = DriftAdapter(manager, cap, hotness)
+        per_gpu, batch = 150, 64
+        swaps = 6
+
+        def feed(gpu):
+            feed_rng = make_rng(100 + gpu)
+            for i in range(per_gpu):
+                adapter.observe(
+                    gpu, feed_rng.integers(0, N, size=batch), now=float(i)
+                )
+            return gpu
+
+        def swapper():
+            for k in range(swaps):
+                target = hot_replicate_warm_partition_policy(
+                    np.roll(hotness, (k + 1) * N // 7), cap,
+                    platform.num_gpus, 0.5,
+                )
+                outcome = PolicyOutcome(
+                    placement=target, source="greedy", est_time=1.0,
+                    elapsed=0.0, attempts=1,
+                )
+                report = manager.swap(outcome, now=float(k))
+                assert report.swapped
+
+        errors: list[BaseException] = []
+
+        def run_swapper():
+            try:
+                swapper()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        control = threading.Thread(target=run_swapper)
+        control.start()
+        with GpuWorkerPool(platform.num_gpus) as pool:
+            pool.map_gpus(feed)
+        control.join()
+        if errors:
+            raise errors[0]
+        assert adapter.observed == platform.num_gpus * per_gpu
+        assert adapter.estimator.batches_recorded == platform.num_gpus * per_gpu
+        assert manager.version == swaps
+        assert cache.verify_integrity() == []
+
+
 class TestWorkerPool:
     def test_map_gpus_barriers_and_collects(self):
         order: list[int] = []

@@ -118,3 +118,46 @@ class TestSkewSummary:
 
     def test_zero_hotness(self):
         assert hotness_skew(np.zeros(10)) == 0.0
+
+
+class TestStreamingEstimatorColdStart:
+    """The zero-batch edge: loud for the base tracker, a prior for the
+    streaming estimator (mirroring ``LatencyEstimator.estimator_prior``)."""
+
+    def test_zero_batch_edge_is_loud_not_silent(self):
+        # Silent zeros would tell the solver nothing is ever accessed;
+        # the base tracker must refuse instead.
+        tracker = HotnessTracker(8)
+        assert tracker.batches_recorded == 0
+        with pytest.raises(RuntimeError):
+            tracker.hotness()
+        tracker.record(np.array([], dtype=np.int64))
+        # an empty batch IS a window — all-cold is now a valid answer.
+        assert tracker.hotness().sum() == 0.0
+
+    def test_streaming_prior_answers_before_first_batch(self):
+        from repro.core.drift_adapt import StreamingHotnessEstimator
+
+        est = StreamingHotnessEstimator(5, prior=0.25)
+        np.testing.assert_allclose(est.hotness(), np.full(5, 0.25))
+        est.record(np.array([0, 0, 1]))
+        # after the first batch the prior is gone, not blended in.
+        assert est.hotness()[0] == pytest.approx(2.0)
+
+    def test_streaming_without_prior_keeps_loud_edge(self):
+        from repro.core.drift_adapt import StreamingHotnessEstimator
+
+        with pytest.raises(RuntimeError):
+            StreamingHotnessEstimator(5).hotness()
+
+    def test_decay_one_matches_plain_tracker(self):
+        from repro.core.drift_adapt import StreamingHotnessEstimator
+
+        plain = HotnessTracker(6)
+        decayed = StreamingHotnessEstimator(6, decay=1.0)
+        rng = np.random.default_rng(7)
+        for _ in range(9):
+            keys = rng.integers(0, 6, size=16)
+            plain.record(keys)
+            decayed.record(keys)
+        np.testing.assert_allclose(decayed.hotness(), plain.hotness())
